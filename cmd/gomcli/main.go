@@ -1,0 +1,268 @@
+// Command gomcli manages persisted OO1 object bases: generate, inspect,
+// resolve OIDs, and serve pages over TCP to remote object managers.
+//
+// Usage:
+//
+//	gomcli gen  -parts 20000 -locality 0.9 -clustering ty|pc -out base.gom
+//	gomcli info base.gom
+//	gomcli lookup -oid 1:42 base.gom
+//	gomcli serve -addr :7070 base.gom
+//	gomcli serve -tx -addr :7070 base.gom     # transactional (2PL + abort)
+//	gomcli traverse -depth 5 -strategy LIS base.gom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"gom/internal/core"
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/oo1"
+	"gom/internal/server"
+	"gom/internal/sim"
+	"gom/internal/swizzle"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "lookup":
+		err = cmdLookup(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "traverse":
+		err = cmdTraverse(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gomcli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gomcli gen|info|lookup|serve|traverse [flags] [file]")
+	os.Exit(2)
+}
+
+func loadDB(path string) (*oo1.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return oo1.Load(f)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	parts := fs.Int("parts", 20000, "number of Parts")
+	locality := fs.Float64("locality", 0.9, "topological locality [0,1]")
+	clustering := fs.String("clustering", "ty", "ty (type-based) or pc (Part-to-Connection)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "base.gom", "output file")
+	fs.Parse(args)
+
+	cfg := oo1.DefaultConfig().Scaled(*parts).WithLocality(*locality)
+	cfg.Seed = *seed
+	if strings.EqualFold(*clustering, "pc") {
+		cfg = cfg.WithClustering(oo1.ClusterPartConn)
+	}
+	db, err := oo1.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("generated %v: %d pages (%.1f MB) -> %s\n",
+		cfg, db.NumPages(), float64(db.SizeBytes())/(1<<20), *out)
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: need a base file")
+	}
+	db, err := loadDB(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Println(db.Cfg)
+	fmt.Printf("pages: %d (%.1f MB), objects in POT: %d\n",
+		db.NumPages(), float64(db.SizeBytes())/(1<<20), db.Srv.Manager().POT().Len())
+	fmt.Printf("extents: parts %v, connections %v\n", db.PartExtent, db.ConnExtent)
+	fmt.Println("types:")
+	for _, t := range db.Schema.Types() {
+		var fields []string
+		for _, f := range t.Fields() {
+			d := f.Name + ":" + f.Kind.String()
+			if f.Target != "" {
+				d += "->" + f.Target
+			}
+			fields = append(fields, d)
+		}
+		fmt.Printf("  %-24s [%s]\n", t.Name, strings.Join(fields, ", "))
+	}
+	return nil
+}
+
+func parseOID(s string) (oid.OID, error) {
+	vol, serial, ok := strings.Cut(s, ":")
+	if !ok {
+		return oid.Nil, fmt.Errorf("OID must be volume:serial, got %q", s)
+	}
+	v, err := strconv.ParseUint(vol, 10, 16)
+	if err != nil {
+		return oid.Nil, err
+	}
+	n, err := strconv.ParseUint(serial, 10, 64)
+	if err != nil {
+		return oid.Nil, err
+	}
+	return oid.New(uint16(v), n)
+}
+
+func cmdLookup(args []string) error {
+	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+	oidStr := fs.String("oid", "", "object id, volume:serial")
+	partID := fs.Int("part-id", 0, "select by part-id through the B-tree index")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("lookup: need a base file")
+	}
+	db, err := loadDB(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var id oid.OID
+	switch {
+	case *partID > 0:
+		ids := db.PartIndex.Search(int64(*partID))
+		if len(ids) == 0 {
+			return fmt.Errorf("no part with id %d", *partID)
+		}
+		id = ids[0]
+	case *oidStr != "":
+		if id, err = parseOID(*oidStr); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("lookup: need -oid or -part-id")
+	}
+	addr, err := db.Srv.Lookup(id)
+	if err != nil {
+		return err
+	}
+	rec, _, err := db.Srv.Manager().Read(id)
+	if err != nil {
+		return err
+	}
+	obj, err := object.Decode(db.Schema, id, rec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v at page %v slot %d (%d bytes persistent)\n", obj, addr.Page, addr.Slot, len(rec))
+	for i, f := range obj.Type.Fields() {
+		switch f.Kind {
+		case object.KindInt:
+			fmt.Printf("  %-10s = %d\n", f.Name, obj.Int(i))
+		case object.KindString:
+			fmt.Printf("  %-10s = %q\n", f.Name, obj.Str(i))
+		case object.KindRef:
+			fmt.Printf("  %-10s -> %v\n", f.Name, obj.Ref(i).TargetOID())
+		case object.KindRefSet:
+			fmt.Printf("  %-10s = {%d refs}\n", f.Name, obj.SetLen(i))
+		}
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	tx := fs.Bool("tx", false, "serve transactionally (per-connection Begin/Commit/Abort, strict 2PL)")
+	lockTimeout := fs.Duration("lock-timeout", 2*time.Second, "lock wait timeout (deadlock resolution, with -tx)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("serve: need a base file")
+	}
+	db, err := loadDB(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	var srv *server.TCPServer
+	if *tx {
+		srv = server.ServeTx(ln, server.NewTxServer(db.Srv.Manager(), *lockTimeout))
+		fmt.Printf("serving %v transactionally on %v (ctrl-c to stop)\n", db.Cfg, srv.Addr())
+	} else {
+		srv = server.Serve(ln, db.Srv.Manager())
+		fmt.Printf("serving %v on %v (ctrl-c to stop)\n", db.Cfg, srv.Addr())
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return srv.Close()
+}
+
+func cmdTraverse(args []string) error {
+	fs := flag.NewFlagSet("traverse", flag.ExitOnError)
+	depth := fs.Int("depth", 5, "traversal depth")
+	strategy := fs.String("strategy", "LIS", "NOS|EDS|EIS|LDS|LIS")
+	pages := fs.Int("pages", 1000, "page buffer frames")
+	seed := fs.Int64("seed", 7, "operation seed")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("traverse: need a base file")
+	}
+	st, err := swizzle.Parse(strings.ToUpper(*strategy))
+	if err != nil {
+		return err
+	}
+	db, err := loadDB(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := oo1.NewClient(db, core.Options{PageBufferPages: *pages}, *seed)
+	if err != nil {
+		return err
+	}
+	c.Begin(swizzle.NewSpec(st.String(), st))
+	visits, err := c.Traversal(*depth)
+	if err != nil {
+		return err
+	}
+	m := c.OM.Meter()
+	fmt.Printf("traversal depth %d under %v: %d part visits\n", *depth, st, visits)
+	fmt.Printf("simulated time: %.1f ms, page faults: %d, object faults: %d\n",
+		m.Micros()/1000, m.Count(sim.CntPageFault), m.Count(sim.CntObjectFault))
+	fmt.Printf("swizzles: %d direct, %d indirect; descriptors live: %d\n",
+		m.Count(sim.CntSwizzleDirect), m.Count(sim.CntSwizzleIndirect), c.OM.DescriptorCount())
+	return nil
+}

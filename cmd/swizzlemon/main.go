@@ -1,0 +1,198 @@
+// Command swizzlemon runs the paper's §7 pipeline end to end: execute a
+// workload in training mode (no-swizzling) under monitoring, build the
+// swizzling graph, recommend a strategy and adjustment granularity from
+// the cost model, apply the greedy eager-direct reconsideration, and
+// report the measured improvement of re-running under the recommendation.
+//
+// Usage:
+//
+//	swizzlemon -workload traversal -parts 2000 -depth 4 -repeat 3
+//	swizzlemon -workload lookups -ops 2000
+//	swizzlemon -workload updates -ops 500
+//	swizzlemon -workload mix -ops 1000
+//	swizzlemon -workload traversal -static    # decapsulation (§7.3.2): no training run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gom/internal/core"
+	"gom/internal/costmodel"
+	"gom/internal/monitor"
+	"gom/internal/oo1"
+	"gom/internal/swizzle"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "traversal", "traversal|lookups|updates|mix")
+		parts    = flag.Int("parts", 2000, "OO1 parts")
+		depth    = flag.Int("depth", 4, "traversal depth")
+		repeat   = flag.Int("repeat", 3, "workload repetitions (hot profiles)")
+		ops      = flag.Int("ops", 1000, "operation count for lookups/updates/mix")
+		pages    = flag.Int("pages", 1000, "page buffer frames")
+		seed     = flag.Int64("seed", 7, "seed")
+		static   = flag.Bool("static", false, "use decapsulation (static path profiles + sampling) instead of a training run")
+	)
+	flag.Parse()
+
+	if err := run(*workload, *parts, *depth, *repeat, *ops, *pages, *seed, *static); err != nil {
+		fmt.Fprintln(os.Stderr, "swizzlemon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, parts, depth, repeat, ops, pages int, seed int64, static bool) error {
+	cfg := oo1.DefaultConfig().Scaled(parts)
+	cfg.Seed = seed
+	fmt.Printf("generating %v ...\n", cfg)
+	db, err := oo1.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if static {
+		return runStatic(db, workload, depth, repeat, ops, pages, seed)
+	}
+
+	drive := func(c *oo1.Client) error {
+		for r := 0; r < repeat; r++ {
+			c.Reseed(seed)
+			switch workload {
+			case "traversal":
+				if _, err := c.Traversal(depth); err != nil {
+					return err
+				}
+			case "lookups":
+				if err := c.LookupN(ops); err != nil {
+					return err
+				}
+			case "updates":
+				for i := 0; i < ops; i++ {
+					if err := c.UpdateOp(); err != nil {
+						return err
+					}
+				}
+			case "mix":
+				if err := c.UpdateLookupMix(ops, ops/5); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("unknown workload %q", workload)
+			}
+		}
+		return nil
+	}
+
+	// Training run under NOS with the monitor attached (§7.1).
+	c, err := oo1.NewClient(db, core.Options{PageBufferPages: pages}, seed)
+	if err != nil {
+		return err
+	}
+	trace := monitor.NewTrace()
+	c.OM.SetTracer(trace)
+	c.Begin(swizzle.NewSpec("training", swizzle.NOS))
+	if err := drive(c); err != nil {
+		return err
+	}
+	trainCost := c.OM.Meter().Micros()
+	fmt.Printf("training (NOS): %.1f ms simulated, %d trace records\n", trainCost/1000, trace.Len())
+
+	// Analysis: swizzling graph + cost-model decision + greedy EDS pass.
+	res := monitor.NewStorageResolver(db.Srv, db.Schema)
+	graph := monitor.Analyze(trace, res, pages)
+	fanIn := res.SampleFanIn(1)
+	model := costmodel.Default()
+	rec := monitor.Choose(model, graph, fanIn)
+
+	fmt.Printf("\nswizzling graph: %d objects, %d object faults, %d simulated page faults\n",
+		graph.Objects, graph.Faults, graph.PageFaults)
+	fmt.Printf("%-28s %-12s %8s %8s %8s %10s %10s\n",
+		"granule", "target", "l", "u", "p", "m(lazy)", "m(eager)")
+	for _, g := range graph.Granules {
+		fmt.Printf("%-28s %-12s %8.0f %8.0f %8.2f %10.0f %10.0f\n",
+			g.Key.HomeType+"."+g.Key.Attr, g.Target, g.L, g.U, g.P, g.MLazy, g.MEager)
+	}
+	fmt.Printf("%-28s %-12s %8.0f %8.0f %8s %10.0f %10.0f\n",
+		"$entry (variables)", "-", graph.EntryLInt, graph.EntryUInt, "-", graph.EntryLoads, graph.EntryLoads)
+
+	fmt.Printf("\nmodeled costs (µs): application %.0f · type %.0f · context %.0f\n",
+		rec.CostApplication, rec.CostType, rec.CostContext)
+	fmt.Printf("recommendation: %v granularity\n", rec.Granularity)
+	spec := monitor.ReconsiderEDS(model, rec, graph, trace, res, pages, fanIn)
+	fmt.Printf("specification after greedy EDS pass: %v\n", spec)
+	if len(spec.Types) > 0 {
+		for tname, st := range spec.Types {
+			fmt.Printf("  type %-24s -> %v\n", tname, st)
+		}
+	}
+	for ctx, st := range spec.Contexts {
+		fmt.Printf("  context %-21s -> %v\n", ctx, st)
+	}
+
+	// Validation: re-run the identical workload under the recommendation.
+	c2, err := oo1.NewClient(db, core.Options{PageBufferPages: pages}, seed)
+	if err != nil {
+		return err
+	}
+	c2.Begin(spec)
+	if err := drive(c2); err != nil {
+		return err
+	}
+	tuned := c2.OM.Meter().Micros()
+	fmt.Printf("\ntuned run: %.1f ms simulated (training %.1f ms) — savings %.1f%%\n",
+		tuned/1000, trainCost/1000, (trainCost-tuned)/trainCost*100)
+	return nil
+}
+
+// runStatic is the §7.3.2 alternative: no training run — path expressions
+// describing the workload, expanded over a sample of the object base.
+func runStatic(db *oo1.DB, workload string, depth, repeat, ops, pages int, seed int64) error {
+	res := monitor.NewStorageResolver(db.Srv, db.Schema)
+	var paths []monitor.PathExpr
+	switch workload {
+	case "traversal":
+		evals := 1.0
+		for i := 0; i < depth; i++ {
+			evals *= 3
+		}
+		paths = []monitor.PathExpr{{
+			Root: "Part", Fields: []string{"connTo", "to"},
+			Freq: float64(repeat) * evals / 3, Repeat: float64(repeat + 1), ScalarReads: 3,
+		}}
+	case "lookups":
+		paths = []monitor.PathExpr{{
+			Root: "Part", Freq: float64(ops * repeat),
+			Repeat: float64(repeat), ScalarReads: 3,
+		}}
+	case "updates", "mix":
+		paths = []monitor.PathExpr{{
+			Root: "Connection", Fields: []string{"to"},
+			Freq: float64(ops * repeat * 4), Repeat: 2,
+			RefWrites: 1,
+		}}
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+	graph, err := monitor.Decapsulate(res, paths)
+	if err != nil {
+		return err
+	}
+	model := costmodel.Default()
+	rec := monitor.Choose(model, graph, res.SampleFanIn(1))
+	fmt.Printf("decapsulated profile: %d estimated objects, %d granules\n",
+		graph.Objects, len(graph.Granules))
+	fmt.Printf("modeled costs (µs): application %.0f · type %.0f · context %.0f\n",
+		rec.CostApplication, rec.CostType, rec.CostContext)
+	fmt.Printf("recommendation: %v granularity, %v\n", rec.Granularity, rec.Spec)
+	for ctx, st := range rec.Spec.Contexts {
+		fmt.Printf("  context %-24s -> %v\n", ctx, st)
+	}
+	for tname, st := range rec.Spec.Types {
+		fmt.Printf("  type    %-24s -> %v\n", tname, st)
+	}
+	_ = pages
+	_ = seed
+	return nil
+}

@@ -1,0 +1,3 @@
+module gom
+
+go 1.22

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"gom/internal/swizzle"
+)
+
+func init() {
+	register("fig12", "Lookup operation: running time and speedup vs number of lookups", runFig12)
+}
+
+// runFig12 reproduces Fig. 12: the Lookup operation on a 10,000-part base
+// (all parts and connections fit in the buffer, so EDS is reasonable),
+// with increasing numbers of lookups. Left panel: running time in seconds;
+// right panel: speedup of each swizzling technique over NOS.
+func runFig12(o Opts) (*Result, error) {
+	cfg := stdConfig(o, 10000, 800)
+	db, err := cachedDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	counts := []int{10, 100, 1000, 10000}
+	if o.Quick {
+		counts = []int{10, 100, 1000}
+	}
+	order := []swizzle.Strategy{swizzle.NOS, swizzle.LIS, swizzle.EIS, swizzle.LDS, swizzle.EDS}
+	res := &Result{
+		ID: "fig12", Title: "Lookups: cumulative simulated seconds (and speedup vs NOS)",
+		Header: []string{"#lookups", "NOS", "LIS", "EIS", "LDS", "EDS"},
+	}
+	// One client per strategy; lookup counts accumulate (the buffers warm
+	// as the application becomes computation-intensive, §6.2).
+	cum := map[swizzle.Strategy][]float64{}
+	for _, st := range order {
+		c, err := newClient(db, 3000, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.Begin(specFor(st))
+		done := 0
+		for _, n := range counts {
+			us, _, err := measured(c, func() error { return c.LookupN(n - done) })
+			if err != nil {
+				if precluded(err) {
+					cum[st] = append(cum[st], -1)
+					continue
+				}
+				return nil, err
+			}
+			done = n
+			prev := 0.0
+			if len(cum[st]) > 0 {
+				prev = cum[st][len(cum[st])-1]
+			}
+			cum[st] = append(cum[st], prev+us/1e6)
+		}
+	}
+	for i, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, st := range order {
+			t := cum[st][i]
+			if t < 0 {
+				row = append(row, "precluded")
+				continue
+			}
+			if st == swizzle.NOS {
+				row = append(row, cell(t)+"s")
+			} else {
+				row = append(row, fmt.Sprintf("%ss (x%.2f)", cell(t), cum[swizzle.NOS][i]/t))
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"paper (Fig. 12): EDS dramatically worst at few lookups (it loads the transitive closure),",
+		"catches up and wins with computation intensity; max speedup ≈ 4.5 at 10,000 lookups")
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"gom/internal/buffer"
+	"gom/internal/core"
+	"gom/internal/oo1"
+	"gom/internal/sim"
+	"gom/internal/swizzle"
+)
+
+// Shared experiment plumbing: database caching (several figures reuse the
+// same configuration) and the cold/warm/hot protocols of §6.3.
+
+var dbCache = map[string]*oo1.DB{}
+
+func cachedDB(cfg oo1.Config) (*oo1.DB, error) {
+	// %#v ignores Config.String and renders every field.
+	key := fmt.Sprintf("%#v", cfg)
+	if db, ok := dbCache[key]; ok {
+		return db, nil
+	}
+	db, err := oo1.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dbCache[key] = db
+	return db, nil
+}
+
+// stdConfig is the paper's standard 20,000-part base, shrunk in quick mode.
+func stdConfig(o Opts, parts, quickParts int) oo1.Config {
+	cfg := oo1.DefaultConfig()
+	cfg.NumParts = parts
+	if o.Quick {
+		cfg.NumParts = quickParts
+	}
+	cfg.Seed = o.Seed + 1
+	return cfg
+}
+
+// newClient builds a client with a page buffer of the given frames (0 =
+// the paper's 1000).
+func newClient(db *oo1.DB, pages int, seed int64) (*oo1.Client, error) {
+	return oo1.NewClient(db, core.Options{PageBufferPages: pages}, seed)
+}
+
+// specFor builds the application-specific spec for a strategy name, or
+// the experiment-specific TYP/CTX specs built by the caller.
+func specFor(st swizzle.Strategy) *swizzle.Spec {
+	return swizzle.NewSpec(st.String(), st)
+}
+
+// measured runs fn and returns the simulated microseconds it charged.
+func measured(c *oo1.Client, fn func() error) (float64, sim.Snapshot, error) {
+	snap := c.OM.Meter().Snapshot()
+	err := fn()
+	d := c.OM.Meter().Since(snap)
+	return d.Micros, d, err
+}
+
+// coldRun: fresh client, cold buffers, one measured run.
+func coldRun(db *oo1.DB, spec *swizzle.Spec, pages int, seed int64,
+	op func(c *oo1.Client) error) (float64, sim.Snapshot, error) {
+	c, err := newClient(db, pages, seed)
+	if err != nil {
+		return 0, sim.Snapshot{}, err
+	}
+	c.Begin(spec)
+	return measured(c, func() error { return op(c) })
+}
+
+// warmRun: the identical operation stream is executed under no-swizzling
+// first, committed, and then measured under the candidate spec — objects
+// are buffered but in the wrong representation (§6.3 "warm").
+func warmRun(db *oo1.DB, spec *swizzle.Spec, pages int, seed int64,
+	op func(c *oo1.Client) error) (float64, sim.Snapshot, error) {
+	c, err := newClient(db, pages, seed)
+	if err != nil {
+		return 0, sim.Snapshot{}, err
+	}
+	c.Begin(swizzle.NewSpec("warmup-nos", swizzle.NOS))
+	if err := op(c); err != nil {
+		return 0, sim.Snapshot{}, err
+	}
+	if err := c.OM.Commit(); err != nil {
+		return 0, sim.Snapshot{}, err
+	}
+	c.Begin(spec)
+	c.Reseed(seed)
+	return measured(c, func() error { return op(c) })
+}
+
+// hotRun: warm-up and measurement both under the candidate spec (§6.3
+// "hot": resident and in the desired representation).
+func hotRun(db *oo1.DB, spec *swizzle.Spec, pages int, seed int64,
+	op func(c *oo1.Client) error) (float64, sim.Snapshot, error) {
+	c, err := newClient(db, pages, seed)
+	if err != nil {
+		return 0, sim.Snapshot{}, err
+	}
+	c.Begin(spec)
+	if err := op(c); err != nil {
+		return 0, sim.Snapshot{}, err
+	}
+	if err := c.OM.Commit(); err != nil {
+		return 0, sim.Snapshot{}, err
+	}
+	c.Reseed(seed)
+	return measured(c, func() error { return op(c) })
+}
+
+// precluded reports whether an experiment error means "this technique is
+// ruled out in this configuration" (the paper's footnote 3: EDS had to be
+// precluded when the object base exceeded the buffers).
+func precluded(err error) bool {
+	return errors.Is(err, core.ErrNoCapacity) || errors.Is(err, buffer.ErrNoFrames)
+}

@@ -1,0 +1,294 @@
+// Package buffer implements the client-side page buffer pool (paper §2,
+// Fig. 1, CLIENT 1). Pages are faulted from the server on demand, held in a
+// bounded set of frames, replaced LRU, and written back when dirty.
+//
+// The pool itself knows nothing about swizzling: before a victim frame is
+// dropped, an eviction hook fires so the object manager can write modified
+// objects back into the page image and unswizzle or invalidate references
+// into the page (the "precautions" of §3.2.2).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"gom/internal/page"
+	"gom/internal/server"
+	"gom/internal/sim"
+)
+
+// Errors returned by the pool.
+var (
+	ErrNoFrames = errors.New("buffer: all frames pinned")
+	ErrNotHeld  = errors.New("buffer: page not in pool")
+)
+
+// Frame is a buffered page.
+type Frame struct {
+	Page  *page.Page
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list; front = most recent
+}
+
+// Dirty reports whether the frame has been marked dirty.
+func (f *Frame) Dirty() bool { return f.dirty }
+
+// MarkDirty marks the frame to be written back on eviction or flush.
+func (f *Frame) MarkDirty() { f.dirty = true }
+
+// Pinned reports whether the frame is pinned.
+func (f *Frame) Pinned() bool { return f.pins > 0 }
+
+// EvictFn is called with a victim frame before it is written back and
+// dropped. The hook may mutate the page image and mark the frame dirty.
+type EvictFn func(pid page.PageID, f *Frame)
+
+// Pool is an LRU page buffer pool. It is not safe for concurrent use: one
+// pool belongs to one client application (the paper's conflicting
+// applications run in isolated buffers, §4.1.1).
+type Pool struct {
+	srv      server.Server
+	meter    *sim.Meter
+	capacity int
+	frames   map[page.PageID]*Frame
+	lru      *list.List // of page.PageID
+	onEvict  EvictFn
+}
+
+// New returns a pool of the given capacity (in frames) served by srv,
+// charging faults against the meter.
+func New(srv server.Server, capacity int, meter *sim.Meter) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("buffer: capacity %d", capacity))
+	}
+	return &Pool{
+		srv:      srv,
+		meter:    meter,
+		capacity: capacity,
+		frames:   make(map[page.PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// OnEvict installs the eviction hook.
+func (p *Pool) OnEvict(fn EvictFn) { p.onEvict = fn }
+
+// Capacity returns the pool capacity in frames.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of buffered pages.
+func (p *Pool) Len() int { return len(p.frames) }
+
+// Contains reports whether the page is buffered, without touching LRU
+// state.
+func (p *Pool) Contains(pid page.PageID) bool {
+	_, ok := p.frames[pid]
+	return ok
+}
+
+// Peek returns the frame without touching LRU state, or nil.
+func (p *Pool) Peek(pid page.PageID) *Frame { return p.frames[pid] }
+
+// Get returns the frame holding the page, faulting it from the server if
+// necessary. The frame is moved to the front of the LRU list.
+func (p *Pool) Get(pid page.PageID) (*Frame, error) {
+	if f, ok := p.frames[pid]; ok {
+		p.lru.MoveToFront(f.elem)
+		return f, nil
+	}
+	if err := p.makeRoom(); err != nil {
+		return nil, err
+	}
+	img, err := p.srv.ReadPage(pid)
+	if err != nil {
+		return nil, err
+	}
+	p.meter.Event(sim.CntPageFault, p.meter.Costs().PageIO)
+	p.meter.Add(sim.CntPageRead, 1)
+	p.meter.Add(sim.CntServerRoundTrip, 1)
+	pg, err := page.FromImage(img)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Page: pg}
+	f.elem = p.lru.PushFront(pid)
+	p.frames[pid] = f
+	return f, nil
+}
+
+// makeRoom evicts LRU victims until a free frame exists.
+func (p *Pool) makeRoom() error {
+	for len(p.frames) >= p.capacity {
+		victim := p.victim()
+		if victim == page.NilPage {
+			return ErrNoFrames
+		}
+		if err := p.Evict(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// victim returns the least recently used unpinned page, or NilPage.
+func (p *Pool) victim() page.PageID {
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		pid := e.Value.(page.PageID)
+		if !p.frames[pid].Pinned() {
+			return pid
+		}
+	}
+	return page.NilPage
+}
+
+// Evict removes one page from the pool, firing the eviction hook and
+// writing the page back if dirty. Pinned pages cannot be evicted.
+func (p *Pool) Evict(pid page.PageID) error {
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
+	}
+	if f.Pinned() {
+		return fmt.Errorf("buffer: evicting pinned page %v", pid)
+	}
+	if p.onEvict != nil {
+		p.onEvict(pid, f)
+	}
+	if f.dirty {
+		if err := p.writeBack(pid, f); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(f.elem)
+	delete(p.frames, pid)
+	p.meter.Add(sim.CntPageEvict, 1)
+	return nil
+}
+
+func (p *Pool) writeBack(pid page.PageID, f *Frame) error {
+	if err := p.srv.WritePage(pid, f.Page.Image()); err != nil {
+		return err
+	}
+	f.dirty = false
+	p.meter.Event(sim.CntPageWrite, p.meter.Costs().PageIO)
+	p.meter.Add(sim.CntServerRoundTrip, 1)
+	return nil
+}
+
+// Pin pins a buffered page against eviction.
+func (p *Pool) Pin(pid page.PageID) error {
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
+	}
+	f.pins++
+	return nil
+}
+
+// Unpin releases one pin.
+func (p *Pool) Unpin(pid page.PageID) error {
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
+	}
+	if f.pins == 0 {
+		return fmt.Errorf("buffer: unpin of unpinned page %v", pid)
+	}
+	f.pins--
+	return nil
+}
+
+// MarkDirty marks a buffered page dirty.
+func (p *Pool) MarkDirty(pid page.PageID) error {
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
+	}
+	f.dirty = true
+	return nil
+}
+
+// Flush writes one page back to the server if dirty, keeping it buffered.
+func (p *Pool) Flush(pid page.PageID) error {
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
+	}
+	if !f.dirty {
+		return nil
+	}
+	return p.writeBack(pid, f)
+}
+
+// Refresh replaces a buffered page's image with the server's current
+// version. A dirty frame is flushed first so no local modification is
+// lost. Used after a server-side object relocation invalidated the
+// buffered copy.
+func (p *Pool) Refresh(pid page.PageID) error {
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
+	}
+	if f.dirty {
+		if err := p.writeBack(pid, f); err != nil {
+			return err
+		}
+	}
+	img, err := p.srv.ReadPage(pid)
+	if err != nil {
+		return err
+	}
+	pg, err := page.FromImage(img)
+	if err != nil {
+		return err
+	}
+	f.Page = pg
+	p.meter.Add(sim.CntPageRead, 1)
+	p.meter.Add(sim.CntServerRoundTrip, 1)
+	p.meter.Charge(p.meter.Costs().PageIO)
+	return nil
+}
+
+// FlushAll writes every dirty page back to the server, keeping all pages
+// buffered (commit leaves pages hot, §4.1.2).
+func (p *Pool) FlushAll() error {
+	for pid, f := range p.frames {
+		if f.dirty {
+			if err := p.writeBack(pid, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DropAll evicts every page (hook + write-back included). Used to cool the
+// buffer between benchmark runs. Fails if any page is pinned.
+func (p *Pool) DropAll() error {
+	for p.lru.Len() > 0 {
+		e := p.lru.Back()
+		if err := p.Evict(e.Value.(page.PageID)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Discard drops every frame without firing hooks or writing anything back
+// — the client-side step of a transaction abort, whose buffered images
+// are invalid by definition.
+func (p *Pool) Discard() {
+	p.frames = make(map[page.PageID]*Frame, p.capacity)
+	p.lru.Init()
+}
+
+// Pages returns the ids of all buffered pages, most recently used first.
+func (p *Pool) Pages() []page.PageID {
+	out := make([]page.PageID, 0, p.lru.Len())
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(page.PageID))
+	}
+	return out
+}

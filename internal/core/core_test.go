@@ -1,0 +1,963 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/server"
+	"gom/internal/sim"
+	"gom/internal/storage"
+	"gom/internal/swizzle"
+)
+
+// testBase builds a miniature OO1-like object base: nParts Parts, each with
+// three Connections originating in it (to parts i+1, i+2, i+3 mod n),
+// materialized in the part's connTo set. Parts live in segment 0,
+// Connections in segment 1 (type-based clustering).
+type testBase struct {
+	srv    *server.Local
+	schema *object.Schema
+	part   *object.Type
+	conn   *object.Type
+	parts  []oid.OID
+	conns  [][]oid.OID // conns[i] = the three connections of part i
+}
+
+func buildBase(t testing.TB, nParts int) *testBase {
+	t.Helper()
+	schema := object.NewSchema()
+	part := schema.MustDefine("Part",
+		object.Field{Name: "part-id", Kind: object.KindInt},
+		object.Field{Name: "type", Kind: object.KindString},
+		object.Field{Name: "x", Kind: object.KindInt},
+		object.Field{Name: "y", Kind: object.KindInt},
+		object.Field{Name: "built", Kind: object.KindInt},
+		object.Field{Name: "connTo", Kind: object.KindRefSet, Target: "Connection"},
+	)
+	conn := schema.MustDefine("Connection",
+		object.Field{Name: "from", Kind: object.KindRef, Target: "Part"},
+		object.Field{Name: "to", Kind: object.KindRef, Target: "Part"},
+		object.Field{Name: "type", Kind: object.KindString},
+		object.Field{Name: "length", Kind: object.KindInt},
+	)
+	mgr := storage.NewManager(1)
+	for _, seg := range []uint16{0, 1} {
+		if err := mgr.CreateSegment(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := &testBase{
+		srv:    server.NewLocal(mgr),
+		schema: schema,
+		part:   part,
+		conn:   conn,
+	}
+	// Allocate parts first so connections can reference them.
+	for i := 0; i < nParts; i++ {
+		p := object.New(part, oid.Nil)
+		p.SetInt(0, int64(i+1))
+		p.SetStr(1, "part-type")
+		p.SetInt(2, int64(i*2))
+		p.SetInt(3, int64(i*3))
+		p.SetInt(4, 1993)
+		rec, err := object.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, _, err := mgr.Allocate(0, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.parts = append(b.parts, id)
+	}
+	b.conns = make([][]oid.OID, nParts)
+	for i := 0; i < nParts; i++ {
+		for k := 1; k <= 3; k++ {
+			c := object.New(conn, oid.Nil)
+			*c.Ref(0) = object.OIDRef(b.parts[i])
+			*c.Ref(1) = object.OIDRef(b.parts[(i+k)%nParts])
+			c.SetStr(2, "link")
+			c.SetInt(3, int64(k))
+			rec, err := object.Encode(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, _, err := mgr.Allocate(1, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.conns[i] = append(b.conns[i], id)
+		}
+	}
+	// Materialize the connTo sets.
+	for i, pid := range b.parts {
+		rec, _, err := mgr.Read(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := object.Decode(schema, pid, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cid := range b.conns[i] {
+			p.Append(5, object.OIDRef(cid))
+		}
+		out, err := object.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mgr.Update(pid, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func (b *testBase) om(t testing.TB, opt Options) *OM {
+	t.Helper()
+	opt.Server = b.srv
+	opt.Schema = b.schema
+	om, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return om
+}
+
+func appSpec(s swizzle.Strategy) *swizzle.Spec {
+	return swizzle.NewSpec(s.String(), s)
+}
+
+func mustVerify(t *testing.T, om *OM) {
+	t.Helper()
+	if err := om.Verify(); err != nil {
+		t.Fatalf("invariants violated:\n%v", err)
+	}
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestNewRequiresServerAndSchema(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New without server/schema succeeded")
+	}
+}
+
+func TestNOSReadWriteCommitDurability(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.NOS))
+	v := om.NewVar("p", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	x, err := om.ReadInt(v, "x")
+	if err != nil || x != 0 {
+		t.Fatalf("x = %d, %v", x, err)
+	}
+	if s, err := om.ReadStr(v, "type"); err != nil || s != "part-type" {
+		t.Fatalf("type = %q, %v", s, err)
+	}
+	if err := om.WriteInt(v, "x", 777); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh client must see the committed value.
+	om2 := b.om(t, Options{})
+	om2.BeginApplication(appSpec(swizzle.NOS))
+	v2 := om2.NewVar("p", b.part)
+	if err := om2.Load(v2, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if x, err := om2.ReadInt(v2, "x"); err != nil || x != 777 {
+		t.Fatalf("fresh client x = %d, %v", x, err)
+	}
+}
+
+// TestLookupChargesMatchTable5 verifies the per-strategy access charges
+// against Table 5 on a resident, already-dereferenced steady state.
+func TestLookupChargesMatchTable5(t *testing.T) {
+	want := map[swizzle.Strategy]float64{
+		swizzle.EDS: 3.6, swizzle.LDS: 4.0,
+		swizzle.EIS: 4.3, swizzle.LIS: 4.7,
+		swizzle.NOS: 23.4,
+	}
+	for strat, wantInt := range want {
+		t.Run(strat.String(), func(t *testing.T) {
+			b := buildBase(t, 10)
+			om := b.om(t, Options{})
+			om.BeginApplication(appSpec(strat))
+			v := om.NewVar("p", b.part)
+			if err := om.Load(v, b.parts[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := om.ReadInt(v, "x"); err != nil {
+				t.Fatal(err) // warm up: fault, swizzle
+			}
+			snap := om.Meter().Snapshot()
+			if _, err := om.ReadInt(v, "x"); err != nil {
+				t.Fatal(err)
+			}
+			got := om.Meter().Since(snap).Micros
+			if !near(got, wantInt) {
+				t.Errorf("steady-state int lookup = %.1fµs, want %.1f", got, wantInt)
+			}
+			mustVerify(t, om)
+		})
+	}
+}
+
+func TestLazyDirectDiscoveryLoadsTarget(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	c := om.NewVar("c", b.conn)
+	if err := om.Load(c, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	if om.Resident() != 1 {
+		t.Fatalf("resident = %d after loading connection", om.Resident())
+	}
+	dst := om.NewVar("to", b.part)
+	if err := om.ReadRef(c, "to", dst); err != nil {
+		t.Fatal(err)
+	}
+	// Discovery swizzled the field directly, which loaded the target part.
+	if !om.IsResident(b.parts[1]) {
+		t.Error("discovery did not load the target under LDS")
+	}
+	if om.Meter().Count(sim.CntSwizzleDirect) < 2 { // var + field
+		t.Errorf("swizzle_direct = %d", om.Meter().Count(sim.CntSwizzleDirect))
+	}
+	mustVerify(t, om)
+}
+
+func TestLazyIndirectDiscoveryDoesNotLoad(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LIS))
+	c := om.NewVar("c", b.conn)
+	if err := om.Load(c, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	dst := om.NewVar("to", b.part)
+	if err := om.ReadRef(c, "to", dst); err != nil {
+		t.Fatal(err)
+	}
+	// Only the connection is resident; the part got a descriptor, no load.
+	if om.Resident() != 1 {
+		t.Fatalf("resident = %d; LIS discovery must not load", om.Resident())
+	}
+	if om.DescriptorCount() == 0 {
+		t.Error("no descriptor allocated")
+	}
+	// Dereference faults through the invalid descriptor.
+	if _, err := om.ReadInt(dst, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !om.IsResident(b.parts[1]) {
+		t.Error("deref through descriptor did not load the part")
+	}
+	mustVerify(t, om)
+}
+
+func TestEagerIndirectSwizzlesAtFault(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.EIS))
+	c := om.NewVar("c", b.conn)
+	if err := om.Load(c, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(c, "length"); err != nil {
+		t.Fatal(err)
+	}
+	// Faulting the connection swizzled from and to indirectly, without
+	// loading the parts.
+	if om.Resident() != 1 {
+		t.Fatalf("resident = %d; EIS must not load targets", om.Resident())
+	}
+	if om.Meter().Count(sim.CntSwizzleIndirect) < 2 {
+		t.Errorf("swizzle_indirect = %d, want ≥ 2 (from, to)",
+			om.Meter().Count(sim.CntSwizzleIndirect))
+	}
+	mustVerify(t, om)
+}
+
+func TestEDSSnowballLoadsTransitiveClosure(t *testing.T) {
+	b := buildBase(t, 8)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.EDS))
+	v := om.NewVar("p", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The ring topology makes the transitive closure the whole base:
+	// 8 parts + 24 connections.
+	if om.Resident() != 32 {
+		t.Fatalf("resident = %d, want 32 (snowball over the closure)", om.Resident())
+	}
+	if om.Meter().Count(sim.CntSnowballLoad) == 0 {
+		t.Error("no snowball loads counted")
+	}
+	// Everything is directly swizzled: lookups anywhere cost 3.6.
+	c := om.NewVar("c", b.conn)
+	if err := om.ReadElem(v, "connTo", 0, c); err != nil {
+		t.Fatal(err)
+	}
+	snap := om.Meter().Snapshot()
+	if _, err := om.ReadInt(c, "length"); err != nil {
+		t.Fatal(err)
+	}
+	if got := om.Meter().Since(snap).Micros; !near(got, 3.6) {
+		t.Errorf("EDS lookup after snowball = %.1fµs", got)
+	}
+	mustVerify(t, om)
+}
+
+func TestEDSCycleTermination(t *testing.T) {
+	// The ring is full of cycles; the snowball must terminate (covered
+	// above) and re-running the entry must not re-fault anything.
+	b := buildBase(t, 5)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.EDS))
+	v := om.NewVar("p", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	faults := om.Meter().Count(sim.CntObjectFault)
+	v2 := om.NewVar("q", b.part)
+	if err := om.Load(v2, b.parts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if om.Meter().Count(sim.CntObjectFault) != faults {
+		t.Error("second entry point re-faulted resident objects")
+	}
+	mustVerify(t, om)
+}
+
+func TestDisplacementUnswizzlesDirectAndRepairs(t *testing.T) {
+	b := buildBase(t, 300) // parts fill several pages
+	om := b.om(t, Options{PageBufferPages: 2})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	v := om.NewVar("p", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(v, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Touch parts far away until part 0's page is evicted.
+	w := om.NewVar("q", b.part)
+	for i := 1; i < 300 && om.IsResident(b.parts[0]); i++ {
+		if err := om.Load(w, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(w, "x"); err != nil {
+			t.Fatal(err)
+		}
+		mustVerify(t, om)
+	}
+	if om.IsResident(b.parts[0]) {
+		t.Fatal("part 0 never evicted; test setup broken")
+	}
+	if om.Meter().Count(sim.CntUnswizzleDirect) == 0 {
+		t.Error("no direct unswizzling on displacement")
+	}
+	// The variable was unswizzled; dereferencing re-faults and re-swizzles.
+	sw := om.Meter().Count(sim.CntSwizzleDirect)
+	if x, err := om.ReadInt(v, "x"); err != nil || x != 0 {
+		t.Fatalf("after repair x = %d, %v", x, err)
+	}
+	if om.Meter().Count(sim.CntSwizzleDirect) <= sw {
+		t.Error("variable not re-swizzled on repair")
+	}
+	mustVerify(t, om)
+}
+
+func TestDescriptorInvalidationAndRevalidation(t *testing.T) {
+	b := buildBase(t, 300)
+	om := b.om(t, Options{PageBufferPages: 2})
+	om.BeginApplication(appSpec(swizzle.LIS))
+	v := om.NewVar("p", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(v, "x"); err != nil {
+		t.Fatal(err)
+	}
+	descs := om.DescriptorCount()
+	if descs != 1 {
+		t.Fatalf("descriptors = %d", descs)
+	}
+	// Evict part 0 by touching distant parts.
+	w := om.NewVar("q", b.part)
+	for i := 1; i < 300 && om.IsResident(b.parts[0]); i++ {
+		if err := om.Load(w, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(w, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if om.IsResident(b.parts[0]) {
+		t.Fatal("part 0 never evicted")
+	}
+	// The descriptor survived, invalid; no unswizzling of the var happened.
+	if om.DescriptorCount() == 0 {
+		t.Error("descriptor reclaimed while fan-in > 0")
+	}
+	if om.Meter().Count(sim.CntDescInvalidate) == 0 {
+		t.Error("descriptor not invalidated")
+	}
+	mustVerify(t, om)
+	// Deref revalidates.
+	if x, err := om.ReadInt(v, "x"); err != nil || x != 0 {
+		t.Fatalf("revalidated read: %d, %v", x, err)
+	}
+	mustVerify(t, om)
+}
+
+func TestEDSReverseCascadeDisplacesHomes(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.EDS))
+	v := om.NewVar("p", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := om.Resident()
+	// Displace one part explicitly: every connection holding a direct ref
+	// to it must be displaced too (their refs cannot be unswizzled under
+	// eager-direct), cascading further.
+	if err := om.DisplaceObject(b.parts[3]); err != nil {
+		t.Fatal(err)
+	}
+	if om.Resident() >= before {
+		t.Error("no cascade displacement")
+	}
+	// The connections with to/from = part 3 must be gone.
+	for i, cs := range b.conns {
+		for k, cid := range cs {
+			to := b.parts[(i+k+1)%10]
+			from := b.parts[i]
+			if (to == b.parts[3] || from == b.parts[3]) && om.IsResident(cid) {
+				t.Errorf("connection %v still resident after its EDS target was displaced", cid)
+			}
+		}
+	}
+	mustVerify(t, om)
+}
+
+func TestWriteRefMaintainsRRLs(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	c := om.NewVar("c", b.conn)
+	if err := om.Load(c, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	to := om.NewVar("to", b.part)
+	if err := om.ReadRef(c, "to", to); err != nil {
+		t.Fatal(err) // swizzles field directly, loads part 1
+	}
+	other := om.NewVar("other", b.part)
+	if err := om.Load(other, b.parts[5]); err != nil {
+		t.Fatal(err)
+	}
+	// Redirect c.to to part 5.
+	if err := om.WriteRef(c, "to", other); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+	id, err := om.OID(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != b.parts[1] {
+		t.Errorf("to-var now %v, should still reference part 1", id)
+	}
+	// Commit and check persistence of the redirect.
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	om2 := b.om(t, Options{})
+	om2.BeginApplication(appSpec(swizzle.NOS))
+	c2 := om2.NewVar("c", b.conn)
+	if err := om2.Load(c2, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	to2 := om2.NewVar("to", b.part)
+	if err := om2.ReadRef(c2, "to", to2); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := om2.OID(to2); id != b.parts[5] {
+		t.Errorf("persisted to = %v, want part 5 %v", id, b.parts[5])
+	}
+}
+
+func TestUpdateChargesGrowWithFanIn(t *testing.T) {
+	// Fig. 11a: redirecting a direct reference costs more when the old
+	// target's fan-in is high (RRL scan).
+	b := buildBase(t, 12)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LDS))
+
+	measure := func(fanIn int) float64 {
+		// Point fanIn connections' to-fields at part 0 first.
+		target := om.NewVar("t", b.part)
+		if err := om.Load(target, b.parts[0]); err != nil {
+			t.Fatal(err)
+		}
+		cvars := make([]*Var, fanIn)
+		for i := 0; i < fanIn; i++ {
+			cvars[i] = om.NewVar(fmt.Sprintf("c%d", i), b.conn)
+			if err := om.Load(cvars[i], b.conns[3][i%3]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// All three connections of part 3 → part 0 (plus extra writes to
+		// reach the wanted fan-in via set members is overkill; measure the
+		// last write's redirect cost away from part 0 instead).
+		for i := 0; i < fanIn; i++ {
+			if err := om.WriteRef(cvars[i], "to", target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		other := om.NewVar("o", b.part)
+		if err := om.Load(other, b.parts[7]); err != nil {
+			t.Fatal(err)
+		}
+		snap := om.Meter().Snapshot()
+		if err := om.WriteRef(cvars[0], "to", other); err != nil {
+			t.Fatal(err)
+		}
+		d := om.Meter().Since(snap).Micros
+		om.Reset()
+		om.BeginApplication(appSpec(swizzle.LDS))
+		return d
+	}
+	low := measure(1)
+	high := measure(3)
+	if high <= low {
+		t.Errorf("update at fan-in 3 (%.1f) not costlier than at fan-in 1 (%.1f)", high, low)
+	}
+}
+
+func TestLazyReswizzleAcrossApplications(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+
+	// App 1: LDS traversal of part 0's neighborhood.
+	om.BeginApplication(appSpec(swizzle.LDS))
+	p := om.NewVar("p", b.part)
+	if err := om.Load(p, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	c := om.NewVar("c", b.conn)
+	q := om.NewVar("q", b.part)
+	for i := 0; i < 3; i++ {
+		if err := om.ReadElem(p, "connTo", i, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := om.ReadRef(c, "to", q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(q, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	resident := om.Resident()
+	if resident == 0 {
+		t.Fatal("commit dropped the cache")
+	}
+	directBefore := om.Meter().Count(sim.CntSwizzleDirect)
+	if directBefore == 0 {
+		t.Fatal("no direct swizzles in app 1")
+	}
+
+	// App 2: LIS. Objects stay buffered but stale; first access fixes them.
+	om.BeginApplication(appSpec(swizzle.LIS))
+	p2 := om.NewVar("p", b.part)
+	if err := om.Load(p2, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(p2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if om.Meter().Count(sim.CntReswizzle) == 0 {
+		t.Error("no representation fix on first access")
+	}
+	// Walking the same neighborhood must end with no direct refs.
+	c2 := om.NewVar("c", b.conn)
+	q2 := om.NewVar("q", b.part)
+	for i := 0; i < 3; i++ {
+		if err := om.ReadElem(p2, "connTo", i, c2); err != nil {
+			t.Fatal(err)
+		}
+		if err := om.ReadRef(c2, "to", q2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(q2, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustVerify(t, om)
+	entries, _ := om.RRLStats()
+	if entries != 0 {
+		t.Errorf("RRL entries remain after switching every accessed granule to LIS: %d", entries)
+	}
+}
+
+func TestSameSpecNoReswizzle(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LIS))
+	p := om.NewVar("p", b.part)
+	if err := om.Load(p, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(p, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	om.BeginApplication(appSpec(swizzle.LIS))
+	p2 := om.NewVar("p", b.part)
+	if err := om.Load(p2, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(p2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if om.Meter().Count(sim.CntReswizzle) != 0 {
+		t.Error("reswizzling happened although the spec did not change")
+	}
+}
+
+func TestTypeSpecificSpec(t *testing.T) {
+	// Fig. 9: references to Parts swizzled eagerly-indirectly, everything
+	// else (refs to Connections) eagerly-directly.
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	spec := swizzle.NewSpec("oo1-type", swizzle.EDS).
+		WithType("Part", swizzle.EIS)
+	om.BeginApplication(spec)
+	p := om.NewVar("p", b.part)
+	if err := om.Load(p, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The variable itself is a reference to a Part, so it is swizzled
+	// indirectly: loading it does not fault. The first access does.
+	if _, err := om.ReadInt(p, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Faulting part 0 swizzles connTo (→ Connections) directly: the three
+	// connections load; their from/to (→ Parts) swizzle indirectly: no
+	// further parts load. Type-specific swizzling stops the snowball at
+	// the Connections (§4.2.2).
+	wantResident := 1 + 3 // part 0 + its 3 connections
+	if om.Resident() != wantResident {
+		t.Errorf("resident = %d, want %d (snowball stopped by type granule)",
+			om.Resident(), wantResident)
+	}
+	if om.DescriptorCount() == 0 {
+		t.Error("no descriptors for Part references")
+	}
+	// FC charged per faulted object.
+	if om.Meter().Count(sim.CntFetchCall) == 0 {
+		t.Error("no fetch-procedure calls under type-specific swizzling")
+	}
+	mustVerify(t, om)
+}
+
+func TestContextSpecificSpec(t *testing.T) {
+	// Fig. 10: Connection.to eager-indirect, Connection.from lazy.
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	spec := swizzle.NewSpec("oo1-ctx", swizzle.NOS).
+		WithContext("Connection", "to", swizzle.EIS).
+		WithContext("Connection", "from", swizzle.LIS)
+	om.BeginApplication(spec)
+	c := om.NewVar("c", b.conn)
+	if err := om.Load(c, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(c, "length"); err != nil {
+		t.Fatal(err)
+	}
+	// to was swizzled at fault; from was not (lazy).
+	if om.Meter().Count(sim.CntSwizzleIndirect) != 1 {
+		t.Errorf("swizzle_indirect = %d, want 1 (only to)",
+			om.Meter().Count(sim.CntSwizzleIndirect))
+	}
+	from := om.NewVar("from", b.part)
+	if err := om.ReadRef(c, "from", from); err != nil {
+		t.Fatal(err)
+	}
+	if om.Meter().Count(sim.CntSwizzleIndirect) < 2 {
+		t.Error("from not swizzled on discovery")
+	}
+	mustVerify(t, om)
+}
+
+func TestVarsReleasedOnCommitDropFanIn(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LIS))
+	p := om.NewVar("p", b.part)
+	if err := om.Load(p, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if om.DescriptorCount() != 1 {
+		t.Fatalf("descriptors = %d", om.DescriptorCount())
+	}
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The var was the only fan-in; descriptor reclaimed.
+	if om.DescriptorCount() != 0 {
+		t.Errorf("descriptors = %d after commit released vars", om.DescriptorCount())
+	}
+	// Using the variable now fails.
+	if _, err := om.ReadInt(p, "x"); !errors.Is(err, ErrClosedVar) {
+		t.Errorf("use of released var: %v", err)
+	}
+	mustVerify(t, om)
+}
+
+func TestObjectCacheArchitecture(t *testing.T) {
+	b := buildBase(t, 30)
+	om := b.om(t, Options{ObjectCache: true, ObjectCacheBytes: 64 << 10, PageBufferPages: 4})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	v := om.NewVar("p", b.part)
+	for i := 0; i < 30; i++ {
+		if err := om.Load(v, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := om.WriteInt(v, "x", int64(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+		mustVerify(t, om)
+	}
+	if om.Cache().Len() == 0 {
+		t.Fatal("cache empty")
+	}
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh page-architecture client must see all writes.
+	om2 := b.om(t, Options{})
+	om2.BeginApplication(appSpec(swizzle.NOS))
+	w := om2.NewVar("p", b.part)
+	for i := 0; i < 30; i++ {
+		if err := om2.Load(w, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if x, err := om2.ReadInt(w, "x"); err != nil || x != int64(1000+i) {
+			t.Fatalf("part %d x = %d, %v", i, x, err)
+		}
+	}
+}
+
+func TestObjectCacheEvictionWritesBack(t *testing.T) {
+	b := buildBase(t, 40)
+	om := b.om(t, Options{ObjectCache: true, ObjectCacheBytes: 2 << 10, PageBufferPages: 4})
+	om.BeginApplication(appSpec(swizzle.NOS))
+	v := om.NewVar("p", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.WriteInt(v, "y", 4242); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle enough objects through the tiny cache to evict part 0.
+	for i := 1; i < 40 && om.IsResident(b.parts[0]); i++ {
+		if err := om.Load(v, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(v, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if om.IsResident(b.parts[0]) {
+		t.Fatal("part 0 never evicted from object cache")
+	}
+	mustVerify(t, om)
+	// The dirty write must have reached the server.
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if y, err := om.ReadInt(v, "y"); err != nil || y != 4242 {
+		t.Fatalf("after eviction y = %d, %v", y, err)
+	}
+}
+
+func TestCreateAndCreateNear(t *testing.T) {
+	b := buildBase(t, 5)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	v := om.NewVar("new", b.part)
+	if err := om.Create(b.part, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.WriteInt(v, "part-id", 999); err != nil {
+		t.Fatal(err)
+	}
+	anchor := om.NewVar("anchor", b.part)
+	if err := om.Load(anchor, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	n := om.NewVar("n", b.conn)
+	if err := om.CreateNear(b.conn, 0, n, anchor); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.WriteRef(n, "from", anchor); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+	nid, err := om.OID(n)
+	if err != nil || nid.IsNil() {
+		t.Fatalf("OID of created connection: %v, %v", nid, err)
+	}
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify durability.
+	om2 := b.om(t, Options{})
+	om2.BeginApplication(appSpec(swizzle.NOS))
+	w := om2.NewVar("w", b.conn)
+	if err := om2.Load(w, nid); err != nil {
+		t.Fatal(err)
+	}
+	f := om2.NewVar("f", b.part)
+	if err := om2.ReadRef(w, "from", f); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := om2.OID(f); got != b.parts[0] {
+		t.Errorf("created connection from = %v", got)
+	}
+}
+
+func TestSameAcrossLayouts(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	spec := swizzle.NewSpec("mix", swizzle.NOS).
+		WithVar("a", swizzle.LDS).WithVar("b", swizzle.LIS).WithVar("c", swizzle.NOS)
+	om.BeginApplication(spec)
+	a := om.NewVar("a", b.part)
+	bb := om.NewVar("b", b.part)
+	cc := om.NewVar("c", b.part)
+	for _, v := range []*Var{a, bb, cc} {
+		if err := om.Load(v, b.parts[4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pair := range [][2]*Var{{a, bb}, {a, cc}, {bb, cc}} {
+		eq, err := om.Same(pair[0], pair[1])
+		if err != nil || !eq {
+			t.Errorf("Same(%s,%s) = %v, %v", pair[0].Name(), pair[1].Name(), eq, err)
+		}
+	}
+	if err := om.Load(cc, b.parts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if eq, _ := om.Same(a, cc); eq {
+		t.Error("different targets reported equal")
+	}
+	mustVerify(t, om)
+}
+
+func TestSetMutationMaintainsRRL(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	p := om.NewVar("p", b.part)
+	if err := om.Load(p, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Discover all three set elements (swizzles them directly).
+	c := om.NewVar("c", b.conn)
+	for i := 0; i < 3; i++ {
+		if err := om.ReadElem(p, "connTo", i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustVerify(t, om)
+	// Remove the first element: the last is swapped in; RRL entries must
+	// follow.
+	if err := om.RemoveElem(p, "connTo", 0); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+	if n, _ := om.Card(p, "connTo"); n != 2 {
+		t.Errorf("card = %d", n)
+	}
+	// Append a new element.
+	if err := om.AppendElem(p, "connTo", c); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+	if n, _ := om.Card(p, "connTo"); n != 3 {
+		t.Errorf("card after append = %d", n)
+	}
+}
+
+func TestLazyUponDereferenceAblation(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{LazyUponDereference: true})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	c := om.NewVar("c", b.conn)
+	if err := om.Load(c, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	dst := om.NewVar("to", b.part)
+	if err := om.ReadRef(c, "to", dst); err != nil {
+		t.Fatal(err)
+	}
+	// Upon-dereference: reading must NOT have swizzled the field or loaded
+	// the part; the connection itself also stayed unswizzled in the var.
+	if om.IsResident(b.parts[1]) {
+		t.Error("upon-dereference mode loaded target on read")
+	}
+	// Only the dereference swizzles the variable — the field stays an OID
+	// ("lazy swizzling upon dereference often fails to swizzle any
+	// inter-object references", §3.2.1).
+	if _, err := om.ReadInt(dst, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if om.Meter().Count(sim.CntSwizzleDirect) == 0 {
+		t.Error("dereference did not swizzle the variable")
+	}
+	mustVerify(t, om)
+}
+
+func TestErrNilRef(t *testing.T) {
+	b := buildBase(t, 3)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.NOS))
+	v := om.NewVar("v", b.part)
+	if _, err := om.ReadInt(v, "x"); !errors.Is(err, ErrNilRef) {
+		t.Errorf("read through nil ref: %v", err)
+	}
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(v, "nonexistent"); !errors.Is(err, ErrNoField) {
+		t.Errorf("missing field: %v", err)
+	}
+	if _, err := om.ReadInt(v, "type"); !errors.Is(err, ErrWrongKind) {
+		t.Errorf("kind mismatch: %v", err)
+	}
+}

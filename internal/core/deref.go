@@ -1,0 +1,486 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gom/internal/objcache"
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/rot"
+	"gom/internal/sim"
+	"gom/internal/swizzle"
+)
+
+// deref resolves the reference in a slot to its resident object, faulting
+// it in if necessary, under the slot's strategy. This is the access path
+// whose per-state costs reproduce Table 5:
+//
+//	EDS: follow the pointer                      (no extra charge)
+//	LDS: software state check, follow pointer    (+LazyCheck)
+//	EIS: descriptor indirection, residency check (+Indirection)
+//	LIS: both                                    (+LazyCheck +Indirection)
+//	NOS: ROT hash lookup                         (+ROTLookup)
+//
+// A swizzled-strategy slot found unswizzled (its target was displaced, or
+// it has not been discovered yet) is swizzled here; that is the paper's
+// m(st)·SW term, and for LDS it is exactly the re-swizzling the hot
+// Traversals of §6.3 suffer from under paging.
+func (om *OM) deref(slot object.Slot, strat swizzle.Strategy) (*object.MemObject, error) {
+	r := slot.Ref()
+	if r.IsNil() {
+		return nil, ErrNilRef
+	}
+	costs := om.meter.Costs()
+	if strat.Lazy() {
+		om.meter.Charge(costs.LazyCheck)
+	}
+	if r.State == object.RefOID && strat.Swizzles() {
+		// A swizzled-strategy slot holding an OID: not yet discovered, or
+		// unswizzled when its target was displaced. (Re-)swizzle it; the
+		// slot is updated in place, so the switch below sees the new state.
+		if err := om.swizzleSlot(slot, strat); err != nil {
+			return nil, err
+		}
+	}
+	switch r.State {
+	case object.RefDirect:
+		obj := r.Ptr()
+		if obj.Stale {
+			// Cannot happen when the stale-fix snowball invariant holds
+			// (fixing an object fixes the targets of its direct refs), but
+			// kept as a safety net.
+			if err := om.fixRepresentation(obj); err != nil {
+				return nil, err
+			}
+		}
+		return obj, nil
+
+	case object.RefIndirect:
+		om.meter.Charge(costs.Indirection)
+		om.meter.Add(sim.CntResidencyCheck, 1)
+		d := r.Desc()
+		if !d.Valid() {
+			target, err := om.ensureResident(d.OID)
+			if err != nil {
+				return nil, err
+			}
+			if d.Ptr == nil {
+				// The fault revalidates the table descriptor; relink this
+				// one defensively if it is not the table's.
+				d.Ptr = target
+			}
+		}
+		obj := d.Ptr
+		if obj.Stale {
+			if err := om.fixRepresentation(obj); err != nil {
+				return nil, err
+			}
+		}
+		return obj, nil
+
+	case object.RefOID:
+		// No-swizzling: consult the ROT on every access (§3.1).
+		om.meter.Event(sim.CntROTLookup, costs.ROTLookup)
+		e := om.rot.Lookup(r.OID())
+		if e == nil {
+			om.meter.Add(sim.CntROTMiss, 1)
+			return om.objectFault(r.OID())
+		}
+		om.meter.Add(sim.CntROTHit, 1)
+		if e.Obj.Stale {
+			if err := om.fixRepresentation(e.Obj); err != nil {
+				return nil, err
+			}
+		}
+		return e.Obj, nil
+	}
+	return nil, ErrNilRef
+}
+
+// withPinned pins the object (or its page) for the duration of fn, so that
+// faults performed inside fn cannot displace it while slots into it are
+// being manipulated.
+func (om *OM) withPinned(obj *object.MemObject, fn func() error) error {
+	e := om.rot.Lookup(obj.OID)
+	if e == nil || e.Obj != obj {
+		return fn()
+	}
+	om.pinEntry(e)
+	defer om.unpinEntry(e)
+	return fn()
+}
+
+// ensureResident returns the resident object for id, faulting it if
+// needed. It does not charge a ROT lookup; callers that model one charge
+// it themselves.
+func (om *OM) ensureResident(id oid.OID) (*object.MemObject, error) {
+	if e := om.rot.Lookup(id); e != nil {
+		if e.Obj.Stale {
+			if err := om.fixRepresentation(e.Obj); err != nil {
+				return nil, err
+			}
+		}
+		return e.Obj, nil
+	}
+	return om.objectFault(id)
+}
+
+// objectFault brings an object into the client (§3.2.1): resolve the OID
+// at the server, fault the page into the buffer pool, materialize the
+// in-memory object (copying it into the object cache in the copy
+// architecture), register it in the ROT, revalidate its descriptor, and —
+// under eager granules — scan through it and swizzle its references.
+func (om *OM) objectFault(id oid.OID) (*object.MemObject, error) {
+	om.meter.Add(sim.CntObjectFault, 1)
+	if om.spec.PerObjectCall() {
+		// The late-bound type-specific fetch procedure (§4.2.2, FC).
+		om.meter.Event(sim.CntFetchCall, om.meter.Costs().FetchCall)
+	}
+	addr, err := om.srv.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	om.meter.Add(sim.CntServerRoundTrip, 1)
+	frame, err := om.pool.Get(addr.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := frame.Page.Read(int(addr.Slot))
+	if err != nil {
+		return nil, fmt.Errorf("core: object %v at %v/%d: %w", id, addr.Page, addr.Slot, err)
+	}
+	obj, err := object.Decode(om.schema, id, rec)
+	if err != nil {
+		return nil, err
+	}
+	entry := om.rot.Register(obj, addr)
+	if om.cache != nil {
+		if err := om.cache.Put(obj); err != nil {
+			om.rot.Unregister(id)
+			if errors.Is(err, objcache.ErrAllPinned) {
+				return nil, fmt.Errorf("%w: %v", ErrNoCapacity, err)
+			}
+			return nil, err
+		}
+	} else {
+		om.byPage[addr.Page] = append(om.byPage[addr.Page], obj)
+	}
+	// Revalidate an existing descriptor: indirect references swizzled
+	// while the object was absent resolve again (Fig. 3).
+	if d := om.descs[id]; d != nil {
+		d.Ptr = obj
+		obj.Desc = d
+	}
+	// Eager swizzling: scan through the object (§3.2.1). The home is
+	// pinned so the recursive loading of EDS granules (the snowball)
+	// cannot displace it mid-scan.
+	if err := om.eagerScan(entry); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// eagerScan swizzles every eager-granule reference of a freshly faulted
+// (or representation-fixed) object.
+func (om *OM) eagerScan(e *rot.Entry) error {
+	obj := e.Obj
+	var slots []object.Slot
+	obj.Refs(func(s object.Slot) {
+		if !s.Ref().IsNil() && s.Ref().State == object.RefOID && om.spec.ForSlot(s).Eager() {
+			slots = append(slots, s)
+		}
+	})
+	if len(slots) == 0 {
+		return nil
+	}
+	om.pinEntry(e)
+	defer om.unpinEntry(e)
+	for _, s := range slots {
+		// A previous iteration's snowball may have displaced nothing from
+		// this pinned object, but the slot may have been swizzled as part
+		// of a cycle; skip it then.
+		if s.Ref().State != object.RefOID {
+			continue
+		}
+		if err := om.swizzleSlot(s, om.spec.ForSlot(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pinEntry pins the object (copy architecture) or its page (page
+// architecture) against replacement.
+func (om *OM) pinEntry(e *rot.Entry) {
+	if om.cache != nil {
+		e.Obj.Pin()
+		return
+	}
+	_ = om.pool.Pin(e.Addr.Page)
+}
+
+func (om *OM) unpinEntry(e *rot.Entry) {
+	if om.cache != nil {
+		e.Obj.Unpin()
+		return
+	}
+	_ = om.pool.Unpin(e.Addr.Page)
+}
+
+// swizzleSlot converts an unswizzled slot to the strategy's representation
+// (the SW cost function, Table 6). Direct swizzling requires — and brings
+// about — residency of the target, which for EDS granules is the eager
+// loading of the transitive closure (§3.2.2). Indirect swizzling installs
+// a descriptor and never loads.
+func (om *OM) swizzleSlot(slot object.Slot, strat swizzle.Strategy) error {
+	r := slot.Ref()
+	if r.State != object.RefOID || !strat.Swizzles() {
+		return nil
+	}
+	id := r.OID()
+	costs := om.meter.Costs()
+	if strat.Direct() {
+		if !om.tableCanSwizzleDirect(slot) {
+			// Swizzle table full: the reference stays an OID and behaves
+			// like no-swizzling until capacity frees up (§3.2.2).
+			return nil
+		}
+		if strat == swizzle.EDS {
+			om.meter.Add(sim.CntSnowballLoad, 1)
+		}
+		target, err := om.ensureResident(id)
+		if err != nil {
+			return err
+		}
+		if !om.tableCanSwizzleDirect(slot) {
+			// Loading the target may itself have filled the table (eager
+			// scans of nested faults); re-check before converting.
+			return nil
+		}
+		om.meter.Event(sim.CntSwizzleDirect, costs.SwizzleDirect)
+		om.registerDirect(slot, target)
+		*slot.Ref() = object.DirectRef(target)
+		return nil
+	}
+	// Indirect: find or allocate the descriptor.
+	d := om.descriptorFor(id)
+	d.FanIn++
+	om.meter.Event(sim.CntSwizzleIndirect, costs.SwizzleIndirect)
+	*slot.Ref() = object.IndirectRef(d)
+	return nil
+}
+
+// registerDirect adds the slot to the target's RRL, charging maintenance
+// and block allocation (§5.3: entries come in blocks of 10). Variable
+// slots are tracked but not charged: the paper's run-time model finds
+// local variables by scanning the stack when an object is displaced
+// (§5.3), so copying a direct reference into a variable costs nothing at
+// copy time — the registry here stands in for the stack scan.
+func (om *OM) registerDirect(slot object.Slot, target *object.MemObject) {
+	if om.pagewise {
+		om.pageRegisterDirect(slot, target)
+		return
+	}
+	if om.swizzleTableCap > 0 {
+		om.tableRegisterDirect(slot)
+		return
+	}
+	costs := om.meter.Costs()
+	if target.RRL == nil {
+		target.RRL = &object.RRL{}
+	}
+	newBlock := target.RRL.Add(slot)
+	if slot.IsVar() {
+		return
+	}
+	if newBlock {
+		om.meter.Event(sim.CntRRLAlloc, costs.RRLAlloc)
+	}
+	om.meter.Event(sim.CntRRLInsert, costs.RRLMaintain)
+}
+
+// unregisterDirect removes the slot from the target's RRL. The removal
+// scans the list, which is what makes direct-swizzling costs grow with
+// fan-in (Table 6, Fig. 11a). Variable slots are uncharged (stack-scan
+// model, see registerDirect).
+func (om *OM) unregisterDirect(slot object.Slot, target *object.MemObject) {
+	if om.pagewise {
+		om.pageUnregisterDirect(slot, target)
+		return
+	}
+	if om.swizzleTableCap > 0 {
+		om.tableUnregisterDirect(slot)
+		return
+	}
+	costs := om.meter.Costs()
+	n := target.RRL.Len()
+	if target.RRL != nil && target.RRL.Remove(slot) && !slot.IsVar() {
+		// Charge proportionally to half the list scanned on average.
+		om.meter.Event(sim.CntRRLRemove, costs.RRLMaintain*(1+float64(n)/2))
+	}
+	if target.RRL != nil && target.RRL.Len() == 0 {
+		target.RRL = nil
+		if !slot.IsVar() {
+			om.meter.Event(sim.CntRRLFree, costs.RRLFree)
+		}
+	}
+}
+
+// descriptorFor returns the descriptor for an OID, allocating one if none
+// exists. A resident target gets linked immediately.
+func (om *OM) descriptorFor(id oid.OID) *object.Descriptor {
+	if d := om.descs[id]; d != nil {
+		return d
+	}
+	d := &object.Descriptor{OID: id}
+	if e := om.rot.Lookup(id); e != nil {
+		d.Ptr = e.Obj
+		e.Obj.Desc = d
+	}
+	om.descs[id] = d
+	om.meter.Event(sim.CntDescAlloc, om.meter.Costs().DescAlloc)
+	return d
+}
+
+// releaseDescriptor drops one fan-in reference; at zero the descriptor is
+// reclaimed (§3.2.2: "to reclaim unused descriptors, every descriptor
+// keeps a counter").
+func (om *OM) releaseDescriptor(d *object.Descriptor) {
+	d.FanIn--
+	if d.FanIn > 0 || om.retainDescriptors {
+		return
+	}
+	delete(om.descs, d.OID)
+	if d.Ptr != nil {
+		d.Ptr.Desc = nil
+	}
+	om.meter.Event(sim.CntDescFree, om.meter.Costs().DescFree)
+}
+
+// unswizzleSlot converts a swizzled slot back to an OID (the US cost
+// function), maintaining RRL or descriptor bookkeeping.
+func (om *OM) unswizzleSlot(slot object.Slot) {
+	r := slot.Ref()
+	costs := om.meter.Costs()
+	switch r.State {
+	case object.RefDirect:
+		target := r.Ptr()
+		om.unregisterDirect(slot, target)
+		*slot.Ref() = object.OIDRef(target.OID)
+		om.meter.Event(sim.CntUnswizzleDirect, costs.UnswizzleDirect)
+	case object.RefIndirect:
+		d := r.Desc()
+		om.releaseDescriptor(d)
+		*slot.Ref() = object.OIDRef(d.OID)
+		om.meter.Event(sim.CntUnswizzleIndirect, costs.UnswizzleIndirect)
+	}
+}
+
+// unregisterSlot removes the slot's swizzling bookkeeping without
+// rewriting the reference (used when the slot itself is going away: a
+// freed variable, a displaced home object).
+func (om *OM) unregisterSlot(slot object.Slot) {
+	r := slot.Ref()
+	switch r.State {
+	case object.RefDirect:
+		om.unregisterDirect(slot, r.Ptr())
+	case object.RefIndirect:
+		om.releaseDescriptor(r.Desc())
+	}
+}
+
+// assignRef stores a source reference into a destination slot, converting
+// between layouts as required (the translations of §4.2.3, Table 8) and
+// maintaining all bookkeeping. The source is not disturbed.
+//
+// Registration order matters: the new value is built and registered before
+// the old value is released, so that when source and destination share a
+// target (self-assignment, redirect-to-same), fan-in never transiently
+// reaches zero and reclaims a descriptor that is still referenced.
+func (om *OM) assignRef(dst object.Slot, dstStrat swizzle.Strategy, src *object.Ref) error {
+	costs := om.meter.Costs()
+	old := *dst.Ref() // value copy; released at the end
+
+	install := func() error {
+		if src.IsNil() {
+			*dst.Ref() = object.NilRef
+			return nil
+		}
+		want := dstStrat.TargetState()
+		if dstStrat.Lazy() && src.State == object.RefOID {
+			// Lazy destinations adopt an unswizzled source as-is;
+			// swizzling happens upon discovery.
+			want = object.RefOID
+		}
+		if want == object.RefDirect && !om.tableCanSwizzleDirect(dst) {
+			// Swizzle table full: degrade the destination to an OID.
+			want = object.RefOID
+		}
+		if src.State == want {
+			// Same layout: copy, then register the new slot.
+			v := *src // copy first: src may alias dst
+			*dst.Ref() = v
+			switch want {
+			case object.RefDirect:
+				om.registerDirect(dst, v.Ptr())
+			case object.RefIndirect:
+				v.Desc().FanIn++
+			}
+			return nil
+		}
+		// Layout conversion.
+		switch want {
+		case object.RefOID:
+			om.meter.Event(sim.CntTranslate, costs.TranslateSwizzledToOID)
+			*dst.Ref() = object.OIDRef(src.TargetOID())
+		case object.RefDirect:
+			switch src.State {
+			case object.RefOID:
+				om.meter.Event(sim.CntTranslate, costs.TranslateOIDToSwizzled)
+			default:
+				om.meter.Event(sim.CntTranslate, costs.TranslateSwizzled)
+			}
+			var target *object.MemObject
+			if src.State == object.RefIndirect && src.Desc().Valid() {
+				target = src.Desc().Ptr
+			} else {
+				var err error
+				target, err = om.ensureResident(src.TargetOID())
+				if err != nil {
+					return err
+				}
+			}
+			if !om.tableCanSwizzleDirect(dst) {
+				// The fault may have filled the table; degrade to an OID.
+				*dst.Ref() = object.OIDRef(target.OID)
+				break
+			}
+			om.registerDirect(dst, target)
+			*dst.Ref() = object.DirectRef(target)
+		case object.RefIndirect:
+			if src.State == object.RefOID {
+				om.meter.Event(sim.CntTranslate, costs.TranslateOIDToSwizzled)
+			} else {
+				om.meter.Event(sim.CntTranslate, costs.TranslateSwizzled)
+			}
+			d := om.descriptorFor(src.TargetOID())
+			d.FanIn++
+			*dst.Ref() = object.IndirectRef(d)
+		}
+		return nil
+	}
+	if err := install(); err != nil {
+		return err
+	}
+	// Release the old value's bookkeeping. The RRL entry is matched by the
+	// slot tuple, so removal works although the slot now holds the new
+	// value.
+	switch old.State {
+	case object.RefDirect:
+		om.unregisterDirect(dst, old.Ptr())
+	case object.RefIndirect:
+		om.releaseDescriptor(old.Desc())
+	}
+	return nil
+}

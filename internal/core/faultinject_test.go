@@ -1,0 +1,228 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gom/internal/oid"
+	"gom/internal/page"
+	"gom/internal/server"
+	"gom/internal/storage"
+	"gom/internal/swizzle"
+)
+
+// flakyServer injects failures into server calls: after `after` successful
+// calls, every call fails until the budget is reset.
+type flakyServer struct {
+	inner server.Server
+	after int
+	calls int
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+func (f *flakyServer) tick() error {
+	f.calls++
+	if f.calls > f.after {
+		return fmt.Errorf("%w (call %d)", errInjected, f.calls)
+	}
+	return nil
+}
+
+func (f *flakyServer) Lookup(id oid.OID) (storage.PAddr, error) {
+	if err := f.tick(); err != nil {
+		return storage.PAddr{}, err
+	}
+	return f.inner.Lookup(id)
+}
+func (f *flakyServer) ReadPage(pid page.PageID) ([]byte, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadPage(pid)
+}
+func (f *flakyServer) WritePage(pid page.PageID, img []byte) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.inner.WritePage(pid, img)
+}
+func (f *flakyServer) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
+	if err := f.tick(); err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
+	return f.inner.Allocate(seg, rec)
+}
+func (f *flakyServer) AllocateNear(seg uint16, n oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
+	if err := f.tick(); err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
+	return f.inner.AllocateNear(seg, n, rec)
+}
+func (f *flakyServer) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
+	if err := f.tick(); err != nil {
+		return storage.PAddr{}, err
+	}
+	return f.inner.UpdateObject(id, rec)
+}
+func (f *flakyServer) NumPages(seg uint16) (int, error) {
+	if err := f.tick(); err != nil {
+		return 0, err
+	}
+	return f.inner.NumPages(seg)
+}
+
+// TestFaultInjectionReadsFailCleanly kills the server after every possible
+// number of successful calls and checks that each failure surfaces as an
+// error, never corrupts invariants, and that the client recovers once the
+// fault clears.
+func TestFaultInjectionReadsFailCleanly(t *testing.T) {
+	b := buildBase(t, 120)
+	for _, strat := range []swizzle.Strategy{swizzle.NOS, swizzle.LIS, swizzle.LDS, swizzle.EIS} {
+		for after := 0; after < 12; after++ {
+			flaky := &flakyServer{inner: b.srv, after: after}
+			om, err := New(Options{Server: flaky, Schema: b.schema, PageBufferPages: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			om.BeginApplication(appSpec(strat))
+			p := om.NewVar("p", b.part)
+			c := om.NewVar("c", b.conn)
+			q := om.NewVar("q", b.part)
+			var firstErr error
+			for i := 0; i < 6 && firstErr == nil; i++ {
+				if firstErr = om.Load(p, b.parts[i*17%120]); firstErr != nil {
+					break
+				}
+				if _, firstErr = om.ReadInt(p, "x"); firstErr != nil {
+					break
+				}
+				if firstErr = om.ReadElem(p, "connTo", 0, c); firstErr != nil {
+					break
+				}
+				if firstErr = om.ReadRef(c, "to", q); firstErr != nil {
+					break
+				}
+				if _, firstErr = om.ReadInt(q, "y"); firstErr != nil {
+					break
+				}
+			}
+			if firstErr != nil && !errors.Is(firstErr, errInjected) {
+				t.Fatalf("%v/after=%d: unexpected error %v", strat, after, firstErr)
+			}
+			if err := om.Verify(); err != nil {
+				t.Fatalf("%v/after=%d: invariants violated after injected failure:\n%v",
+					strat, after, err)
+			}
+			// Fault clears; the same operations must succeed now.
+			flaky.after = 1 << 30
+			if err := om.Load(p, b.parts[3]); err != nil {
+				t.Fatalf("%v/after=%d: recovery load: %v", strat, after, err)
+			}
+			if _, err := om.ReadInt(p, "x"); err != nil {
+				t.Fatalf("%v/after=%d: recovery read: %v", strat, after, err)
+			}
+			if err := om.Verify(); err != nil {
+				t.Fatalf("%v/after=%d: invariants violated after recovery:\n%v",
+					strat, after, err)
+			}
+		}
+	}
+}
+
+// TestFaultInjectionWriteBack injects failures during commit write-back:
+// Commit must report the error, and a retry once the fault clears must
+// persist everything.
+func TestFaultInjectionWriteBack(t *testing.T) {
+	b := buildBase(t, 60)
+	flaky := &flakyServer{inner: b.srv, after: 1 << 30}
+	om, err := New(Options{Server: flaky, Schema: b.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om.BeginApplication(appSpec(swizzle.LDS))
+	v := om.NewVar("v", b.part)
+	for i := 0; i < 10; i++ {
+		if err := om.Load(v, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := om.WriteInt(v, "built", int64(3000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every server call fails now.
+	flaky.after = flaky.calls
+	if err := om.Commit(); !errors.Is(err, errInjected) {
+		t.Fatalf("commit under failure: %v", err)
+	}
+	if err := om.Verify(); err != nil {
+		t.Fatalf("invariants after failed commit:\n%v", err)
+	}
+	// Fault clears; retry the commit.
+	flaky.after = 1 << 30
+	if err := om.Commit(); err != nil {
+		t.Fatalf("retried commit: %v", err)
+	}
+	om2 := b.om(t, Options{})
+	om2.BeginApplication(appSpec(swizzle.NOS))
+	w := om2.NewVar("w", b.part)
+	for i := 0; i < 10; i++ {
+		if err := om2.Load(w, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := om2.ReadInt(w, "built"); err != nil || got != int64(3000+i) {
+			t.Fatalf("part %d built = %d, %v", i, got, err)
+		}
+	}
+}
+
+// TestFaultInjectionDuringEviction injects failures while evictions write
+// dirty pages back; the deferred error must surface on the next call and
+// the client must keep functioning.
+func TestFaultInjectionDuringEviction(t *testing.T) {
+	b := buildBase(t, 300)
+	flaky := &flakyServer{inner: b.srv, after: 1 << 30}
+	om, err := New(Options{Server: flaky, Schema: b.schema, PageBufferPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om.BeginApplication(appSpec(swizzle.NOS))
+	v := om.NewVar("v", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.WriteInt(v, "y", 9); err != nil {
+		t.Fatal(err)
+	}
+	// Allow exactly enough calls for the next fault, then fail the
+	// eviction write-back behind it.
+	sawError := false
+	for i := 1; i < 200; i++ {
+		flaky.after = flaky.calls + 2 // lookup + page read; write-back fails
+		err := om.Load(v, b.parts[i*7%300])
+		if err == nil {
+			_, err = om.ReadInt(v, "x")
+		}
+		if err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			sawError = true
+			break
+		}
+	}
+	if !sawError {
+		t.Log("no eviction write-back was hit; scenario vacuous but harmless")
+	}
+	flaky.after = 1 << 30
+	if err := om.Load(v, b.parts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(v, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.Verify(); err != nil {
+		t.Fatalf("invariants after eviction failures:\n%v", err)
+	}
+}

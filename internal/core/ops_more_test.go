@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gom/internal/sim"
+	"gom/internal/swizzle"
+)
+
+func TestWriteElemInPlace(t *testing.T) {
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	p := om.NewVar("p", b.part)
+	if err := om.Load(p, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Discover element 1 (swizzles it) so the overwrite must release the
+	// old registration.
+	cv := om.NewVar("c", b.conn)
+	if err := om.ReadElem(p, "connTo", 1, cv); err != nil {
+		t.Fatal(err)
+	}
+	other := om.NewVar("o", b.conn)
+	if err := om.Load(other, b.conns[4][0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.WriteElem(p, "connTo", 1, other); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+	// Order preserved, element replaced.
+	check := om.NewVar("chk", b.conn)
+	if err := om.ReadElem(p, "connTo", 1, check); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := om.OID(check); id != b.conns[4][0] {
+		t.Errorf("elem 1 = %v", id)
+	}
+	if err := om.ReadElem(p, "connTo", 0, check); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := om.OID(check); id != b.conns[0][0] {
+		t.Errorf("elem 0 disturbed: %v", id)
+	}
+	// Out of range.
+	if err := om.WriteElem(p, "connTo", 9, other); err == nil {
+		t.Error("out-of-range WriteElem succeeded")
+	}
+	// Durability.
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	om2 := b.om(t, Options{})
+	om2.BeginApplication(appSpec(swizzle.NOS))
+	p2 := om2.NewVar("p", b.part)
+	if err := om2.Load(p2, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	c2 := om2.NewVar("c", b.conn)
+	if err := om2.ReadElem(p2, "connTo", 1, c2); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := om2.OID(c2); id != b.conns[4][0] {
+		t.Errorf("persisted elem 1 = %v", id)
+	}
+}
+
+func TestWriteStrAndTypeOf(t *testing.T) {
+	b := buildBase(t, 5)
+	om := b.om(t, Options{})
+	om.BeginApplication(appSpec(swizzle.EIS))
+	p := om.NewVar("p", b.part)
+	if err := om.Load(p, b.parts[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.WriteStr(p, "type", "rotor"); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := om.ReadStr(p, "type"); err != nil || s != "rotor" {
+		t.Fatalf("type = %q, %v", s, err)
+	}
+	typ, err := om.TypeOf(p)
+	if err != nil || typ != b.part {
+		t.Fatalf("TypeOf = %v, %v", typ, err)
+	}
+	mustVerify(t, om)
+}
+
+func TestVarsAreContexts(t *testing.T) {
+	// §4.2.3: "the identifier of each variable defines its own context".
+	b := buildBase(t, 10)
+	om := b.om(t, Options{})
+	om.BeginApplication(swizzle.NewSpec("v", swizzle.NOS).
+		WithVar("hot", swizzle.LDS))
+	hot := om.NewVar("hot", b.part)
+	cold := om.NewVar("cold", b.part)
+	if hot.Strategy() != swizzle.LDS || cold.Strategy() != swizzle.NOS {
+		t.Fatalf("strategies: hot %v cold %v", hot.Strategy(), cold.Strategy())
+	}
+	if err := om.Load(hot, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.Load(cold, b.parts[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Loading the hot var swizzled it (and loaded the part); the cold var
+	// stayed an OID.
+	if !om.IsResident(b.parts[0]) {
+		t.Error("hot var load did not fault the part")
+	}
+	if om.IsResident(b.parts[1]) {
+		t.Error("cold var load faulted the part")
+	}
+	snap := om.Meter().Snapshot()
+	if _, err := om.ReadInt(hot, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := om.Meter().Since(snap).Micros; !near(got, 4.0) {
+		t.Errorf("hot var lookup = %.1f, want 4.0 (LDS)", got)
+	}
+	mustVerify(t, om)
+}
+
+func TestFreeVarTwiceAndForeignVar(t *testing.T) {
+	b := buildBase(t, 5)
+	omA := b.om(t, Options{})
+	omB := b.om(t, Options{})
+	omA.BeginApplication(appSpec(swizzle.LIS))
+	omB.BeginApplication(appSpec(swizzle.LIS))
+	v := omA.NewVar("v", b.part)
+	if err := omA.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Using A's var through B must fail, not corrupt B.
+	if _, err := omB.ReadInt(v, "x"); !errors.Is(err, ErrClosedVar) {
+		t.Errorf("foreign var use: %v", err)
+	}
+	omB.FreeVar(v) // no-op on foreign vars
+	if !v.Valid() {
+		t.Error("foreign FreeVar invalidated the var")
+	}
+	omA.FreeVar(v)
+	if v.Valid() {
+		t.Error("var valid after free")
+	}
+	omA.FreeVar(v) // idempotent
+	mustVerify(t, omA)
+	mustVerify(t, omB)
+}
+
+func TestResetDropsEverything(t *testing.T) {
+	b := buildBase(t, 40)
+	om := b.om(t, Options{ObjectCache: true, ObjectCacheBytes: 1 << 20})
+	om.BeginApplication(appSpec(swizzle.LIS))
+	v := om.NewVar("v", b.part)
+	for i := 0; i < 20; i++ {
+		if err := om.Load(v, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(v, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if om.Resident() == 0 || om.Cache().Len() == 0 {
+		t.Fatal("nothing resident before reset")
+	}
+	if err := om.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if om.Resident() != 0 || om.Cache().Len() != 0 || om.Pool().Len() != 0 || om.DescriptorCount() != 0 {
+		t.Errorf("reset left state: %d resident, %d cached, %d pages, %d descs",
+			om.Resident(), om.Cache().Len(), om.Pool().Len(), om.DescriptorCount())
+	}
+	if om.Meter().Count(sim.CntObjectEvict) == 0 {
+		t.Error("no evictions counted")
+	}
+	mustVerify(t, om)
+}
+
+func TestStrategyAccessors(t *testing.T) {
+	b := buildBase(t, 3)
+	om := b.om(t, Options{})
+	spec := appSpec(swizzle.EIS)
+	om.BeginApplication(spec)
+	if om.Spec() != spec {
+		t.Error("Spec accessor broken")
+	}
+	v := om.NewVar("v", b.part)
+	if v.Name() != "v" || v.DeclaredType() != b.part || !v.IsNil() {
+		t.Error("var accessors broken")
+	}
+	if om.Schema() != b.schema {
+		t.Error("Schema accessor broken")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"gom/internal/sim"
+	"gom/internal/swizzle"
+)
+
+func TestPagewiseRequiresPageArchitecture(t *testing.T) {
+	b := buildBase(t, 5)
+	_, err := New(Options{Server: b.srv, Schema: b.schema,
+		PagewiseRRL: true, ObjectCache: true})
+	if err == nil {
+		t.Fatal("pagewise + object cache accepted")
+	}
+}
+
+func TestPagewiseDisplacementUnswizzles(t *testing.T) {
+	b := buildBase(t, 300)
+	om := b.om(t, Options{PagewiseRRL: true, PageBufferPages: 2})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	// Walk connections so fields get directly swizzled across pages
+	// (Parts in segment 0, Connections in segment 1 → always inter-page).
+	c := om.NewVar("c", b.conn)
+	p := om.NewVar("p", b.part)
+	if err := om.Load(c, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.ReadRef(c, "to", p); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+	if om.PagewiseRRLBytes() == 0 {
+		t.Error("no page-level registrations")
+	}
+	entries, _ := om.RRLStats()
+	if entries != 0 {
+		t.Errorf("precise RRL entries exist in pagewise mode: %d", entries)
+	}
+	// Evict the target part's page by touching distant parts: the scan
+	// must find and unswizzle the connection's field and the variable.
+	toID, _ := om.OID(p)
+	w := om.NewVar("w", b.part)
+	for i := 100; i < 300 && om.IsResident(toID); i++ {
+		if err := om.Load(w, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(w, "x"); err != nil {
+			t.Fatal(err)
+		}
+		mustVerify(t, om)
+	}
+	if om.IsResident(toID) {
+		t.Fatal("target never evicted")
+	}
+	if om.Meter().Count(sim.CntUnswizzleDirect) == 0 {
+		t.Error("pagewise scan unswizzled nothing")
+	}
+	mustVerify(t, om)
+	// Repaired access still works.
+	if _, err := om.ReadInt(p, "x"); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+}
+
+func TestPagewiseSpaceVsPrecise(t *testing.T) {
+	b := buildBase(t, 200)
+	workload := func(opt Options) (*OM, error) {
+		om := b.om(t, opt)
+		om.BeginApplication(appSpec(swizzle.LDS))
+		c := om.NewVar("c", b.conn)
+		p := om.NewVar("p", b.part)
+		for i := 0; i < 150; i++ {
+			if err := om.Load(c, b.conns[i][0]); err != nil {
+				return nil, err
+			}
+			if err := om.ReadRef(c, "to", p); err != nil {
+				return nil, err
+			}
+		}
+		return om, nil
+	}
+	precise, err := workload(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagewise, err := workload(Options{PagewiseRRL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blocks := precise.RRLStats()
+	preciseBytes := blocks * 10 * 12
+	pwBytes := pagewise.PagewiseRRLBytes()
+	if pwBytes >= preciseBytes {
+		t.Errorf("pagewise bytes %d not below precise %d (§5.3's space saving)",
+			pwBytes, preciseBytes)
+	}
+	mustVerify(t, precise)
+	mustVerify(t, pagewise)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gom/internal/buffer"
+	"gom/internal/objcache"
+	"gom/internal/swizzle"
+)
+
+// TestRandomizedWorkloadInvariants drives the object manager with random
+// operations under every strategy, random granule specs, application
+// switches, tiny buffers (forcing constant replacement), and both
+// architectures, checking the full invariant set as it goes. This is the
+// replacement-safety property test: after any interleaving of faults,
+// displacements, updates, and reswizzles, no reference may dangle and all
+// RRL/descriptor bookkeeping must balance.
+func TestRandomizedWorkloadInvariants(t *testing.T) {
+	specs := func(rng *rand.Rand) *swizzle.Spec {
+		switch rng.Intn(4) {
+		case 0: // application-specific, random strategy
+			return appSpec(swizzle.Strategies[rng.Intn(len(swizzle.Strategies))])
+		case 1: // type-specific
+			return swizzle.NewSpec("type-mix", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))]).
+				WithType("Part", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))]).
+				WithType("Connection", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))])
+		case 2: // context-specific
+			return swizzle.NewSpec("ctx-mix", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))]).
+				WithContext("Connection", "to", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))]).
+				WithContext("Connection", "from", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))]).
+				WithContext("Part", "connTo", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))])
+		default: // context + vars
+			return swizzle.NewSpec("var-mix", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))]).
+				WithVar("p0", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))]).
+				WithVar("c0", swizzle.Strategies[rng.Intn(len(swizzle.Strategies))])
+		}
+	}
+
+	for _, arch := range []string{"page", "copy", "pagewise", "table"} {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", arch, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				b := buildBase(t, 120)
+				opt := Options{PageBufferPages: 3}
+				switch arch {
+				case "copy":
+					opt.ObjectCache = true
+					opt.ObjectCacheBytes = 8 << 10
+					opt.PageBufferPages = 2
+				case "pagewise":
+					opt.PagewiseRRL = true
+				case "table":
+					opt.SwizzleTableSize = 16
+				}
+				om := b.om(t, opt)
+				om.BeginApplication(specs(rng))
+
+				// A small pool of variables, recreated on app switches.
+				var pvars, cvars []*Var
+				remake := func() {
+					pvars, cvars = nil, nil
+					for i := 0; i < 3; i++ {
+						pvars = append(pvars, om.NewVar(fmt.Sprintf("p%d", i), b.part))
+						cvars = append(cvars, om.NewVar(fmt.Sprintf("c%d", i), b.conn))
+					}
+				}
+				remake()
+
+				softFail := func(err error) bool {
+					// Nil refs and capacity exhaustion (an EDS snowball in
+					// a 3-page buffer) are legitimate outcomes of random
+					// ops; anything else is a bug.
+					return err == nil ||
+						errors.Is(err, ErrNilRef) ||
+						errors.Is(err, ErrNoCapacity) ||
+						errors.Is(err, buffer.ErrNoFrames) ||
+						errors.Is(err, objcache.ErrAllPinned)
+				}
+
+				for op := 0; op < 1200; op++ {
+					var err error
+					switch rng.Intn(20) {
+					case 0, 1: // load a random part
+						err = om.Load(pvars[rng.Intn(3)], b.parts[rng.Intn(len(b.parts))])
+					case 2: // load a random connection
+						i := rng.Intn(len(b.parts))
+						err = om.Load(cvars[rng.Intn(3)], b.conns[i][rng.Intn(3)])
+					case 3, 4, 5, 6: // read ints
+						_, err = om.ReadInt(pvars[rng.Intn(3)], "x")
+					case 7, 8: // traverse: part → connTo[i] → to
+						p := pvars[rng.Intn(3)]
+						c := cvars[rng.Intn(3)]
+						var n int
+						if n, err = om.Card(p, "connTo"); err == nil && n > 0 {
+							if err = om.ReadElem(p, "connTo", rng.Intn(n), c); err == nil {
+								err = om.ReadRef(c, "to", pvars[rng.Intn(3)])
+							}
+						}
+					case 9: // reverse field read
+						_ = om.ReadRef(cvars[rng.Intn(3)], "from", pvars[rng.Intn(3)])
+					case 10, 11: // update int
+						err = om.WriteInt(pvars[rng.Intn(3)], "y", int64(rng.Intn(1000)))
+					case 12: // redirect a connection (the OO1 Update)
+						err = om.WriteRef(cvars[rng.Intn(3)], "to", pvars[rng.Intn(3)])
+					case 13: // var-to-var assignment
+						err = om.Assign(pvars[rng.Intn(3)], pvars[rng.Intn(3)])
+					case 14: // compare
+						_, err = om.Same(pvars[rng.Intn(3)], pvars[rng.Intn(3)])
+					case 15: // explicit displacement
+						ids := om.ResidentOIDs()
+						if len(ids) > 0 {
+							err = om.DisplaceObject(ids[rng.Intn(len(ids))])
+						}
+					case 16: // free and recreate a var
+						i := rng.Intn(3)
+						om.FreeVar(pvars[i])
+						pvars[i] = om.NewVar(fmt.Sprintf("p%d", i), b.part)
+					case 17: // commit, keep caches hot
+						err = om.Commit()
+						remake()
+					case 18: // application switch with a new spec
+						if err = om.Commit(); err == nil {
+							om.BeginApplication(specs(rng))
+							remake()
+						}
+					default: // set mutation
+						p := pvars[rng.Intn(3)]
+						var n int
+						if n, err = om.Card(p, "connTo"); err == nil {
+							if n > 1 && rng.Intn(2) == 0 {
+								err = om.RemoveElem(p, "connTo", rng.Intn(n))
+							} else if !cvars[rng.Intn(3)].IsNil() {
+								err = om.AppendElem(p, "connTo", cvars[rng.Intn(3)])
+							}
+						}
+					}
+					if err != nil && !softFail(err) {
+						t.Fatalf("op %d: %v", op, err)
+					}
+					if op%25 == 0 {
+						if verr := om.Verify(); verr != nil {
+							t.Fatalf("op %d: invariants violated:\n%v", op, verr)
+						}
+					}
+				}
+				if err := om.Verify(); err != nil {
+					t.Fatalf("final invariants violated:\n%v", err)
+				}
+				// Drain everything and re-check.
+				if err := om.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				if err := om.Reset(); err != nil {
+					t.Fatal(err)
+				}
+				if om.Resident() != 0 || om.DescriptorCount() != 0 {
+					t.Errorf("after reset: %d resident, %d descriptors",
+						om.Resident(), om.DescriptorCount())
+				}
+				if err := om.Verify(); err != nil {
+					t.Fatalf("post-reset invariants violated:\n%v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestRandomizedDurability interleaves writes and evictions, then checks
+// from a fresh client that every committed write survived.
+func TestRandomizedDurability(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b := buildBase(t, 150)
+	om := b.om(t, Options{PageBufferPages: 2})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	want := make(map[int]int64)
+	v := om.NewVar("p", b.part)
+	for op := 0; op < 600; op++ {
+		i := rng.Intn(len(b.parts))
+		if err := om.Load(v, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		val := int64(rng.Intn(1 << 20))
+		if err := om.WriteInt(v, "built", val); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = val
+	}
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	om2 := b.om(t, Options{})
+	om2.BeginApplication(appSpec(swizzle.NOS))
+	w := om2.NewVar("p", b.part)
+	for i, val := range want {
+		if err := om2.Load(w, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		got, err := om2.ReadInt(w, "built")
+		if err != nil || got != val {
+			t.Fatalf("part %d built = %d, want %d (%v)", i, got, val, err)
+		}
+	}
+}

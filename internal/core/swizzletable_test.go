@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"gom/internal/sim"
+	"gom/internal/swizzle"
+)
+
+func TestSwizzleTableCapacityRejects(t *testing.T) {
+	b := buildBase(t, 60)
+	om := b.om(t, Options{SwizzleTableSize: 2})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	c := om.NewVar("c", b.conn)
+	p := om.NewVar("p", b.part)
+	// Each discovery of a to-field consumes one table entry.
+	for i := 0; i < 4; i++ {
+		if err := om.Load(c, b.conns[i][0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := om.ReadRef(c, "to", p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(p, "x"); err != nil {
+			t.Fatal(err)
+		}
+		mustVerify(t, om)
+	}
+	if om.SwizzleTableLen() != 2 {
+		t.Errorf("table occupancy = %d, want 2 (capacity)", om.SwizzleTableLen())
+	}
+	if om.Meter().Count(sim.CntSwizzleRejected) == 0 {
+		t.Error("no rejections counted although the table is full")
+	}
+}
+
+func TestSwizzleTableEvictionScan(t *testing.T) {
+	b := buildBase(t, 300)
+	om := b.om(t, Options{SwizzleTableSize: 64, PageBufferPages: 2})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	c := om.NewVar("c", b.conn)
+	p := om.NewVar("p", b.part)
+	if err := om.Load(c, b.conns[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.ReadRef(c, "to", p); err != nil {
+		t.Fatal(err)
+	}
+	toID, _ := om.OID(p)
+	before := om.SwizzleTableLen()
+	if before == 0 {
+		t.Fatal("nothing in table")
+	}
+	// Cycle the buffer until the target is displaced: the eviction must
+	// inspect the table, unswizzle the field, and free the entry.
+	w := om.NewVar("w", b.part)
+	for i := 100; i < 300 && om.IsResident(toID); i++ {
+		if err := om.Load(w, b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(w, "x"); err != nil {
+			t.Fatal(err)
+		}
+		mustVerify(t, om)
+	}
+	if om.IsResident(toID) {
+		t.Fatal("target never displaced")
+	}
+	mustVerify(t, om)
+	// Repaired access re-swizzles through the table again.
+	if _, err := om.ReadInt(p, "x"); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, om)
+}
+
+func TestSwizzleTableMutualExclusion(t *testing.T) {
+	b := buildBase(t, 5)
+	if _, err := New(Options{Server: b.srv, Schema: b.schema,
+		PagewiseRRL: true, SwizzleTableSize: 8}); err == nil {
+		t.Fatal("pagewise + swizzle table accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gom/internal/server"
+	"gom/internal/swizzle"
+)
+
+// TestTransactionalObjectManager drives the full stack: client object
+// managers over TxServer sessions, with commit durability, abort rollback
+// (client Discard + server undo), and write isolation between two clients.
+func TestTransactionalObjectManager(t *testing.T) {
+	b := buildBase(t, 60)
+	txsrv := server.NewTxServer(b.srv.Manager(), 150*time.Millisecond)
+
+	// Transaction 1: modify and commit.
+	tx1 := txsrv.Begin()
+	om1, err := New(Options{Server: txsrv.Session(tx1), Schema: b.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om1.BeginApplication(appSpec(swizzle.LDS))
+	v := om1.NewVar("v", b.part)
+	if err := om1.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om1.WriteInt(v, "x", 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := om1.Commit(); err != nil { // write back through the session
+		t.Fatal(err)
+	}
+	if err := txsrv.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transaction 2: modify and abort.
+	tx2 := txsrv.Begin()
+	om2, err := New(Options{Server: txsrv.Session(tx2), Schema: b.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om2.BeginApplication(appSpec(swizzle.EIS))
+	w := om2.NewVar("w", b.part)
+	if err := om2.Load(w, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := om2.ReadInt(w, "x"); got != 111 {
+		t.Fatalf("tx2 sees %d, want committed 111", got)
+	}
+	if err := om2.WriteInt(w, "x", 222); err != nil {
+		t.Fatal(err)
+	}
+	if err := om2.Commit(); err != nil { // ships dirty pages into the tx
+		t.Fatal(err)
+	}
+	if err := txsrv.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+	om2.Discard()
+
+	// Transaction 3 sees tx1's value, not tx2's.
+	tx3 := txsrv.Begin()
+	om3, err := New(Options{Server: txsrv.Session(tx3), Schema: b.schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om3.BeginApplication(appSpec(swizzle.NOS))
+	u := om3.NewVar("u", b.part)
+	if err := om3.Load(u, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := om3.ReadInt(u, "x"); got != 111 {
+		t.Errorf("after abort x = %d, want 111", got)
+	}
+	if err := txsrv.Commit(tx3); err != nil {
+		t.Fatal(err)
+	}
+	if txsrv.Live() != 0 {
+		t.Errorf("live transactions = %d", txsrv.Live())
+	}
+}
+
+// TestTransactionalConflict shows two object managers conflicting on the
+// same page: the second write times out (deadlock resolution), aborts,
+// and retries successfully after the first commits.
+func TestTransactionalConflict(t *testing.T) {
+	b := buildBase(t, 30)
+	txsrv := server.NewTxServer(b.srv.Manager(), 100*time.Millisecond)
+
+	tx1 := txsrv.Begin()
+	om1, _ := New(Options{Server: txsrv.Session(tx1), Schema: b.schema})
+	om1.BeginApplication(appSpec(swizzle.LDS))
+	v1 := om1.NewVar("v", b.part)
+	if err := om1.Load(v1, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := om1.WriteInt(v1, "y", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := om1.Commit(); err != nil { // takes the X lock via write-back
+		t.Fatal(err)
+	}
+
+	tx2 := txsrv.Begin()
+	om2, _ := New(Options{Server: txsrv.Session(tx2), Schema: b.schema})
+	om2.BeginApplication(appSpec(swizzle.LDS))
+	v2 := om2.NewVar("v", b.part)
+	// Reading the same page needs an S lock against tx1's X: timeout.
+	err := om2.Load(v2, b.parts[1]) // same page as part 0
+	if err == nil {
+		_, err = om2.ReadInt(v2, "x")
+	}
+	if !errors.Is(err, server.ErrLockTimeout) {
+		t.Fatalf("conflicting read: %v", err)
+	}
+	if err := txsrv.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+	om2.Discard()
+
+	// First client commits; retry succeeds.
+	if err := txsrv.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := txsrv.Begin()
+	om3, _ := New(Options{Server: txsrv.Session(tx3), Schema: b.schema})
+	om3.BeginApplication(appSpec(swizzle.LDS))
+	v3 := om3.NewVar("v", b.part)
+	if err := om3.Load(v3, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := om3.ReadInt(v3, "y"); got != 1 {
+		t.Errorf("y = %d", got)
+	}
+	if err := txsrv.Commit(tx3); err != nil {
+		t.Fatal(err)
+	}
+}

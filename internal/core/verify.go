@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/rot"
+)
+
+// Verify checks the object manager's structural invariants and returns an
+// error describing every violation found. It is a diagnostic facility used
+// heavily by the test suite (the invariants are those listed in DESIGN.md):
+//
+//   - a directly swizzled reference points at a ROT-resident object and is
+//     registered in exactly one RRL entry of its target;
+//   - every RRL entry resolves to a direct reference to the list's owner;
+//   - a descriptor's fan-in equals the number of indirectly swizzled
+//     references naming it, and it is valid iff its object is resident;
+//   - in the page architecture, every resident object's page is buffered
+//     and the object is tracked in the page's residency list.
+//
+// Softened eager invariant: eager-granule slots may transiently hold OIDs
+// after a pinned home survived a displacement cascade; deref repairs them.
+// Verify therefore does not require eager slots to be swizzled.
+func (om *OM) Verify() error {
+	var errs []error
+	report := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	// Collect every reference slot in the client: resident objects' fields
+	// and set elements, plus program variables.
+	type slotInfo struct {
+		slot object.Slot
+		ref  *object.Ref
+	}
+	var slots []slotInfo
+	om.rot.Range(func(e *rot.Entry) bool {
+		e.Obj.Refs(func(s object.Slot) {
+			slots = append(slots, slotInfo{s, s.Ref()})
+		})
+		return true
+	})
+	for v := range om.vars {
+		slots = append(slots, slotInfo{object.VarSlot(&v.ref), &v.ref})
+	}
+
+	directCount := make(map[*object.MemObject][]object.Slot)
+	fanIn := make(map[*object.Descriptor]int)
+	for _, si := range slots {
+		switch si.ref.State {
+		case object.RefDirect:
+			target := si.ref.Ptr()
+			e := om.rot.Lookup(target.OID)
+			if e == nil || e.Obj != target {
+				report("direct ref %v in %v points at non-resident object", target.OID, describeSlot(si.slot))
+			}
+			directCount[target] = append(directCount[target], si.slot)
+		case object.RefIndirect:
+			d := si.ref.Desc()
+			if om.descs[d.OID] != d {
+				report("indirect ref to %v uses a descriptor missing from the table", d.OID)
+			}
+			fanIn[d]++
+		}
+	}
+
+	if om.pagewise {
+		// Pagewise mode: every inter-page direct field slot must be
+		// covered by a page-level registration, and the counters must
+		// match exactly.
+		want := make(map[[2]uint64]int)
+		for _, si := range slots {
+			if si.ref.State != object.RefDirect || si.slot.IsVar() {
+				continue
+			}
+			hp, ok1 := om.pageOf(si.slot.Home)
+			tp, ok2 := om.pageOf(si.ref.Ptr())
+			if !ok1 || !ok2 {
+				continue
+			}
+			if hp != tp {
+				want[[2]uint64{uint64(tp), uint64(hp)}]++
+			}
+		}
+		got := make(map[[2]uint64]int)
+		for tp, m := range om.pageRRL {
+			for hp, n := range m {
+				got[[2]uint64{uint64(tp), uint64(hp)}] = n
+			}
+		}
+		for k, n := range want {
+			if got[k] < n {
+				report("pagewise RRL undercounts %v→%v: %d < %d", k[1], k[0], got[k], n)
+			}
+		}
+		// Over-approximation (relocation hints) is allowed; undercounting
+		// is a correctness bug (a displacement scan would miss a page).
+	}
+
+	if om.swizzleTableCap > 0 {
+		// Swizzle-table mode: the table holds every non-var direct slot
+		// exactly once, and never exceeds its capacity.
+		if len(om.swizzleTable) > om.swizzleTableCap {
+			report("swizzle table over capacity: %d > %d", len(om.swizzleTable), om.swizzleTableCap)
+		}
+		inTable := make(map[string]int)
+		for _, s := range om.swizzleTable {
+			r := s.Ref()
+			if r.State != object.RefDirect {
+				report("swizzle table entry %v is not directly swizzled", describeSlot(s))
+			}
+			inTable[describeSlot(s)]++
+		}
+		for _, si := range slots {
+			if si.ref.State != object.RefDirect || si.slot.IsVar() {
+				continue
+			}
+			if inTable[describeSlot(si.slot)] != 1 {
+				report("direct slot %v registered %d times in swizzle table",
+					describeSlot(si.slot), inTable[describeSlot(si.slot)])
+			}
+		}
+	}
+
+	// RRLs two ways: every direct slot registered; every registration a
+	// live direct slot. (Precise mode only — pagewise and table modes keep
+	// no per-object lists.)
+	if !om.pagewise && om.swizzleTableCap == 0 {
+		om.rot.Range(func(e *rot.Entry) bool {
+			obj := e.Obj
+			want := directCount[obj]
+			if obj.RRL.Len() != len(want) {
+				report("object %v: RRL has %d entries, %d direct refs exist", obj.OID, obj.RRL.Len(), len(want))
+			}
+			for _, s := range obj.RRL.Entries() {
+				r := s.Ref()
+				if r.State != object.RefDirect || r.Ptr() != obj {
+					report("object %v: RRL entry %v does not resolve to a direct ref to it", obj.OID, describeSlot(s))
+				}
+			}
+			for _, s := range want {
+				found := false
+				for _, rs := range obj.RRL.Entries() {
+					if rs.Equal(s) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					report("object %v: direct ref at %v not registered in RRL", obj.OID, describeSlot(s))
+				}
+			}
+			return true
+		})
+	}
+
+	// Descriptors: table consistency, fan-in, validity ⇔ residency.
+	for id, d := range om.descs {
+		if d.OID != id {
+			report("descriptor table key %v holds descriptor for %v", id, d.OID)
+		}
+		if d.FanIn != fanIn[d] {
+			report("descriptor %v: fan-in %d, but %d indirect refs exist", id, d.FanIn, fanIn[d])
+		}
+		if d.FanIn <= 0 && !om.retainDescriptors {
+			report("descriptor %v retained with fan-in %d", id, d.FanIn)
+		}
+		if d.FanIn < 0 {
+			report("descriptor %v has negative fan-in %d", id, d.FanIn)
+		}
+		e := om.rot.Lookup(id)
+		switch {
+		case e != nil && d.Ptr != e.Obj:
+			report("descriptor %v: object resident but descriptor invalid or stale pointer", id)
+		case e == nil && d.Ptr != nil:
+			report("descriptor %v: object not resident but descriptor valid", id)
+		}
+		if e != nil && e.Obj.Desc != d {
+			report("object %v does not link its descriptor", id)
+		}
+	}
+	// Any indirect ref must use a table descriptor (checked above); also no
+	// resident object may link a descriptor missing from the table.
+	om.rot.Range(func(e *rot.Entry) bool {
+		if e.Obj.Desc != nil && om.descs[e.Obj.OID] != e.Obj.Desc {
+			report("object %v links descriptor not in table", e.Obj.OID)
+		}
+		return true
+	})
+
+	// Page-architecture residency bookkeeping.
+	if om.cache == nil {
+		om.rot.Range(func(e *rot.Entry) bool {
+			if !om.pool.Contains(e.Addr.Page) {
+				report("object %v resident but its page %v is not buffered", e.Obj.OID, e.Addr.Page)
+			}
+			found := false
+			for _, o := range om.byPage[e.Addr.Page] {
+				if o == e.Obj {
+					found = true
+					break
+				}
+			}
+			if !found {
+				report("object %v missing from page residency list %v", e.Obj.OID, e.Addr.Page)
+			}
+			return true
+		})
+		for pid, objs := range om.byPage {
+			for _, o := range objs {
+				e := om.rot.Lookup(o.OID)
+				if e == nil || e.Obj != o {
+					report("page %v residency list holds displaced object %v", pid, o.OID)
+				}
+			}
+		}
+	} else {
+		om.rot.Range(func(e *rot.Entry) bool {
+			if !om.cache.Contains(e.Obj.OID) {
+				report("object %v resident but not in the object cache", e.Obj.OID)
+			}
+			return true
+		})
+		for _, id := range om.cache.Objects() {
+			if om.rot.Lookup(id) == nil {
+				report("cache holds unregistered object %v", id)
+			}
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+func describeSlot(s object.Slot) string {
+	if s.IsVar() {
+		return "var"
+	}
+	f := s.Home.Type.FieldAt(s.Field)
+	if s.Elem >= 0 {
+		return fmt.Sprintf("%s(%v).%s[%d]", s.Home.Type.Name, s.Home.OID, f.Name, s.Elem)
+	}
+	return fmt.Sprintf("%s(%v).%s", s.Home.Type.Name, s.Home.OID, f.Name)
+}
+
+// ResidentOIDs returns the OIDs of all ROT-registered objects (test and
+// diagnostic helper).
+func (om *OM) ResidentOIDs() []oid.OID { return om.rot.OIDs() }
+
+// IsResident reports whether the object is registered in the ROT.
+func (om *OM) IsResident(id oid.OID) bool { return om.rot.Lookup(id) != nil }
+
+// DescriptorCount returns the number of live descriptors (storage-overhead
+// accounting, §5.3).
+func (om *OM) DescriptorCount() int { return len(om.descs) }
+
+// RRLStats returns the total number of RRL entries and allocated blocks
+// over all resident objects (storage-overhead accounting, §5.3).
+func (om *OM) RRLStats() (entries, blocks int) {
+	om.rot.Range(func(e *rot.Entry) bool {
+		entries += e.Obj.RRL.Len()
+		blocks += e.Obj.RRL.Blocks()
+		return true
+	})
+	return entries, blocks
+}

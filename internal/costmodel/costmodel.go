@@ -1,0 +1,331 @@
+// Package costmodel implements the paper's analytical cost model (§5):
+// the per-operation cost functions SW, US, LO and UP (Tables 4–6,
+// Fig. 11), Equation (1) for application-specific swizzling, Equations (2)
+// and (3) for type- and context-specific swizzling, the best-case matrix
+// of Table 7, the layout-translation costs of Table 8, the closed-form
+// speedup bounds of Equations (4) and (5), and the storage-overhead model
+// of §5.3.
+//
+// The model is parameterized by a sim.CostTable, whose defaults are the
+// paper's calibrated constants, so the printed tables reproduce the
+// paper's numbers; recalibrating the table (e.g. from Go micro-benchmarks)
+// re-derives every analysis consistently.
+package costmodel
+
+import (
+	"math"
+
+	"gom/internal/swizzle"
+
+	"gom/internal/sim"
+)
+
+// Model evaluates the cost model over a cost table.
+type Model struct {
+	C sim.CostTable
+}
+
+// New returns a model over the cost table.
+func New(c sim.CostTable) *Model { return &Model{C: c} }
+
+// Default returns the model with the paper-calibrated constants.
+func Default() *Model { return New(sim.DefaultCosts()) }
+
+// LO is the cost to carry out one lookup of an int field (Table 5, "int"
+// row) through a reference managed by the strategy.
+func (m *Model) LO(st swizzle.Strategy) float64 {
+	c := m.C.FieldAccess
+	if st.Lazy() {
+		c += m.C.LazyCheck
+	}
+	if st.Indirect() {
+		c += m.C.Indirection
+	}
+	if !st.Swizzles() {
+		c += m.C.ROTLookup
+	}
+	return c
+}
+
+// LORef is the cost to look up a reference field (Table 5, "reference").
+func (m *Model) LORef(st swizzle.Strategy) float64 {
+	return m.LO(st) + m.C.RefFieldExtra
+}
+
+// UP is the cost to update an int field (Fig. 11b).
+func (m *Model) UP(st swizzle.Strategy) float64 {
+	return m.LO(st) + m.C.MarkDirty
+}
+
+// UPRef is the cost to redirect a reference field (Fig. 11a): under direct
+// swizzling the old target's RRL is searched (∝ fan-in) and the new
+// target's RRL extended.
+func (m *Model) UPRef(st swizzle.Strategy, fanIn float64) float64 {
+	c := m.LORef(st) + m.C.MarkDirty
+	if st.Direct() {
+		c += m.C.RRLMaintain*(1+fanIn/2) + m.C.RRLMaintain
+	}
+	return c
+}
+
+// SW is the cost to swizzle one reference (half of Table 6's round trip).
+// fanIn counts the *other* swizzled references to the target: at fan-in 0
+// direct swizzling allocates the RRL and indirect swizzling allocates the
+// descriptor (the fi = 0 column of Table 6).
+func (m *Model) SW(st swizzle.Strategy, fanIn float64) float64 {
+	switch {
+	case st.Direct():
+		c := m.C.SwizzleDirect
+		if fanIn < 1 {
+			c += m.C.RRLAlloc
+		}
+		return c
+	case st.Indirect():
+		c := m.C.SwizzleIndirect
+		if fanIn < 1 {
+			c += m.C.DescAlloc
+		}
+		return c
+	}
+	return 0
+}
+
+// US is the cost to unswizzle one reference: direct unswizzling searches
+// the RRL (the Table 6 slope, ∝ fan-in) and frees it when it empties;
+// indirect unswizzling frees the descriptor when its counter reaches zero.
+func (m *Model) US(st swizzle.Strategy, fanIn float64) float64 {
+	switch {
+	case st.Direct():
+		c := m.C.UnswizzleDirect
+		if fanIn > 1 {
+			c += m.C.RRLMaintain * (fanIn - 1)
+		}
+		if fanIn < 1 {
+			c += m.C.RRLFree
+		}
+		return c
+	case st.Indirect():
+		c := m.C.UnswizzleIndirect
+		if fanIn < 1 {
+			c += m.C.DescFree
+		}
+		return c
+	}
+	return 0
+}
+
+// SWUS is the swizzle+unswizzle round trip of Table 6.
+func (m *Model) SWUS(st swizzle.Strategy, fanIn float64) float64 {
+	return m.SW(st, fanIn) + m.US(st, fanIn)
+}
+
+// Session holds the session variables of Table 3 for one granule (or one
+// whole application): lookups and updates split by field kind, the number
+// of references converted under eager and lazy regimes, and the average
+// fan-in.
+type Session struct {
+	LInt, LRef float64 // l: lookups performed
+	UInt, URef float64 // u: updates performed
+	MEager     float64 // m(eager): refs swizzled (and later unswizzled) eagerly
+	MLazy      float64 // m(lazy): refs swizzled upon discovery
+	FanIn      float64 // fi: average fan-in
+}
+
+// M returns m(st) for a strategy (Table 3: "depends on whether eager or
+// lazy swizzling is used").
+func (s Session) M(st swizzle.Strategy) float64 {
+	switch {
+	case st.Eager():
+		return s.MEager
+	case st.Lazy():
+		return s.MLazy
+	}
+	return 0
+}
+
+// ApplicationCost evaluates Equation (1):
+//
+//	C(st) = m(st)·(SW(st,fi) + US(st,fi)) + l·LO(st) + u·UP(st,fi)
+func (m *Model) ApplicationCost(st swizzle.Strategy, s Session) float64 {
+	return s.M(st)*m.SWUS(st, s.FanIn) +
+		s.LInt*m.LO(st) + s.LRef*m.LORef(st) +
+		s.UInt*m.UP(st) + s.URef*m.UPRef(st, s.FanIn)
+}
+
+// BestApplicationStrategy evaluates Equation (1) for all five strategies
+// and returns the cheapest with its cost.
+func (m *Model) BestApplicationStrategy(s Session) (swizzle.Strategy, float64) {
+	best, bestCost := swizzle.NOS, math.Inf(1)
+	for _, st := range swizzle.Strategies {
+		if c := m.ApplicationCost(st, s); c < bestCost {
+			best, bestCost = st, c
+		}
+	}
+	return best, bestCost
+}
+
+// Granule is one statically-mapped reference granule with its strategy and
+// profile (Equations 2 and 3 sum per-granule contributions).
+type Granule struct {
+	Name     string
+	Strategy swizzle.Strategy
+	S        Session
+}
+
+// TypeCost evaluates Equation (2): per-granule Equation-(1) contributions
+// plus the late-binding fetch call for every object accessed.
+//
+//	C = o·FC + Σ_t [ m_t·(SW+US) + l_t·LO + u_t·UP ]
+func (m *Model) TypeCost(granules []Granule, objects float64) float64 {
+	c := objects * m.C.FetchCall
+	for _, g := range granules {
+		c += m.ApplicationCost(g.Strategy, g.S)
+	}
+	return c
+}
+
+// ContextCost evaluates Equation (3): Equation (2) plus the translation
+// overhead TL incurred when differently-swizzled references are assigned
+// or compared.
+func (m *Model) ContextCost(granules []Granule, objects, translations float64) float64 {
+	return translations*m.C.TranslateSwizzled + m.TypeCost(granules, objects)
+}
+
+// Table8 returns the layout-translation cost matrix (Table 8): entry
+// [from][to], indexed by position in swizzle.Strategies (NOS LIS EIS LDS
+// EDS), is the µs to translate a reference from one layout into another;
+// NaN marks "-" (no translation necessary). Lazy sources are modeled in
+// their swizzled state (the paper's first value).
+func (m *Model) Table8() [5][5]float64 {
+	var t [5][5]float64
+	for i, from := range swizzle.Strategies {
+		for j, to := range swizzle.Strategies {
+			t[i][j] = m.translate(from, to)
+		}
+	}
+	return t
+}
+
+func (m *Model) translate(from, to swizzle.Strategy) float64 {
+	fs, ts := from.TargetState(), to.TargetState()
+	if fs == ts {
+		return math.NaN() // same layout: no translation
+	}
+	switch {
+	case !to.Swizzles(): // swizzled → NOS
+		return m.C.TranslateSwizzledToOID
+	case !from.Swizzles(): // NOS → swizzled (needs a ROT lookup)
+		return m.C.TranslateOIDToSwizzled
+	default: // direct ↔ indirect
+		return m.C.TranslateSwizzled
+	}
+}
+
+// BestCase returns the factor by which strategy a outperforms strategy b
+// in a's most favorable (yet realistic) scenario — Table 7. +Inf encodes
+// the unbounded cases (an eager technique can swizzle arbitrarily many
+// references that are never dereferenced). fanIn is the assumed fan-in for
+// the direct-swizzling worst cases (the paper uses 25).
+func (m *Model) BestCase(a, b swizzle.Strategy, fanIn float64) float64 {
+	if a == b {
+		return 1
+	}
+	// Unbounded: b eager, a not — a workload of never-dereferenced
+	// references makes b arbitrarily bad.
+	if b.Eager() && !a.Eager() {
+		return math.Inf(1)
+	}
+	// Otherwise take the best of a's realistic scenarios:
+	//  (1) hot pure lookups — every reference dereferenced unboundedly
+	//      often; steady-state lookup costs dominate;
+	//  (2) every reference dereferenced exactly once, at fan-in 0
+	//      (allocation/reclamation per reference) or at the given fan-in
+	//      (the RRL scan penalty of direct swizzling; the paper's worst
+	//      case assumes fi = 25).
+	costOnce := func(st swizzle.Strategy, fi float64) float64 {
+		if st.Swizzles() {
+			return m.SWUS(st, fi) + m.LO(st)
+		}
+		return m.LO(st)
+	}
+	best := m.LO(b) / m.LO(a)
+	for _, fi := range []float64{0, fanIn} {
+		if r := costOnce(b, fi) / costOnce(a, fi); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// BestCaseMatrix returns Table 7: entry [i][j] is BestCase(row i, column
+// j) over the swizzle.Strategies ordering (NOS LIS EIS LDS EDS).
+func (m *Model) BestCaseMatrix(fanIn float64) [5][5]float64 {
+	var t [5][5]float64
+	for i, a := range swizzle.Strategies {
+		for j, b := range swizzle.Strategies {
+			t[i][j] = m.BestCase(a, b, fanIn)
+		}
+	}
+	return t
+}
+
+// Eq4Speedup is Equation (4): the worst-case overhead of type/context
+// granularity over application granularity — an application that browses
+// objects touching each once pays the fetch call for nothing:
+//
+//	C(typ)/C(appl) = (FC + LO(NOS)) / LO(NOS)   (≈ 2.42 with paper costs)
+func (m *Model) Eq4Speedup() float64 {
+	return (m.C.FetchCall + m.LO(swizzle.NOS)) / m.LO(swizzle.NOS)
+}
+
+// Eq5Speedup is Equation (5): the asymptotic best-case speedup of
+// type/context granularity over application granularity, at the
+// application-specific break-even point between NOS and LIS
+// (m = l·(LO(NOS)−LO(LIS)) / (SWUS(LIS,0)+LO(LIS)−LO(NOS))):
+//
+//	(LO(NOS) + r·LO(NOS)) / (LO(EDS) + r·LO(NOS))   (≈ 2.45)
+func (m *Model) Eq5Speedup() float64 {
+	num := m.LO(swizzle.NOS) - m.LO(swizzle.LIS)
+	den := m.SWUS(swizzle.LIS, 0) + m.LO(swizzle.LIS) - m.LO(swizzle.NOS)
+	r := num / den
+	return (m.LO(swizzle.NOS) + r*m.LO(swizzle.NOS)) /
+		(m.LO(swizzle.EDS) + r*m.LO(swizzle.NOS))
+}
+
+// Storage overhead (§5.3). Sizes are the paper's GOM values.
+const (
+	// DescriptorSize is SD: one descriptor is 24 bytes.
+	DescriptorSize = 24
+	// RRLEntrySize is SR: one RRL entry is 12 bytes.
+	RRLEntrySize = 12
+	// RRLBlockEntries is the allocation granule: blocks of 10 entries.
+	RRLBlockEntries = 10
+)
+
+// DescriptorOverheadBytes is the per-object descriptor overhead: o · SD.
+func DescriptorOverheadBytes(objects int) int {
+	return objects * DescriptorSize
+}
+
+// RRLOverheadBytes is the RRL overhead for an object of the given fan-in,
+// accounting for internal off-cuts in the 10-entry blocks:
+// ⌈fi/10⌉·10·SR.
+func RRLOverheadBytes(fanIn int) int {
+	if fanIn <= 0 {
+		return 0
+	}
+	blocks := (fanIn + RRLBlockEntries - 1) / RRLBlockEntries
+	return blocks * RRLBlockEntries * RRLEntrySize
+}
+
+// OverheadFraction returns the swizzling storage overhead as a fraction of
+// the object data itself, for a population of objects with the given
+// average persistent size and average fan-in, under indirect (descriptor)
+// or direct (RRL) swizzling. For the OO1 structures the paper reports
+// 43 % (§5.3).
+func OverheadFraction(avgObjectSize float64, avgFanIn float64, direct bool) float64 {
+	if direct {
+		return float64(RRLOverheadBytes(int(math.Ceil(avgFanIn)))) / avgObjectSize
+	}
+	return DescriptorSize / avgObjectSize
+}

@@ -1,0 +1,304 @@
+// Package index provides the index substrate (paper §3.4.2): a B+-tree
+// over integer keys (the OO1 part-id index) and a reference-keyed index.
+//
+// The swizzling-relevant rule of §3.4.2 is that references used as index
+// keys are never swizzled — swizzling them would reorganize the index and
+// make probes with swizzled references impossible. Probing with a program
+// variable therefore first translates the reference to its unswizzled form
+// (charged per Table 8), which RefIndex.Probe models.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gom/internal/oid"
+)
+
+// degree is the maximum number of keys in a node; nodes split at degree
+// and merge below degree/2.
+const degree = 64
+
+// BTree maps int64 keys to sets of OIDs (duplicates allowed). It is an
+// in-memory B+-tree: values live in leaves, internal nodes route.
+type BTree struct {
+	root *node
+	size int // number of (key, oid) pairs
+}
+
+type node struct {
+	leaf     bool
+	keys     []int64
+	children []*node     // internal nodes: len(keys)+1
+	vals     [][]oid.OID // leaves: parallel to keys
+	next     *node       // leaf chain for range scans
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &node{leaf: true}}
+}
+
+// Len returns the number of (key, OID) pairs stored.
+func (t *BTree) Len() int { return t.size }
+
+// Search returns the OIDs stored under the key (nil if none). The result
+// aliases internal storage and must not be mutated.
+func (t *BTree) Search(key int64) []oid.OID {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.route(key)]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i]
+	}
+	return nil
+}
+
+// route returns the child index to descend for key.
+func (n *node) route(key int64) int {
+	return sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+}
+
+// Insert adds a (key, id) pair.
+func (t *BTree) Insert(key int64, id oid.OID) {
+	r := t.root
+	if len(r.keys) >= degree {
+		// Preemptive root split.
+		left, right, mid := r.split()
+		t.root = &node{keys: []int64{mid}, children: []*node{left, right}}
+	}
+	t.insertNonFull(t.root, key, id)
+	t.size++
+}
+
+// split divides a full node into two halves, returning the separator key.
+func (n *node) split() (left, right *node, mid int64) {
+	h := len(n.keys) / 2
+	if n.leaf {
+		right = &node{leaf: true, keys: append([]int64{}, n.keys[h:]...),
+			vals: append([][]oid.OID{}, n.vals[h:]...), next: n.next}
+		left = n
+		left.keys = n.keys[:h:h]
+		left.vals = n.vals[:h:h]
+		left.next = right
+		return left, right, right.keys[0]
+	}
+	mid = n.keys[h]
+	right = &node{keys: append([]int64{}, n.keys[h+1:]...),
+		children: append([]*node{}, n.children[h+1:]...)}
+	left = n
+	left.keys = n.keys[:h:h]
+	left.children = n.children[: h+1 : h+1]
+	return left, right, mid
+}
+
+func (t *BTree) insertNonFull(n *node, key int64, id oid.OID) {
+	for !n.leaf {
+		ci := n.route(key)
+		child := n.children[ci]
+		if len(child.keys) >= degree {
+			left, right, mid := child.split()
+			n.keys = append(n.keys, 0)
+			copy(n.keys[ci+1:], n.keys[ci:])
+			n.keys[ci] = mid
+			n.children = append(n.children, nil)
+			copy(n.children[ci+2:], n.children[ci+1:])
+			n.children[ci], n.children[ci+1] = left, right
+			if key >= mid {
+				child = right
+			}
+		}
+		n = child
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		n.vals[i] = append(n.vals[i], id)
+		return
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = key
+	n.vals = append(n.vals, nil)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = []oid.OID{id}
+}
+
+// Delete removes one (key, id) pair; it reports whether it was present.
+// Leaves may underflow (lazy deletion): routing keys remain valid, lookups
+// and scans stay correct, and space is reclaimed when a leaf empties
+// completely on its next sibling merge during bulk operations. This is the
+// classic trade-off for in-memory B-trees with mostly-grow workloads.
+func (t *BTree) Delete(key int64, id oid.OID) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.route(key)]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i >= len(n.keys) || n.keys[i] != key {
+		return false
+	}
+	vals := n.vals[i]
+	for j, v := range vals {
+		if v == id {
+			vals[j] = vals[len(vals)-1]
+			n.vals[i] = vals[:len(vals)-1]
+			if len(n.vals[i]) == 0 {
+				copy(n.keys[i:], n.keys[i+1:])
+				n.keys = n.keys[:len(n.keys)-1]
+				copy(n.vals[i:], n.vals[i+1:])
+				n.vals = n.vals[:len(n.vals)-1]
+			}
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls fn for every (key, id) pair with lo ≤ key ≤ hi, in key
+// order, until fn returns false.
+func (t *BTree) Range(lo, hi int64, fn func(key int64, id oid.OID) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.route(lo)]
+	}
+	for n != nil {
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			for _, id := range n.vals[i] {
+				if !fn(k, id) {
+					return
+				}
+			}
+		}
+		n = n.next
+	}
+}
+
+// Min returns the smallest key, or false when empty.
+func (t *BTree) Min() (int64, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		if len(n.keys) > 0 {
+			return n.keys[0], true
+		}
+		n = n.next
+	}
+	return 0, false
+}
+
+// Max returns the largest key, or false when empty.
+func (t *BTree) Max() (int64, bool) {
+	best := int64(0)
+	found := false
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	// The rightmost leaf may be empty after lazy deletes; walk the chain
+	// from the left as a fallback only if needed.
+	if len(n.keys) > 0 {
+		return n.keys[len(n.keys)-1], true
+	}
+	t.Range(-1<<63, 1<<63-1, func(k int64, _ oid.OID) bool {
+		best, found = k, true
+		return true
+	})
+	return best, found
+}
+
+// Height returns the tree height (1 = only a leaf root).
+func (t *BTree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Validate checks the structural invariants: sorted keys, children counts,
+// separator ordering, and leaf-chain consistency. Used by tests.
+func (t *BTree) Validate() error {
+	var errs []error
+	var walk func(n *node, lo, hi int64, depth int) int
+	leafDepth := -1
+	walk = func(n *node, lo, hi int64, depth int) int {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] >= n.keys[i] {
+				errs = append(errs, fmt.Errorf("unsorted keys at depth %d", depth))
+			}
+		}
+		for _, k := range n.keys {
+			if k < lo || k > hi {
+				errs = append(errs, fmt.Errorf("key %d out of separator range [%d,%d]", k, lo, hi))
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				errs = append(errs, fmt.Errorf("leaves at depths %d and %d", leafDepth, depth))
+			}
+			if len(n.vals) != len(n.keys) {
+				errs = append(errs, errors.New("leaf vals/keys length mismatch"))
+			}
+			for i, vs := range n.vals {
+				if len(vs) == 0 {
+					errs = append(errs, fmt.Errorf("empty value set for key %d", n.keys[i]))
+				}
+			}
+			return len(n.keys)
+		}
+		if len(n.children) != len(n.keys)+1 {
+			errs = append(errs, errors.New("internal children/keys mismatch"))
+			return 0
+		}
+		total := 0
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i] - 1
+				if c.leaf {
+					chi = n.keys[i] - 1
+				}
+			}
+			total += walk(c, clo, chi, depth+1)
+		}
+		return total
+	}
+	walk(t.root, -1<<63, 1<<63-1, 0)
+	// Leaf chain covers exactly the keys reachable top-down, in order.
+	var chain []int64
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		chain = append(chain, n.keys...)
+	}
+	for i := 1; i < len(chain); i++ {
+		if chain[i-1] >= chain[i] {
+			errs = append(errs, fmt.Errorf("leaf chain unsorted at %d", i))
+		}
+	}
+	pairs := 0
+	t.Range(-1<<63, 1<<63-1, func(int64, oid.OID) bool { pairs++; return true })
+	if pairs != t.size {
+		errs = append(errs, fmt.Errorf("size %d but %d pairs reachable", t.size, pairs))
+	}
+	return errors.Join(errs...)
+}

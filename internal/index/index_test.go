@@ -1,0 +1,250 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"gom/internal/oid"
+	"gom/internal/sim"
+)
+
+func TestBTreeInsertSearch(t *testing.T) {
+	tr := NewBTree()
+	if got := tr.Search(5); got != nil {
+		t.Errorf("empty search = %v", got)
+	}
+	for i := int64(1); i <= 1000; i++ {
+		tr.Insert(i, oid.MustNew(1, uint64(i)))
+	}
+	if tr.Len() != 1000 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height = %d; tree never split", tr.Height())
+	}
+	for i := int64(1); i <= 1000; i++ {
+		got := tr.Search(i)
+		if len(got) != 1 || got[0] != oid.MustNew(1, uint64(i)) {
+			t.Fatalf("search(%d) = %v", i, got)
+		}
+	}
+	if tr.Search(0) != nil || tr.Search(1001) != nil {
+		t.Error("missing keys resolved")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDuplicateKeys(t *testing.T) {
+	tr := NewBTree()
+	for i := uint64(1); i <= 5; i++ {
+		tr.Insert(42, oid.MustNew(1, i))
+	}
+	if got := tr.Search(42); len(got) != 5 {
+		t.Errorf("dups = %v", got)
+	}
+	if !tr.Delete(42, oid.MustNew(1, 3)) {
+		t.Error("delete of dup failed")
+	}
+	if got := tr.Search(42); len(got) != 4 {
+		t.Errorf("after delete = %v", got)
+	}
+	if tr.Delete(42, oid.MustNew(1, 3)) {
+		t.Error("double delete succeeded")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDeleteAll(t *testing.T) {
+	tr := NewBTree()
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i, oid.MustNew(1, uint64(i+1)))
+	}
+	for i := int64(0); i < n; i++ {
+		if !tr.Delete(i, oid.MustNew(1, uint64(i+1))) {
+			t.Fatalf("delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("len = %d after deleting all", tr.Len())
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("min on empty tree")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	tr := NewBTree()
+	for i := int64(0); i < 500; i += 2 { // even keys
+		tr.Insert(i, oid.MustNew(1, uint64(i+1)))
+	}
+	var keys []int64
+	tr.Range(100, 200, func(k int64, id oid.OID) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 51 || keys[0] != 100 || keys[50] != 200 {
+		t.Errorf("range = %d keys, first %d, last %d", len(keys), keys[0], keys[len(keys)-1])
+	}
+	// Early stop.
+	count := 0
+	tr.Range(0, 1000, func(int64, oid.OID) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Errorf("early stop count = %d", count)
+	}
+	// Odd bounds.
+	keys = nil
+	tr.Range(101, 103, func(k int64, _ oid.OID) bool { keys = append(keys, k); return true })
+	if len(keys) != 1 || keys[0] != 102 {
+		t.Errorf("odd range = %v", keys)
+	}
+}
+
+func TestBTreeMinMax(t *testing.T) {
+	tr := NewBTree()
+	for _, k := range []int64{50, 10, 90, 30, 70} {
+		tr.Insert(k, oid.MustNew(1, uint64(k)))
+	}
+	if mn, ok := tr.Min(); !ok || mn != 10 {
+		t.Errorf("min = %d, %v", mn, ok)
+	}
+	if mx, ok := tr.Max(); !ok || mx != 90 {
+		t.Errorf("max = %d, %v", mx, ok)
+	}
+	tr.Delete(90, oid.MustNew(1, 90))
+	if mx, ok := tr.Max(); !ok || mx != 70 {
+		t.Errorf("max after delete = %d, %v", mx, ok)
+	}
+}
+
+// TestBTreeShadowModel runs random inserts/deletes/searches against a map.
+func TestBTreeShadowModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := NewBTree()
+	shadow := map[int64]map[oid.OID]bool{}
+	for op := 0; op < 30000; op++ {
+		k := int64(rng.Intn(3000))
+		id := oid.MustNew(1, uint64(rng.Intn(50)+1))
+		switch rng.Intn(3) {
+		case 0: // insert
+			if shadow[k] == nil {
+				shadow[k] = map[oid.OID]bool{}
+			}
+			if !shadow[k][id] { // tree allows dup pairs; model avoids them
+				tr.Insert(k, id)
+				shadow[k][id] = true
+			}
+		case 1: // delete
+			want := shadow[k][id]
+			if tr.Delete(k, id) != want {
+				t.Fatalf("op %d: delete(%d,%v) disagreed", op, k, id)
+			}
+			delete(shadow[k], id)
+		default: // search
+			got := tr.Search(k)
+			if len(got) != len(shadow[k]) {
+				t.Fatalf("op %d: search(%d) = %d ids, want %d", op, k, len(got), len(shadow[k]))
+			}
+			for _, g := range got {
+				if !shadow[k][g] {
+					t.Fatalf("op %d: search(%d) returned unknown %v", op, k, g)
+				}
+			}
+		}
+		if op%5000 == 0 {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefIndexBasic(t *testing.T) {
+	x := NewRefIndex()
+	k1, k2 := oid.MustNew(1, 1), oid.MustNew(1, 2)
+	v1, v2 := oid.MustNew(2, 1), oid.MustNew(2, 2)
+	x.Insert(k1, v1)
+	x.Insert(k1, v2)
+	x.Insert(k2, v1)
+	if x.Len() != 3 {
+		t.Errorf("len = %d", x.Len())
+	}
+	if got := x.Lookup(k1); len(got) != 2 {
+		t.Errorf("lookup = %v", got)
+	}
+	if !x.Delete(k1, v1) || x.Delete(k1, v1) {
+		t.Error("delete semantics broken")
+	}
+	if got := x.Lookup(k1); len(got) != 1 || got[0] != v2 {
+		t.Errorf("after delete = %v", got)
+	}
+	x.Delete(k1, v2)
+	if x.Lookup(k1) != nil {
+		t.Error("key not removed when empty")
+	}
+	keys := 0
+	x.Keys(func(oid.OID) bool { keys++; return true })
+	if keys != 1 {
+		t.Errorf("keys = %d", keys)
+	}
+}
+
+func TestRefIndexProbeChargesTranslation(t *testing.T) {
+	x := NewRefIndex()
+	k := oid.MustNew(1, 1)
+	x.Insert(k, oid.MustNew(2, 1))
+	m := sim.NewMeter(sim.DefaultCosts())
+
+	// Unswizzled probe: no translation, one probe charge.
+	x.Probe(k, false, m)
+	if m.Count(sim.CntTranslate) != 0 || m.Count(sim.CntIndexProbe) != 1 {
+		t.Errorf("unswizzled probe: translate=%d probe=%d",
+			m.Count(sim.CntTranslate), m.Count(sim.CntIndexProbe))
+	}
+	before := m.Micros()
+	// Swizzled probe: translation charged (§3.4.2).
+	got := x.Probe(k, true, m)
+	if len(got) != 1 {
+		t.Errorf("probe = %v", got)
+	}
+	if m.Count(sim.CntTranslate) != 1 {
+		t.Error("no translation charged for swizzled key")
+	}
+	if m.Micros() <= before {
+		t.Error("no cost charged")
+	}
+	// Nil meter tolerated.
+	if got := x.Probe(k, true, nil); len(got) != 1 {
+		t.Error("nil-meter probe broken")
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr := NewBTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), oid.MustNew(1, uint64(i+1)))
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	tr := NewBTree()
+	const n = 100000
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i, oid.MustNew(1, uint64(i+1)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(int64(i % n))
+	}
+}

@@ -1,0 +1,80 @@
+package index
+
+import (
+	"gom/internal/oid"
+	"gom/internal/sim"
+)
+
+// RefIndex is an index whose keys are references (e.g. an index on
+// Connection.to, or an Access Support Relation binding; §3.4.2). Keys are
+// stored unswizzled — always OIDs — because swizzled references cannot be
+// hashed or compared stably and swizzling them would reorganize the index.
+type RefIndex struct {
+	m    map[oid.OID][]oid.OID
+	size int
+}
+
+// NewRefIndex returns an empty reference-keyed index.
+func NewRefIndex() *RefIndex {
+	return &RefIndex{m: make(map[oid.OID][]oid.OID)}
+}
+
+// Len returns the number of (key, value) pairs.
+func (x *RefIndex) Len() int { return x.size }
+
+// Insert adds a pair. The key must already be in unswizzled (OID) form —
+// the storage layer always has it in that form, since persistent records
+// store OIDs.
+func (x *RefIndex) Insert(key, value oid.OID) {
+	x.m[key] = append(x.m[key], value)
+	x.size++
+}
+
+// Delete removes one pair; it reports whether it was present.
+func (x *RefIndex) Delete(key, value oid.OID) bool {
+	vs := x.m[key]
+	for i, v := range vs {
+		if v == value {
+			vs[i] = vs[len(vs)-1]
+			if len(vs) == 1 {
+				delete(x.m, key)
+			} else {
+				x.m[key] = vs[:len(vs)-1]
+			}
+			x.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Probe looks up the entries under a key that is available as a possibly
+// swizzled reference held by an application. Per §3.4.2, the reference
+// must first be translated into its non-swizzled format — a small
+// overhead charged against the meter (Table 8, column NOS) — and the
+// probe itself costs one index access.
+//
+// translated is the key's unswizzled form; swizzled says whether a
+// translation was necessary (callers obtain both from object.Ref via
+// TargetOID and Swizzled).
+func (x *RefIndex) Probe(translated oid.OID, swizzled bool, meter *sim.Meter) []oid.OID {
+	if meter != nil {
+		if swizzled {
+			meter.Event(sim.CntTranslate, meter.Costs().TranslateSwizzledToOID)
+		}
+		meter.Event(sim.CntIndexProbe, meter.Costs().IndexProbe)
+	}
+	return x.m[translated]
+}
+
+// Lookup is Probe without cost accounting (storage-side use).
+func (x *RefIndex) Lookup(key oid.OID) []oid.OID { return x.m[key] }
+
+// Keys calls fn for every key until fn returns false.
+func (x *RefIndex) Keys(fn func(oid.OID) bool) {
+	for k := range x.m {
+		if !fn(k) {
+			return
+		}
+	}
+}

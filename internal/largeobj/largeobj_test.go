@@ -1,0 +1,297 @@
+package largeobj
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gom/internal/core"
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/server"
+	"gom/internal/storage"
+	"gom/internal/swizzle"
+)
+
+// fixture builds a schema with an Item type plus the large-list types, an
+// object base of nItems Items, and an object manager.
+type fixture struct {
+	om    *core.OM
+	item  *object.Type
+	items []oid.OID
+}
+
+func setup(t *testing.T, nItems int, opt core.Options) *fixture {
+	t.Helper()
+	schema := object.NewSchema()
+	item := schema.MustDefine("Item",
+		object.Field{Name: "n", Kind: object.KindInt},
+	)
+	RegisterTypes(schema)
+	mgr := storage.NewManager(1)
+	for _, seg := range []uint16{0, 1} {
+		if err := mgr.CreateSegment(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := &fixture{item: item}
+	for i := 0; i < nItems; i++ {
+		o := object.New(item, oid.Nil)
+		o.SetInt(0, int64(i))
+		rec, err := object.Encode(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, _, err := mgr.Allocate(0, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.items = append(f.items, id)
+	}
+	opt.Server = server.NewLocal(mgr)
+	opt.Schema = schema
+	om, err := core.New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.om = om
+	return f
+}
+
+func TestRegisterTypesIdempotent(t *testing.T) {
+	s := object.NewSchema()
+	l1, c1 := RegisterTypes(s)
+	l2, c2 := RegisterTypes(s)
+	if l1 != l2 || c1 != c2 {
+		t.Error("second registration produced new types")
+	}
+	if l1.FieldIndex("dirs") < 0 || c1.FieldIndex("elems") < 0 {
+		t.Error("fields missing")
+	}
+}
+
+func TestCreateAppendGet(t *testing.T) {
+	f := setup(t, 50, core.Options{})
+	// The paper's conclusion for large objects: indirect swizzling of the
+	// directory reference (§3.4.1).
+	f.om.BeginApplication(swizzle.NewSpec("ll", swizzle.LDS).
+		WithType(ListTypeName, swizzle.LIS))
+	l, err := Create(f.om, 1, "mylist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := l.Len(); err != nil || n != 0 {
+		t.Fatalf("fresh len = %d, %v", n, err)
+	}
+	src := f.om.NewVar("src", f.item)
+	for i := 0; i < 50; i++ {
+		if err := f.om.Load(src, f.items[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := l.Len(); n != 50 {
+		t.Fatalf("len = %d", n)
+	}
+	dst := f.om.NewVar("dst", f.item)
+	for i := 0; i < 50; i++ {
+		if err := l.Get(i, dst); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := f.om.ReadInt(dst, "n"); err != nil || n != int64(i) {
+			t.Fatalf("elem %d = %d, %v", i, n, err)
+		}
+	}
+	if err := f.om.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiChunkGrowthAndDurability(t *testing.T) {
+	n := ChunkCap + 25 // forces a second chunk
+	f := setup(t, n, core.Options{})
+	f.om.BeginApplication(swizzle.NewSpec("ll", swizzle.NOS))
+	l, err := Create(f.om, 1, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := f.om.NewVar("src", f.item)
+	for i := 0; i < n; i++ {
+		if err := f.om.Load(src, f.items[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(src); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// One directory node holding two chunks.
+	if dirs, _ := f.om.Card(l.Var(), "dirs"); dirs != 1 {
+		t.Errorf("dirs = %d, want 1", dirs)
+	}
+	dirVar := f.om.NewVar("dir", f.om.Schema().Type(DirTypeName))
+	if err := f.om.ReadElem(l.Var(), "dirs", 0, dirVar); err != nil {
+		t.Fatal(err)
+	}
+	if chunks, _ := f.om.Card(dirVar, "chunks"); chunks != 2 {
+		t.Errorf("chunks = %d, want 2", chunks)
+	}
+	f.om.FreeVar(dirVar)
+	id, err := l.OID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen cold in a second application and verify every element. The
+	// chunk records grew past their original page room, so this also
+	// exercises the server-side relocation path.
+	if err := f.om.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	f.om.BeginApplication(swizzle.NewSpec("ll2", swizzle.LIS))
+	l2, err := Open(f.om, 1, "big", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := l2.Len(); got != n {
+		t.Fatalf("reopened len = %d", got)
+	}
+	seen := 0
+	err = l2.Each(f.item, func(i int, v *core.Var) (bool, error) {
+		got, err := f.om.ReadInt(v, "n")
+		if err != nil {
+			return false, err
+		}
+		if got != int64(i) {
+			return false, fmt.Errorf("elem %d = %d", i, got)
+		}
+		seen++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Errorf("visited %d elements", seen)
+	}
+	if err := f.om.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetOverwritesInPlace(t *testing.T) {
+	f := setup(t, 10, core.Options{})
+	f.om.BeginApplication(swizzle.NewSpec("ll", swizzle.LDS))
+	l, err := Create(f.om, 1, "lst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := f.om.NewVar("src", f.item)
+	for i := 0; i < 5; i++ {
+		if err := f.om.Load(src, f.items[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.om.Load(src, f.items[9]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set(2, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := f.om.NewVar("dst", f.item)
+	want := []int64{0, 1, 9, 3, 4}
+	for i, w := range want {
+		if err := l.Get(i, dst); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := f.om.ReadInt(dst, "n"); got != w {
+			t.Errorf("elem %d = %d, want %d", i, got, w)
+		}
+	}
+	if err := f.om.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	f := setup(t, 3, core.Options{})
+	f.om.BeginApplication(swizzle.NewSpec("ll", swizzle.NOS))
+	l, err := Create(f.om, 1, "lst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := f.om.NewVar("dst", f.item)
+	if err := l.Get(0, dst); !errors.Is(err, ErrRange) {
+		t.Errorf("get on empty = %v", err)
+	}
+	src := f.om.NewVar("src", f.item)
+	if err := f.om.Load(src, f.items[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Get(-1, dst); !errors.Is(err, ErrRange) {
+		t.Errorf("get(-1) = %v", err)
+	}
+	if err := l.Get(1, dst); !errors.Is(err, ErrRange) {
+		t.Errorf("get(1) = %v", err)
+	}
+}
+
+func TestUnregisteredSchemaFails(t *testing.T) {
+	schema := object.NewSchema()
+	schema.MustDefine("Item", object.Field{Name: "n", Kind: object.KindInt})
+	mgr := storage.NewManager(1)
+	mgr.CreateSegment(0)
+	om, err := core.New(core.Options{Server: server.NewLocal(mgr), Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	om.BeginApplication(swizzle.NewSpec("x", swizzle.NOS))
+	if _, err := Create(om, 0, "l"); err == nil {
+		t.Error("create without registered types succeeded")
+	}
+	if _, err := Open(om, 0, "l", oid.MustNew(1, 1)); err == nil {
+		t.Error("open without registered types succeeded")
+	}
+}
+
+func TestLargeListUnderTinyBuffer(t *testing.T) {
+	// Directory consultation must survive constant replacement.
+	n := 120
+	f := setup(t, n, core.Options{PageBufferPages: 2})
+	f.om.BeginApplication(swizzle.NewSpec("ll", swizzle.LIS))
+	l, err := Create(f.om, 1, "lst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := f.om.NewVar("src", f.item)
+	for i := 0; i < n; i++ {
+		if err := f.om.Load(src, f.items[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(src); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	dst := f.om.NewVar("dst", f.item)
+	for _, i := range []int{0, 57, 119, 3, 99} {
+		if err := l.Get(i, dst); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := f.om.ReadInt(dst, "n"); got != int64(i) {
+			t.Errorf("elem %d = %d", i, got)
+		}
+		if err := f.om.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

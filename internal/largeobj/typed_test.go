@@ -1,0 +1,71 @@
+package largeobj
+
+import (
+	"testing"
+
+	"gom/internal/core"
+	"gom/internal/object"
+	"gom/internal/swizzle"
+)
+
+func TestTypedNamesAndRegistration(t *testing.T) {
+	ln, cn := TypedNames("Widget")
+	if ln != "__LargeList[Widget]" || cn != "__LLChunk[Widget]" {
+		t.Errorf("typed names = %q, %q", ln, cn)
+	}
+	s := object.NewSchema()
+	s.MustDefine("Widget", object.Field{Name: "v", Kind: object.KindInt})
+	l1, c1 := RegisterTyped(s, "Widget")
+	l2, c2 := RegisterTyped(s, "Widget") // idempotent
+	if l1 != l2 || c1 != c2 {
+		t.Error("re-registration produced new types")
+	}
+	// The chunk's elements are declared to target the element type, so
+	// type-specific swizzling can address them (§4.2.2).
+	if got := c1.FieldAt(c1.FieldIndex("elems")).Target; got != "Widget" {
+		t.Errorf("chunk element target = %q", got)
+	}
+	// The list routes through a typed directory.
+	dirName := s.Type(ln).FieldAt(s.Type(ln).FieldIndex("dirs")).Target
+	if dirName != "__LLDir[Widget]" {
+		t.Errorf("directory type = %q", dirName)
+	}
+}
+
+func TestTypedListEndToEnd(t *testing.T) {
+	f := setup(t, 20, core.Options{})
+	// The oo1 fixture registers typed lists for Item via RegisterTyped.
+	RegisterTyped(f.om.Schema(), "Item")
+	// Schema is fixed at fixture build; registering post-hoc adds types —
+	// allowed because no objects of these types exist yet.
+	f.om.BeginApplication(swizzle.NewSpec("t", swizzle.LIS))
+	ln, _ := TypedNames("Item")
+	l, err := CreateNamed(f.om, 1, "typed", ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := f.om.NewVar("src", f.item)
+	for i := 0; i < 10; i++ {
+		if err := f.om.Load(src, f.items[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each with early stop.
+	seen := 0
+	err = l.Each(f.item, func(i int, v *core.Var) (bool, error) {
+		seen++
+		return i < 4, nil // stop after visiting index 4
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Errorf("early-stopped Each visited %d", seen)
+	}
+	if err := f.om.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

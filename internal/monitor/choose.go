@@ -1,0 +1,307 @@
+package monitor
+
+import (
+	"container/list"
+	"sort"
+
+	"gom/internal/costmodel"
+	"gom/internal/oid"
+	"gom/internal/page"
+	"gom/internal/swizzle"
+)
+
+// Recommendation is the outcome of the §7 procedure: the costs of the
+// best specification at each adjustment granularity, and the winning spec.
+type Recommendation struct {
+	// Spec is the recommended specification.
+	Spec *swizzle.Spec
+	// Granularity is the recommended adjustment granularity.
+	Granularity swizzle.Granularity
+	// CostApplication / CostType / CostContext are the modeled costs (µs)
+	// of the best spec at each granularity.
+	CostApplication, CostType, CostContext float64
+	// ApplicationStrategy is the best single strategy.
+	ApplicationStrategy swizzle.Strategy
+	// PerContext / PerType record the chosen strategy per granule.
+	PerContext map[GranuleKey]swizzle.Strategy
+	PerType    map[string]swizzle.Strategy
+}
+
+// session converts granule stats into cost-model session variables.
+func session(gs GranuleStats, fanIn float64) costmodel.Session {
+	return costmodel.Session{
+		LRef:   gs.L,
+		LInt:   gs.LInt,
+		UInt:   gs.UInt,
+		URef:   gs.U,
+		MLazy:  gs.MLazy,
+		MEager: gs.MEager,
+		FanIn:  fanIn,
+	}
+}
+
+// Choose runs the decision procedure over an analyzed graph: for every
+// context granule the cheapest strategy under Equation (1); aggregated per
+// target type for the type granularity; aggregated overall for the
+// application granularity; Equations (2) and (3) add the fetch-call
+// overhead; the cheapest granularity wins. fanIn maps target type names to
+// sampled average fan-ins (missing types default to 1).
+func Choose(model *costmodel.Model, g *Graph, fanIn map[string]float64) *Recommendation {
+	fi := func(target string) float64 {
+		if f, ok := fanIn[target]; ok && f > 0 {
+			return f
+		}
+		return 1
+	}
+
+	rec := &Recommendation{
+		PerContext: make(map[GranuleKey]swizzle.Strategy),
+		PerType:    make(map[string]swizzle.Strategy),
+	}
+
+	// Application granularity: sum all granules into one session and pick
+	// one strategy. Entry accesses always pay the strategy's LO.
+	var app costmodel.Session
+	var fiSum, fiWeight float64
+	for _, gs := range g.Granules {
+		s := session(gs, fi(gs.Target))
+		app.LRef += s.LRef
+		app.LInt += s.LInt
+		app.UInt += s.UInt
+		app.URef += s.URef
+		app.MLazy += s.MLazy
+		app.MEager += s.MEager
+		fiSum += fi(gs.Target) * (s.MLazy + 1)
+		fiWeight += s.MLazy + 1
+	}
+	app.LInt += g.EntryLInt
+	app.UInt += g.EntryUInt
+	// Entry-point loads swizzle the program variable once each; their
+	// targets have no other swizzled references (fan-in 0 contribution).
+	app.MLazy += g.EntryLoads
+	app.MEager += g.EntryLoads
+	fiWeight += g.EntryLoads
+	if fiWeight > 0 {
+		app.FanIn = fiSum / fiWeight
+	} else {
+		app.FanIn = 1
+	}
+	rec.ApplicationStrategy, rec.CostApplication = model.BestApplicationStrategy(app)
+
+	// Context granularity: best strategy per (home type, attr).
+	var ctxGranules []costmodel.Granule
+	for _, gs := range g.Granules {
+		s := session(gs, fi(gs.Target))
+		best, _ := model.BestApplicationStrategy(s)
+		rec.PerContext[gs.Key] = best
+		ctxGranules = append(ctxGranules, costmodel.Granule{
+			Name: gs.Key.HomeType + "." + gs.Key.Attr, Strategy: best, S: s,
+		})
+	}
+	// Entry accesses form their own variable context (§4.2.3: "the
+	// identifier of each variable defines its own context"); pick the best
+	// strategy for it like any granule.
+	entrySession := costmodel.Session{
+		LInt: g.EntryLInt, UInt: g.EntryUInt,
+		MLazy: g.EntryLoads, MEager: g.EntryLoads, FanIn: 0,
+	}
+	entryStrategy, _ := model.BestApplicationStrategy(entrySession)
+	entry := costmodel.Granule{Name: "$entry", Strategy: entryStrategy, S: entrySession}
+	// It is always possible to avoid translations (§5.2.2), so TL = 0.
+	rec.CostContext = model.ContextCost(append(ctxGranules, entry), float64(g.Faults), 0)
+
+	// Type granularity: aggregate granules by target type.
+	byType := make(map[string]costmodel.Session)
+	for _, gs := range g.Granules {
+		s := session(gs, fi(gs.Target))
+		agg := byType[gs.Target]
+		agg.LRef += s.LRef
+		agg.LInt += s.LInt
+		agg.UInt += s.UInt
+		agg.URef += s.URef
+		agg.MLazy += s.MLazy
+		agg.MEager += s.MEager
+		agg.FanIn = fi(gs.Target)
+		byType[gs.Target] = agg
+	}
+	var typeGranules []costmodel.Granule
+	types := make([]string, 0, len(byType))
+	for tname := range byType {
+		types = append(types, tname)
+	}
+	sort.Strings(types)
+	for _, tname := range types {
+		s := byType[tname]
+		best, _ := model.BestApplicationStrategy(s)
+		rec.PerType[tname] = best
+		typeGranules = append(typeGranules, costmodel.Granule{Name: tname, Strategy: best, S: s})
+	}
+	rec.CostType = model.TypeCost(append(typeGranules, entry), float64(g.Faults))
+
+	// Pick the cheapest granularity and build the spec.
+	switch {
+	case rec.CostApplication <= rec.CostType && rec.CostApplication <= rec.CostContext:
+		rec.Granularity = swizzle.GranApplication
+		rec.Spec = swizzle.NewSpec("monitor-app", rec.ApplicationStrategy)
+	case rec.CostType <= rec.CostContext:
+		rec.Granularity = swizzle.GranType
+		sp := swizzle.NewSpec("monitor-type", rec.ApplicationStrategy)
+		for tname, st := range rec.PerType {
+			sp.WithType(tname, st)
+		}
+		rec.Spec = sp
+	default:
+		rec.Granularity = swizzle.GranContext
+		sp := swizzle.NewSpec("monitor-ctx", rec.ApplicationStrategy)
+		for key, st := range rec.PerContext {
+			sp.WithContext(key.HomeType, key.Attr, st)
+		}
+		rec.Spec = sp
+	}
+	return rec
+}
+
+// ReconsiderEDS applies the greedy algorithm of §7.2: granules chosen
+// eager-direct are sorted by their modeled benefit over lazy-direct
+// (C(EDS) − C(LDS), most beneficial first) and accepted one by one only
+// if a trace-driven simulation shows no additional page faults from the
+// eager loading of their targets' transitive closure; rejected granules
+// are downgraded to LDS. It mutates and returns the recommendation's
+// spec.
+func ReconsiderEDS(model *costmodel.Model, rec *Recommendation, g *Graph,
+	trace *Trace, res Resolver, bufferPages int, fanIn map[string]float64) *swizzle.Spec {
+
+	spec := rec.Spec
+	if spec == nil {
+		return nil
+	}
+	fi := func(target string) float64 {
+		if f, ok := fanIn[target]; ok && f > 0 {
+			return f
+		}
+		return 1
+	}
+
+	// Collect candidate granules currently specified EDS.
+	type candidate struct {
+		key     GranuleKey
+		benefit float64
+	}
+	var cands []candidate
+	for _, gs := range g.Granules {
+		var st swizzle.Strategy
+		switch spec.Granularity() {
+		case swizzle.GranContext:
+			st = spec.Contexts[gs.Key.HomeType+"."+gs.Key.Attr]
+		case swizzle.GranType:
+			st = spec.Types[gs.Target]
+		default:
+			st = spec.Default
+		}
+		if st != swizzle.EDS {
+			continue
+		}
+		s := session(gs, fi(gs.Target))
+		benefit := model.ApplicationCost(swizzle.LDS, s) - model.ApplicationCost(swizzle.EDS, s)
+		cands = append(cands, candidate{gs.Key, benefit})
+	}
+	if len(cands) == 0 {
+		return spec
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].benefit > cands[j].benefit })
+
+	// Baseline: page faults with no eager-direct loading at all.
+	baseline := simulateFaults(trace, res, bufferPages, nil)
+	accepted := map[GranuleKey]bool{}
+	for _, c := range cands {
+		trial := map[GranuleKey]bool{c.key: true}
+		for k := range accepted {
+			trial[k] = true
+		}
+		if simulateFaults(trace, res, bufferPages, trial) <= baseline {
+			accepted[c.key] = true
+			continue
+		}
+		// Downgrade to LDS (§7.2 step 3).
+		switch spec.Granularity() {
+		case swizzle.GranContext:
+			spec.WithContext(c.key.HomeType, c.key.Attr, swizzle.LDS)
+		case swizzle.GranType:
+			if gs := findGranule(g, c.key); gs != nil {
+				spec.WithType(gs.Target, swizzle.LDS)
+			}
+		default:
+			spec.Default = swizzle.LDS
+		}
+	}
+	return spec
+}
+
+func findGranule(g *Graph, key GranuleKey) *GranuleStats {
+	for i := range g.Granules {
+		if g.Granules[i].Key == key {
+			return &g.Granules[i]
+		}
+	}
+	return nil
+}
+
+// simulateFaults replays the trace against a simulated LRU page buffer,
+// additionally loading — transitively — the targets of eager-direct
+// granules whenever an object is touched (the snowball). It returns the
+// page-fault count.
+func simulateFaults(trace *Trace, res Resolver, bufferPages int, eds map[GranuleKey]bool) int {
+	if bufferPages < 1 {
+		bufferPages = 1
+	}
+	lru := list.New() // of page.PageID
+	frames := make(map[page.PageID]*list.Element, bufferPages)
+	faults := 0
+	touch := func(pid page.PageID) {
+		if e, ok := frames[pid]; ok {
+			lru.MoveToFront(e)
+			return
+		}
+		faults++
+		if lru.Len() >= bufferPages {
+			victim := lru.Back()
+			lru.Remove(victim)
+			delete(frames, victim.Value.(page.PageID))
+		}
+		frames[pid] = lru.PushFront(pid)
+	}
+
+	seen := make(map[oid.OID]bool) // per-record snowball cycle guard
+	var load func(id oid.OID, depth int)
+	load = func(id oid.OID, depth int) {
+		pid, ok := res.PageOf(id)
+		if !ok {
+			return
+		}
+		touch(pid)
+		if depth > 64 || len(eds) == 0 {
+			return
+		}
+		tname, ok := res.TypeOf(id)
+		if !ok {
+			return
+		}
+		for _, attr := range res.RefAttrs(tname) {
+			if !eds[GranuleKey{HomeType: tname, Attr: attr}] {
+				continue
+			}
+			for _, t := range res.RefTargets(id, attr) {
+				if !seen[t] {
+					seen[t] = true
+					load(t, depth+1)
+				}
+			}
+		}
+	}
+	for _, rec := range trace.Records {
+		clear(seen)
+		seen[rec.ID] = true
+		load(rec.ID, 0)
+	}
+	return faults
+}

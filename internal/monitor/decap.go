@@ -1,0 +1,222 @@
+package monitor
+
+import (
+	"fmt"
+
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/storage"
+)
+
+// Decapsulation (§7.3.2, and the future work announced in §8): instead of
+// training an application under monitoring — which is costly and whose
+// results age with the object base — the application's *reference chains*
+// (path expressions) are extracted by program analysis and combined with a
+// sample of the current object base. The paper left this as ongoing work
+// ("decapsulation characterizes the profile independently from the state
+// of the object base"); this file implements that design: a declared set
+// of path expressions is expanded over sampled fan-outs into the same
+// swizzling-graph weights the trace analyzer produces, so the §7 chooser
+// runs unchanged on top.
+
+// PathExpr is one reference chain an application traverses, as program
+// analysis would extract it (e.g. Part.connTo.to for the OO1 traversal
+// step), annotated with the profile estimates decapsulation derives from
+// the program text.
+type PathExpr struct {
+	// Root is the type the chain starts from.
+	Root string
+	// Fields is the chain of reference-valued fields.
+	Fields []string
+	// Freq is how many times the path is evaluated per application run.
+	Freq float64
+	// Repeat is the expected number of evaluations that hit the *same*
+	// references (temporal locality): distinct references ≈ Freq/Repeat.
+	// 1 means every evaluation touches fresh data.
+	Repeat float64
+	// ScalarReads / ScalarWrites are the scalar-field accesses performed
+	// on the object the path ends at, per evaluation.
+	ScalarReads, ScalarWrites float64
+	// RefWrites counts redirections of the final reference field per
+	// evaluation (0 for pure navigation).
+	RefWrites float64
+}
+
+// Sampler supplies the object-base statistics decapsulation combines with
+// the paths: set cardinalities and type populations. StorageResolver
+// implements it.
+type Sampler interface {
+	// SampleCardinality estimates the average cardinality of a set-valued
+	// field (1 for plain reference fields).
+	SampleCardinality(typeName, attr string) float64
+	// Field resolves a field's kind and declared target type.
+	Field(typeName, attr string) (object.FieldKind, string, bool)
+	// RefAttrs lists a type's reference-valued fields.
+	RefAttrs(typeName string) []string
+}
+
+// Decapsulate expands the path expressions over the sampled object base
+// into swizzling-graph weights (the same Graph the trace analyzer
+// produces), without executing the application. Running time is
+// negligible, as the paper demands of the approach.
+func Decapsulate(s Sampler, paths []PathExpr) (*Graph, error) {
+	g := &Graph{}
+	stats := make(map[GranuleKey]*GranuleStats)
+	// uniqueOf accumulates, per type, the estimated distinct objects the
+	// application materializes — the driver for o, faults, and m(eager).
+	uniqueOf := make(map[string]float64)
+
+	granule := func(home, attr, target string) *GranuleStats {
+		key := GranuleKey{HomeType: home, Attr: attr}
+		gs, ok := stats[key]
+		if !ok {
+			gs = &GranuleStats{Key: key, Target: target}
+			stats[key] = gs
+		}
+		return gs
+	}
+
+	for _, p := range paths {
+		if p.Repeat < 1 {
+			p.Repeat = 1
+		}
+		home := p.Root
+		visits := p.Freq            // path evaluations reaching this hop
+		unique := p.Freq / p.Repeat // distinct objects at this hop
+		uniqueOf[home] += unique
+		g.EntryLoads += unique // the root reference enters through a variable
+		var last *GranuleStats
+		for _, attr := range p.Fields {
+			kind, target, ok := s.Field(home, attr)
+			if !ok {
+				return nil, fmt.Errorf("monitor: no field %s.%s", home, attr)
+			}
+			if kind != object.KindRef && kind != object.KindRefSet {
+				return nil, fmt.Errorf("monitor: %s.%s is not reference-valued", home, attr)
+			}
+			card := 1.0
+			if kind == object.KindRefSet {
+				card = s.SampleCardinality(home, attr)
+				if card < 1 {
+					card = 1
+				}
+			}
+			gs := granule(home, attr, target)
+			// Every evaluation dereferences the hop's references; a set
+			// hop fans out.
+			gs.L += visits * card
+			// Distinct references at this hop ≈ distinct homes × card.
+			gs.MLazy += unique * card
+			gs.U += p.RefWrites * visitsShare(attr, p)
+			visits *= card
+			unique *= card
+			if unique > visits {
+				unique = visits
+			}
+			home = target
+			uniqueOf[home] += unique
+			last = gs
+		}
+		if last != nil {
+			last.LInt += p.ScalarReads * visits / 1
+			last.UInt += p.ScalarWrites * visits
+		} else {
+			g.EntryLInt += p.ScalarReads * visits
+			g.EntryUInt += p.ScalarWrites * visits
+		}
+	}
+
+	// m(eager): faulting a distinct object of type T converts every
+	// reference of every ref attr of T, on or off the path (§3.2.1 — this
+	// is exactly eager swizzling's exposure that lazy avoids).
+	for tname, n := range uniqueOf {
+		for _, attr := range s.RefAttrs(tname) {
+			_, target, ok := s.Field(tname, attr)
+			if !ok {
+				continue
+			}
+			card := s.SampleCardinality(tname, attr)
+			if card < 1 {
+				card = 1
+			}
+			granule(tname, attr, target).MEager += n * card
+		}
+	}
+
+	total := 0.0
+	for _, n := range uniqueOf {
+		total += n
+	}
+	g.Objects = int(total)
+	g.Faults = int(total)
+	for _, gs := range stats {
+		if gs.MLazy > 0 {
+			gs.P = minf(1, gs.MLazy/gs.MEager*1)
+		}
+		g.Granules = append(g.Granules, *gs)
+	}
+	sortGranules(g)
+	return g, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// visitsShare scopes RefWrites to the final field of the path.
+func visitsShare(attr string, p PathExpr) float64 {
+	if len(p.Fields) > 0 && attr == p.Fields[len(p.Fields)-1] {
+		return p.Freq
+	}
+	return 0
+}
+
+func sortGranules(g *Graph) {
+	for i := 1; i < len(g.Granules); i++ {
+		for j := i; j > 0; j-- {
+			a, b := g.Granules[j-1].Key, g.Granules[j].Key
+			if a.HomeType < b.HomeType || (a.HomeType == b.HomeType && a.Attr <= b.Attr) {
+				break
+			}
+			g.Granules[j-1], g.Granules[j] = g.Granules[j], g.Granules[j-1]
+		}
+	}
+}
+
+// SampleCardinality implements Sampler for StorageResolver by scanning a
+// sample of the object base.
+func (r *StorageResolver) SampleCardinality(typeName, attr string) float64 {
+	kind, _, ok := r.Field(typeName, attr)
+	if !ok {
+		return 1
+	}
+	if kind == object.KindRef {
+		return 1
+	}
+	sum, n := 0.0, 0
+	count := 0
+	r.srv.Manager().POT().Range(func(id oid.OID, _ storage.PAddr) bool {
+		count++
+		if count%7 != 0 { // sample
+			return n < 200
+		}
+		o := r.load(id)
+		if o == nil || o.Type.Name != typeName {
+			return true
+		}
+		fi := o.Type.FieldIndex(attr)
+		if fi < 0 {
+			return true
+		}
+		sum += float64(o.SetLen(fi))
+		n++
+		return n < 200
+	})
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}

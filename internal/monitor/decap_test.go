@@ -1,0 +1,121 @@
+package monitor
+
+import (
+	"testing"
+
+	"gom/internal/costmodel"
+	"gom/internal/swizzle"
+)
+
+func TestDecapsulateBasicWeights(t *testing.T) {
+	db, _, _, res := setup(t, 300)
+	_ = db
+	// The OO1 traversal step: Part.connTo.to, evaluated 1000 times with
+	// high temporal locality, reading 3 scalars at the end.
+	paths := []PathExpr{{
+		Root: "Part", Fields: []string{"connTo", "to"},
+		Freq: 1000, Repeat: 10, ScalarReads: 3,
+	}}
+	g, err := Decapsulate(res, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[GranuleKey]GranuleStats{}
+	for _, gs := range g.Granules {
+		byKey[gs.Key] = gs
+	}
+	connTo := byKey[GranuleKey{HomeType: "Part", Attr: "connTo"}]
+	to := byKey[GranuleKey{HomeType: "Connection", Attr: "to"}]
+	from := byKey[GranuleKey{HomeType: "Connection", Attr: "from"}]
+	// connTo fans out by ~3; to is traversed once per connection reached.
+	if connTo.L < 2800 || connTo.L > 3200 {
+		t.Errorf("l(connTo) = %.0f, want ≈3000", connTo.L)
+	}
+	if to.L < 2800 || to.L > 3200 {
+		t.Errorf("l(to) = %.0f, want ≈3000", to.L)
+	}
+	// from is never on the path: lazy never touches it, eager pays for it.
+	if from.L != 0 || from.MLazy != 0 {
+		t.Errorf("from: l=%.0f m(lazy)=%.0f", from.L, from.MLazy)
+	}
+	if from.MEager == 0 {
+		t.Error("from has no eager exposure")
+	}
+	// Locality: distinct refs ≈ a tenth of the dereferences.
+	if connTo.MLazy <= 0 || connTo.MLazy > connTo.L/5 {
+		t.Errorf("m(lazy)(connTo) = %.0f vs l %.0f", connTo.MLazy, connTo.L)
+	}
+	// Scalar reads attributed to the final hop.
+	if to.LInt == 0 {
+		t.Error("no scalar reads attributed")
+	}
+	if g.Objects == 0 || g.EntryLoads == 0 {
+		t.Error("object/entry estimates missing")
+	}
+}
+
+func TestDecapsulateErrors(t *testing.T) {
+	_, _, _, res := setup(t, 100)
+	if _, err := Decapsulate(res, []PathExpr{{Root: "Part", Fields: []string{"nope"}, Freq: 1}}); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Decapsulate(res, []PathExpr{{Root: "Part", Fields: []string{"x"}, Freq: 1}}); err == nil {
+		t.Error("scalar hop accepted")
+	}
+}
+
+// TestDecapsulateMatchesTraceRecommendation is the point of §7.3.2: the
+// static profile must lead the chooser to (qualitatively) the same
+// decision as training the application under monitoring.
+func TestDecapsulateMatchesTraceRecommendation(t *testing.T) {
+	_, c, tr, res := setup(t, 300)
+	// Dynamic: three hot traversals of depth 4.
+	for run := 0; run < 3; run++ {
+		c.Reseed(5)
+		if _, err := c.Traversal(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := Analyze(tr, res, 1000)
+	model := costmodel.Default()
+	fanIn := res.SampleFanIn(1)
+	dynamic := Choose(model, g, fanIn)
+
+	// Static: the same profile as path expressions. A depth-4 traversal
+	// evaluates Part.connTo.to ≈ 121 times per run; three identical runs
+	// give Repeat ≈ 3 (plus intra-run revisits).
+	static, err := Decapsulate(res, []PathExpr{{
+		Root: "Part", Fields: []string{"connTo", "to"},
+		Freq: 3 * 121, Repeat: 4, ScalarReads: 3,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decap := Choose(model, static, fanIn)
+
+	if dynamic.ApplicationStrategy == swizzle.NOS {
+		t.Fatalf("dynamic recommendation degenerate: %v", dynamic.ApplicationStrategy)
+	}
+	if decap.ApplicationStrategy.Swizzles() != dynamic.ApplicationStrategy.Swizzles() {
+		t.Errorf("static (%v) and dynamic (%v) recommendations disagree on swizzling",
+			decap.ApplicationStrategy, dynamic.ApplicationStrategy)
+	}
+	// The never-read from granule must not be eager in either.
+	if st, ok := decap.PerContext[GranuleKey{HomeType: "Connection", Attr: "from"}]; ok && st.Eager() {
+		t.Errorf("decapsulation made never-read granule eager: %v", st)
+	}
+}
+
+func TestSampleCardinality(t *testing.T) {
+	_, _, _, res := setup(t, 200)
+	card := res.SampleCardinality("Part", "connTo")
+	if card < 2.5 || card > 3.5 {
+		t.Errorf("sampled connTo cardinality = %.2f, want ≈3", card)
+	}
+	if res.SampleCardinality("Connection", "to") != 1 {
+		t.Error("plain ref cardinality ≠ 1")
+	}
+	if res.SampleCardinality("Nope", "x") != 1 {
+		t.Error("unknown field cardinality ≠ 1")
+	}
+}

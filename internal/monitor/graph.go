@@ -1,0 +1,262 @@
+package monitor
+
+import (
+	"container/list"
+	"sort"
+
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/page"
+)
+
+// derefWindow is the paper's dereference-detection window: a reference
+// read counts as a dereference if the referenced object is accessed
+// within the next 10 trace records (§7.1).
+const derefWindow = 10
+
+// GranuleKey identifies a context granule: (home type, attribute).
+type GranuleKey struct {
+	HomeType string
+	Attr     string
+}
+
+// GranuleStats are the cumulative edge weights of the swizzling graph for
+// one context granule, instantiating the session variables of Table 3.
+type GranuleStats struct {
+	Key    GranuleKey
+	Target string // declared type of the referenced objects
+
+	L      float64 // l: dereferences through this granule
+	U      float64 // u: redirections (w records on the attribute)
+	P      float64 // p: probability a reference is read per buffer spell
+	MLazy  float64 // m(lazy): swizzles under swizzling-upon-discovery
+	MEager float64 // m(eager): swizzles under eager swizzling
+
+	// LInt/UInt are the scalar lookups/updates attributed to this granule
+	// (reads of the objects its dereferences reached) — an approximation
+	// the paper acknowledges ("considering only the average fan-in is a
+	// source of inaccuracy"; our attribution of scalar accesses to the
+	// granule that caused the visit is of the same nature.
+	LInt float64
+	UInt float64
+}
+
+// Graph is the analyzed swizzling graph (Fig. 20b): per-object fault
+// weights under a simulated LRU page buffer plus per-granule edge weights.
+type Graph struct {
+	// FaultWeight[id] is how often the object was faulted in the
+	// simulation (the node weights of Fig. 20b).
+	FaultWeight map[oid.OID]int
+	// Objects is o: the number of distinct objects accessed.
+	Objects int
+	// Faults is the total object-fault count.
+	Faults int
+	// PageFaults is the simulated page-fault count.
+	PageFaults int
+	// Granules are the per-context-granule weights, sorted by key.
+	Granules []GranuleStats
+	// EntryLInt/EntryUInt are scalar accesses not attributable to any
+	// reference granule (entry-point/variable accesses).
+	EntryLInt, EntryUInt float64
+	// EntryLoads counts entry-point reference loads (program variables
+	// assigned from OIDs) — each is a reference the variable context
+	// swizzles once under a swizzling strategy.
+	EntryLoads float64
+}
+
+// Analyze runs the §7.1 procedure: simulate an LRU page buffer of
+// bufferPages over the trace, counting object faults, and accumulate the
+// granule weights.
+func Analyze(trace *Trace, res Resolver, bufferPages int) *Graph {
+	g := &Graph{FaultWeight: make(map[oid.OID]int)}
+	if bufferPages < 1 {
+		bufferPages = 1
+	}
+
+	// Simulated page buffer and "simulated ROT".
+	type frame struct{ pid page.PageID }
+	lru := list.New() // of page.PageID, front = MRU
+	frames := make(map[page.PageID]*list.Element, bufferPages)
+	inROT := make(map[oid.OID]bool)
+	onPage := make(map[page.PageID][]oid.OID)
+
+	// Per-spell read counts for p and m(lazy): flags[id][attr] counts the
+	// reads of the attribute during the object's current residency spell —
+	// each read up to the attribute's cardinality discovers (and would
+	// lazily swizzle) one more reference.
+	flags := make(map[oid.OID]map[string]int)
+	// spells[granule] counts residency spells of objects owning the attr.
+	spells := make(map[GranuleKey]float64)
+	reads := make(map[GranuleKey]float64)
+
+	stats := make(map[GranuleKey]*GranuleStats)
+	granule := func(id oid.OID, attr string) (*GranuleStats, object.FieldKind) {
+		tname, ok := res.TypeOf(id)
+		if !ok {
+			return nil, 0
+		}
+		kind, target, ok := res.Field(tname, attr)
+		if !ok || (kind != object.KindRef && kind != object.KindRefSet) {
+			return nil, kind
+		}
+		key := GranuleKey{HomeType: tname, Attr: attr}
+		gs, ok := stats[key]
+		if !ok {
+			gs = &GranuleStats{Key: key, Target: target}
+			stats[key] = gs
+		}
+		return gs, kind
+	}
+
+	// endSpell folds an evicted object's read flags into p's numerator.
+	endSpell := func(id oid.OID) {
+		for attr, n := range flags[id] {
+			if n > 0 {
+				if gs, _ := granule(id, attr); gs != nil {
+					reads[gs.Key]++
+				}
+			}
+		}
+		delete(flags, id)
+	}
+
+	evictPage := func(pid page.PageID) {
+		for _, id := range onPage[pid] {
+			if inROT[id] {
+				endSpell(id)
+				delete(inROT, id)
+			}
+		}
+		delete(onPage, pid)
+	}
+
+	// lastCause[id] is the granule whose dereference led to the current
+	// visit of id (for scalar-access attribution).
+	lastCause := make(map[oid.OID]GranuleKey)
+	hasCause := make(map[oid.OID]bool)
+
+	recs := trace.Records
+	for i, rec := range recs {
+		// Fault simulation.
+		pid, ok := res.PageOf(rec.ID)
+		if ok {
+			if _, buffered := frames[pid]; !buffered {
+				g.PageFaults++
+				if lru.Len() >= bufferPages {
+					victim := lru.Back()
+					vpid := victim.Value.(page.PageID)
+					lru.Remove(victim)
+					delete(frames, vpid)
+					evictPage(vpid)
+				}
+				frames[pid] = lru.PushFront(pid)
+			} else {
+				lru.MoveToFront(frames[pid])
+			}
+			if !inROT[rec.ID] {
+				g.FaultWeight[rec.ID]++
+				g.Faults++
+				inROT[rec.ID] = true
+				onPage[pid] = append(onPage[pid], rec.ID)
+				// A fault starts a new spell for each ref granule of the
+				// object, and contributes to m(eager) of each.
+				if tname, ok := res.TypeOf(rec.ID); ok {
+					for _, attr := range res.RefAttrs(tname) {
+						if gs, _ := granule(rec.ID, attr); gs != nil {
+							spells[gs.Key]++
+							// Eager swizzling converts every reference of
+							// the attribute at fault time — all elements
+							// of a set (§3.2.1).
+							card := len(res.RefTargets(rec.ID, attr))
+							if card == 0 {
+								card = 1
+							}
+							gs.MEager += float64(card)
+						}
+					}
+				}
+			}
+		}
+
+		// Edge weights.
+		if rec.Attr == "" {
+			g.EntryLoads++
+			continue
+		}
+		gs, kind := granule(rec.ID, rec.Attr)
+		if gs == nil {
+			// Scalar attribute: attribute to the causing granule.
+			if rec.Write {
+				if hasCause[rec.ID] {
+					stats[lastCause[rec.ID]].UInt++
+				} else {
+					g.EntryUInt++
+				}
+			} else {
+				if hasCause[rec.ID] {
+					stats[lastCause[rec.ID]].LInt++
+				} else {
+					g.EntryLInt++
+				}
+			}
+			continue
+		}
+		_ = kind
+		if rec.Write {
+			gs.U++
+			continue
+		}
+		// A read: count it for p / m(lazy). Each read up to the
+		// attribute's cardinality discovers one more reference.
+		targets := res.RefTargets(rec.ID, rec.Attr)
+		if flags[rec.ID] == nil {
+			flags[rec.ID] = make(map[string]int)
+		}
+		card := len(targets)
+		if card == 0 {
+			card = 1
+		}
+		if flags[rec.ID][rec.Attr] < card {
+			flags[rec.ID][rec.Attr]++
+			gs.MLazy++
+		}
+		// Dereference detection: referenced object accessed within the
+		// next derefWindow records.
+		limit := i + derefWindow
+		if limit > len(recs)-1 {
+			limit = len(recs) - 1
+		}
+	scan:
+		for j := i + 1; j <= limit; j++ {
+			for _, t := range targets {
+				if recs[j].ID == t {
+					gs.L++
+					lastCause[t] = gs.Key
+					hasCause[t] = true
+					break scan
+				}
+			}
+		}
+	}
+	// Close all remaining spells.
+	for id := range inROT {
+		endSpell(id)
+	}
+
+	// Finalize p and collect.
+	g.Objects = len(g.FaultWeight)
+	for key, gs := range stats {
+		if spells[key] > 0 {
+			gs.P = reads[key] / spells[key]
+		}
+		g.Granules = append(g.Granules, *gs)
+	}
+	sort.Slice(g.Granules, func(i, j int) bool {
+		a, b := g.Granules[i].Key, g.Granules[j].Key
+		if a.HomeType != b.HomeType {
+			return a.HomeType < b.HomeType
+		}
+		return a.Attr < b.Attr
+	})
+	return g
+}

@@ -1,0 +1,207 @@
+// Package objcache implements the object cache of the copy architecture
+// (paper §2, Fig. 1, CLIENT 2; §6.6.2): objects are copied out of pages
+// into a dedicated cache, so buffer memory holds only objects that were
+// actually accessed. The cache is bounded in bytes and replaced LRU at
+// object granularity.
+//
+// Like the page pool, the cache is swizzling-agnostic: an eviction hook
+// lets the object manager unswizzle references to (and write back) a
+// displaced object.
+package objcache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/sim"
+)
+
+// Errors returned by the cache.
+var (
+	ErrTooLarge  = errors.New("objcache: object larger than cache")
+	ErrAllPinned = errors.New("objcache: all objects pinned")
+)
+
+// EvictFn is called with a victim object before it is dropped. The hook is
+// responsible for write-back and unswizzling.
+type EvictFn func(obj *object.MemObject)
+
+type entry struct {
+	obj  *object.MemObject
+	size int
+	elem *list.Element
+}
+
+// Cache is an LRU object cache bounded in bytes. Not safe for concurrent
+// use; one cache belongs to one client.
+type Cache struct {
+	capacity int // bytes
+	used     int
+	entries  map[oid.OID]*entry
+	lru      *list.List // of oid.OID, front = most recent
+	onEvict  EvictFn
+	meter    *sim.Meter
+}
+
+// New returns a cache with the given byte capacity.
+func New(capacityBytes int, meter *sim.Meter) *Cache {
+	if capacityBytes < 1 {
+		panic(fmt.Sprintf("objcache: capacity %d", capacityBytes))
+	}
+	return &Cache{
+		capacity: capacityBytes,
+		entries:  make(map[oid.OID]*entry),
+		lru:      list.New(),
+		meter:    meter,
+	}
+}
+
+// OnEvict installs the eviction hook.
+func (c *Cache) OnEvict(fn EvictFn) { c.onEvict = fn }
+
+// Capacity returns the capacity in bytes.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Used returns the accounted bytes in use.
+func (c *Cache) Used() int { return c.used }
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Get returns the cached object and touches its LRU position, or nil.
+func (c *Cache) Get(id oid.OID) *object.MemObject {
+	e, ok := c.entries[id]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.obj
+}
+
+// Contains reports residency without touching LRU state.
+func (c *Cache) Contains(id oid.OID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Put inserts an object (which must not already be cached), evicting LRU
+// victims to make room. The object-copy cost is charged to the meter.
+func (c *Cache) Put(obj *object.MemObject) error {
+	if _, dup := c.entries[obj.OID]; dup {
+		return fmt.Errorf("objcache: %v already cached", obj.OID)
+	}
+	size := obj.MemSize()
+	if size > c.capacity {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, size, c.capacity)
+	}
+	if err := c.makeRoom(size); err != nil {
+		return err
+	}
+	e := &entry{obj: obj, size: size}
+	e.elem = c.lru.PushFront(obj.OID)
+	c.entries[obj.OID] = e
+	c.used += size
+	c.meter.Charge(c.meter.Costs().ObjectCopy)
+	return nil
+}
+
+func (c *Cache) makeRoom(need int) error {
+	for c.used+need > c.capacity {
+		victim := c.victim()
+		if victim == oid.Nil {
+			return ErrAllPinned
+		}
+		if err := c.Evict(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cache) victim() oid.OID {
+	for e := c.lru.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(oid.OID)
+		if !c.entries[id].obj.Pinned() {
+			return id
+		}
+	}
+	return oid.Nil
+}
+
+// Evict removes one object, firing the eviction hook first.
+func (c *Cache) Evict(id oid.OID) error {
+	e, ok := c.entries[id]
+	if !ok {
+		return fmt.Errorf("objcache: %v not cached", id)
+	}
+	if e.obj.Pinned() {
+		return fmt.Errorf("objcache: evicting pinned object %v", id)
+	}
+	if c.onEvict != nil {
+		c.onEvict(e.obj)
+	}
+	c.lru.Remove(e.elem)
+	delete(c.entries, id)
+	c.used -= e.size
+	c.meter.Add(sim.CntObjectEvict, 1)
+	return nil
+}
+
+// Remove drops an object without firing the hook (the caller already did
+// the bookkeeping).
+func (c *Cache) Remove(id oid.OID) {
+	e, ok := c.entries[id]
+	if !ok {
+		return
+	}
+	c.lru.Remove(e.elem)
+	delete(c.entries, id)
+	c.used -= e.size
+}
+
+// Reaccount refreshes the accounted size of a cached object after its
+// value changed (set growth, string update), evicting if the cache
+// overflows as a result.
+func (c *Cache) Reaccount(id oid.OID) error {
+	e, ok := c.entries[id]
+	if !ok {
+		return nil
+	}
+	size := e.obj.MemSize()
+	c.used += size - e.size
+	e.size = size
+	if c.used > c.capacity {
+		return c.makeRoom(0)
+	}
+	return nil
+}
+
+// DropAll evicts every object (hook included), LRU order.
+func (c *Cache) DropAll() error {
+	for c.lru.Len() > 0 {
+		e := c.lru.Back()
+		if err := c.Evict(e.Value.(oid.OID)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Discard drops every object without firing hooks (transaction abort).
+func (c *Cache) Discard() {
+	c.entries = make(map[oid.OID]*entry)
+	c.lru.Init()
+	c.used = 0
+}
+
+// Objects returns the cached OIDs, most recently used first.
+func (c *Cache) Objects() []oid.OID {
+	out := make([]oid.OID, 0, c.lru.Len())
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(oid.OID))
+	}
+	return out
+}

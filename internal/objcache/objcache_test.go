@@ -1,0 +1,165 @@
+package objcache
+
+import (
+	"testing"
+
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/sim"
+)
+
+func testType() *object.Type {
+	s := object.NewSchema()
+	return s.MustDefine("T",
+		object.Field{Name: "v", Kind: object.KindInt},
+		object.Field{Name: "s", Kind: object.KindString},
+		object.Field{Name: "set", Kind: object.KindRefSet},
+	)
+}
+
+func newObj(t *object.Type, serial uint64) *object.MemObject {
+	return object.New(t, oid.MustNew(1, serial))
+}
+
+func TestPutGetTouch(t *testing.T) {
+	typ := testType()
+	c := New(1<<20, sim.NewMeter(sim.DefaultCosts()))
+	o := newObj(typ, 1)
+	if err := c.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Get(o.OID); got != o {
+		t.Fatalf("get = %v", got)
+	}
+	if c.Get(oid.MustNew(1, 99)) != nil {
+		t.Error("missing object resolved")
+	}
+	if err := c.Put(o); err == nil {
+		t.Error("duplicate put succeeded")
+	}
+	if c.Len() != 1 || c.Used() != o.MemSize() {
+		t.Errorf("len=%d used=%d", c.Len(), c.Used())
+	}
+}
+
+func TestLRUEvictionByBytes(t *testing.T) {
+	typ := testType()
+	one := newObj(typ, 1)
+	per := one.MemSize()
+	c := New(3*per, sim.NewMeter(sim.DefaultCosts()))
+	var evicted []oid.OID
+	c.OnEvict(func(o *object.MemObject) { evicted = append(evicted, o.OID) })
+	c.Put(one)
+	c.Put(newObj(typ, 2))
+	c.Put(newObj(typ, 3))
+	c.Get(one.OID) // 1 MRU; LRU is 2
+	if err := c.Put(newObj(typ, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != oid.MustNew(1, 2) {
+		t.Fatalf("evicted = %v", evicted)
+	}
+	if !c.Contains(one.OID) || c.Contains(oid.MustNew(1, 2)) {
+		t.Error("wrong object evicted")
+	}
+}
+
+func TestPinnedObjectsSurvive(t *testing.T) {
+	typ := testType()
+	one := newObj(typ, 1)
+	per := one.MemSize()
+	c := New(2*per, sim.NewMeter(sim.DefaultCosts()))
+	one.Pin()
+	c.Put(one)
+	c.Put(newObj(typ, 2))
+	if err := c.Put(newObj(typ, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(one.OID) {
+		t.Error("pinned object evicted")
+	}
+	one.Unpin()
+	two := newObj(typ, 4)
+	two.Pin()
+	// All pinned → error.
+	c2 := New(per, sim.NewMeter(sim.DefaultCosts()))
+	c2.Put(two)
+	if err := c2.Put(newObj(typ, 5)); err == nil {
+		t.Error("put with everything pinned succeeded")
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	typ := testType()
+	c := New(10, sim.NewMeter(sim.DefaultCosts()))
+	if err := c.Put(newObj(typ, 1)); err == nil {
+		t.Error("oversized object accepted")
+	}
+}
+
+func TestRemoveWithoutHook(t *testing.T) {
+	typ := testType()
+	c := New(1<<20, sim.NewMeter(sim.DefaultCosts()))
+	hooked := 0
+	c.OnEvict(func(*object.MemObject) { hooked++ })
+	o := newObj(typ, 1)
+	c.Put(o)
+	c.Remove(o.OID)
+	if hooked != 0 {
+		t.Error("Remove fired the hook")
+	}
+	if c.Contains(o.OID) || c.Used() != 0 {
+		t.Error("Remove left state behind")
+	}
+	c.Remove(o.OID) // idempotent
+}
+
+func TestReaccountGrowth(t *testing.T) {
+	typ := testType()
+	o := newObj(typ, 1)
+	c := New(o.MemSize()+2000, sim.NewMeter(sim.DefaultCosts()))
+	c.Put(o)
+	before := c.Used()
+	for i := uint64(0); i < 20; i++ {
+		o.Append(2, object.OIDRef(oid.MustNew(1, 100+i)))
+	}
+	if err := c.Reaccount(o.OID); err != nil {
+		t.Fatal(err)
+	}
+	if c.Used() <= before {
+		t.Errorf("used %d not grown from %d", c.Used(), before)
+	}
+	c.Reaccount(oid.MustNew(1, 999)) // unknown id is a no-op
+}
+
+func TestDropAllOrder(t *testing.T) {
+	typ := testType()
+	c := New(1<<20, sim.NewMeter(sim.DefaultCosts()))
+	var evicted []oid.OID
+	c.OnEvict(func(o *object.MemObject) { evicted = append(evicted, o.OID) })
+	for i := uint64(1); i <= 3; i++ {
+		c.Put(newObj(typ, i))
+	}
+	if err := c.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 3 || evicted[0] != oid.MustNew(1, 1) {
+		t.Errorf("evicted = %v (want LRU order)", evicted)
+	}
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("state left after DropAll")
+	}
+}
+
+func TestObjectsOrder(t *testing.T) {
+	typ := testType()
+	c := New(1<<20, sim.NewMeter(sim.DefaultCosts()))
+	for i := uint64(1); i <= 3; i++ {
+		c.Put(newObj(typ, i))
+	}
+	c.Get(oid.MustNew(1, 1))
+	got := c.Objects()
+	if len(got) != 3 || got[0] != oid.MustNew(1, 1) || got[1] != oid.MustNew(1, 3) {
+		t.Errorf("objects = %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package oid
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndParts(t *testing.T) {
+	id, err := New(5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Volume() != 5 || id.Serial() != 99 {
+		t.Errorf("parts = %d:%d, want 5:99", id.Volume(), id.Serial())
+	}
+	if id.IsNil() {
+		t.Error("valid OID reported nil")
+	}
+	if id.String() != "5:99" {
+		t.Errorf("string = %q", id.String())
+	}
+}
+
+func TestNilOID(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil not nil")
+	}
+	if Nil.String() != "nil" {
+		t.Errorf("nil string = %q", Nil.String())
+	}
+	if _, err := New(0, 0); err == nil {
+		t.Error("New(0,0) should be rejected")
+	}
+}
+
+func TestSerialOverflow(t *testing.T) {
+	if _, err := New(1, 1<<48); err == nil {
+		t.Error("48-bit overflow accepted")
+	}
+	if _, err := New(1, 1<<48-1); err != nil {
+		t.Errorf("max serial rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on overflow")
+		}
+	}()
+	MustNew(1, 1<<48)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vol uint16, serial uint64) bool {
+		serial &= 1<<48 - 1
+		if vol == 0 && serial == 0 {
+			return true
+		}
+		id, err := New(vol, serial)
+		return err == nil && id.Volume() == vol && id.Serial() == serial
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorSequential(t *testing.T) {
+	g := NewGenerator(3)
+	if g.Peek() != 1 {
+		t.Errorf("peek = %d, want 1", g.Peek())
+	}
+	for i := uint64(1); i <= 100; i++ {
+		id := g.Next()
+		if id.Volume() != 3 || id.Serial() != i {
+			t.Fatalf("id %d = %v", i, id)
+		}
+	}
+}
+
+func TestGeneratorConcurrentUnique(t *testing.T) {
+	g := NewGenerator(1)
+	const goroutines, per = 8, 1000
+	ids := make([][]OID, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				ids[i] = append(ids[i], g.Next())
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[OID]bool, goroutines*per)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if seen[id] {
+				t.Fatalf("duplicate OID %v", id)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package oo1
+
+import (
+	"testing"
+
+	"gom/internal/core"
+	"gom/internal/largeobj"
+	"gom/internal/swizzle"
+)
+
+// TestExtentsCoverEveryObject verifies the persistent extents: element i
+// of the Part extent references part i, and the Connection extent
+// enumerates the connections in generation order.
+func TestExtentsCoverEveryObject(t *testing.T) {
+	db, err := Generate(smallCfg(450)) // spans multiple chunks (>400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(db, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Begin(swizzle.NewSpec("x", swizzle.LIS))
+	pl, _ := largeobj.TypedNames("Part")
+	parts, err := largeobj.OpenNamed(c.OM, SegExtents, "pe", pl, db.PartExtent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := parts.Len(); n != 450 {
+		t.Fatalf("part extent len = %d", n)
+	}
+	v := c.OM.NewVar("v", db.Part)
+	for _, i := range []int{0, 1, 399, 400, 449} { // chunk boundary cases
+		if err := parts.Get(i, v); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		id, _ := c.OM.OID(v)
+		if id != db.Parts[i] {
+			t.Errorf("extent[%d] = %v, want %v", i, id, db.Parts[i])
+		}
+	}
+	cl, _ := largeobj.TypedNames("Connection")
+	conns, err := largeobj.OpenNamed(c.OM, SegExtents, "ce", cl, db.ConnExtent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := conns.Len(); n != 1350 {
+		t.Fatalf("conn extent len = %d", n)
+	}
+	w := c.OM.NewVar("w", db.Conn)
+	for _, i := range []int{0, 500, 1349} {
+		if err := conns.Get(i, w); err != nil {
+			t.Fatal(err)
+		}
+		id, _ := c.OM.OID(w)
+		if id != db.Conns[i/3][i%3] {
+			t.Errorf("conn extent[%d] = %v", i, id)
+		}
+	}
+	if err := c.OM.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectionIsDeterministic ensures two clients with the same seed
+// select the same objects (the hot/warm protocols rely on it).
+func TestSelectionIsDeterministic(t *testing.T) {
+	db, err := Generate(smallCfg(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []int64 {
+		c, err := NewClient(db, core.Options{}, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Begin(swizzle.NewSpec("d", swizzle.NOS))
+		var ids []int64
+		v := c.OM.NewVar("v", db.Part)
+		for i := 0; i < 20; i++ {
+			if err := c.selectPart(v); err != nil {
+				t.Fatal(err)
+			}
+			id, _ := c.OM.ReadInt(v, "part-id")
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,361 @@
+package oo1
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gom/internal/core"
+	"gom/internal/index"
+	"gom/internal/largeobj"
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/server"
+	"gom/internal/storage"
+	"gom/internal/swizzle"
+)
+
+// Segment numbers used by the generator.
+const (
+	SegParts uint16 = 0
+	SegConns uint16 = 1
+	// SegMixed holds both types under Part-to-Connection clustering.
+	SegMixed uint16 = 0
+	// SegExtents holds the Part and Connection extents (the persistent
+	// collections applications select from).
+	SegExtents uint16 = 2
+)
+
+// DB is a generated OO1 object base with its schema, server, and the
+// support structures applications start from.
+type DB struct {
+	Cfg    Config
+	Srv    *server.Local
+	Schema *object.Schema
+	Part   *object.Type
+	Conn   *object.Type
+
+	// Parts[i] is the OID of the part with part-id i+1; Conns[i] are the
+	// OIDs of its ConnsPerPart outgoing connections.
+	Parts []oid.OID
+	Conns [][]oid.OID
+	// ToParts[i][k] is the part-id−1 the k-th connection of part i points
+	// to (the generator's ground truth; tests use it).
+	ToParts [][]int
+
+	// PartExtent and ConnExtent are the OIDs of the persistent extents:
+	// element-typed large lists (internal/largeobj) holding references to
+	// every Part and every Connection. Applications select random objects
+	// through them, so selection references live in persistent,
+	// swizzlable structures — as in GOM — rather than being conjured from
+	// raw OIDs on every operation.
+	PartExtent, ConnExtent oid.OID
+
+	// PartIndex maps part-id → Part OID (the B-tree index every OO1
+	// implementation needs to select parts by id).
+	PartIndex *index.BTree
+	// ToIndex maps Part OID → Connections whose to-field references it.
+	// References as index keys stay unswizzled (§3.4.2). The paper's
+	// Reverse Traversal deliberately does NOT use such an index ("
+	// references to these Connections are not materialized") — it is
+	// provided for the index experiments and correctness checks.
+	ToIndex *index.RefIndex
+}
+
+// Schema builds the OO1 schema (§6.1.2).
+func buildSchema(cfg Config) (*object.Schema, *object.Type, *object.Type) {
+	s := object.NewSchema()
+	part := s.MustDefine("Part",
+		object.Field{Name: "part-id", Kind: object.KindInt},
+		object.Field{Name: "type", Kind: object.KindString},
+		object.Field{Name: "x", Kind: object.KindInt},
+		object.Field{Name: "y", Kind: object.KindInt},
+		object.Field{Name: "built", Kind: object.KindInt},
+		object.Field{Name: "connTo", Kind: object.KindRefSet, Target: "Connection"},
+	)
+	part.Pad = cfg.PadParts
+	conn := s.MustDefine("Connection",
+		object.Field{Name: "from", Kind: object.KindRef, Target: "Part"},
+		object.Field{Name: "to", Kind: object.KindRef, Target: "Part"},
+		object.Field{Name: "type", Kind: object.KindString},
+		object.Field{Name: "length", Kind: object.KindInt},
+	)
+	conn.Pad = cfg.PadConns
+	largeobj.RegisterTyped(s, "Part")
+	largeobj.RegisterTyped(s, "Connection")
+	return s, part, conn
+}
+
+// Generate builds an OO1 object base per the configuration.
+//
+// Part-ids run 1..NumParts. Every part has ConnsPerPart outgoing
+// connections, materialized in its connTo set (§6.1.2). With probability
+// Locality a connection's to-part is within the ClosestFrac·NumParts
+// nearest part-ids of its from-part; otherwise it is uniform random.
+func Generate(cfg Config) (*DB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema, part, conn := buildSchema(cfg)
+	mgr := storage.NewManager(1)
+	segParts, segConns := SegParts, SegConns
+	if cfg.Clustering == ClusterPartConn {
+		segParts, segConns = SegMixed, SegMixed
+		if err := mgr.CreateSegment(SegMixed); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := mgr.CreateSegment(SegParts); err != nil {
+			return nil, err
+		}
+		if err := mgr.CreateSegment(SegConns); err != nil {
+			return nil, err
+		}
+	}
+
+	db := &DB{
+		Cfg:       cfg,
+		Srv:       server.NewLocal(mgr),
+		Schema:    schema,
+		Part:      part,
+		Conn:      conn,
+		Parts:     make([]oid.OID, cfg.NumParts),
+		Conns:     make([][]oid.OID, cfg.NumParts),
+		ToParts:   make([][]int, cfg.NumParts),
+		PartIndex: index.NewBTree(),
+		ToIndex:   index.NewRefIndex(),
+	}
+
+	// Pass 1: allocate every part immediately followed by its connections,
+	// so Part-to-Connection clustering can place them on the part's page.
+	// Reference fields hold fixed-size placeholders (a nil ref is 8 bytes,
+	// like any OID), so pass 2 can patch them in place without record
+	// growth or relocation.
+	closest := int(float64(cfg.NumParts) * cfg.ClosestFrac)
+	if closest < 1 {
+		closest = 1
+	}
+	makeConn := func(i int) ([]byte, error) {
+		c := object.New(conn, oid.Nil)
+		c.SetStr(2, fmt.Sprintf("conn%04d", rng.Intn(10)))
+		c.SetInt(3, int64(rng.Intn(1000)))
+		return object.Encode(c)
+	}
+	for i := 0; i < cfg.NumParts; i++ {
+		p := object.New(part, oid.Nil)
+		p.SetInt(0, int64(i+1))
+		p.SetStr(1, fmt.Sprintf("type%05d", rng.Intn(10)))
+		p.SetInt(2, int64(rng.Intn(100000)))
+		p.SetInt(3, int64(rng.Intn(100000)))
+		p.SetInt(4, int64(1987+rng.Intn(10)))
+		for k := 0; k < cfg.ConnsPerPart; k++ {
+			p.Append(5, object.NilRef) // patched in pass 2
+		}
+		rec, err := object.Encode(p)
+		if err != nil {
+			return nil, err
+		}
+		id, _, err := mgr.Allocate(segParts, rec)
+		if err != nil {
+			return nil, err
+		}
+		db.Parts[i] = id
+		db.PartIndex.Insert(int64(i+1), id)
+
+		db.Conns[i] = make([]oid.OID, cfg.ConnsPerPart)
+		if cfg.Clustering == ClusterPartConn {
+			for k := 0; k < cfg.ConnsPerPart; k++ {
+				rec, err := makeConn(i)
+				if err != nil {
+					return nil, err
+				}
+				cid, _, err := mgr.AllocateNear(segConns, id, rec)
+				if err != nil {
+					return nil, err
+				}
+				db.Conns[i][k] = cid
+			}
+		}
+	}
+	if cfg.Clustering == ClusterTypeBased {
+		// Type-based clustering: all Connections in their own segment —
+		// in creation (part) order by default, or shuffled when
+		// ScatterConns models an aged, uncorrelated segment.
+		type ck struct{ i, k int }
+		order := make([]ck, 0, cfg.NumParts*cfg.ConnsPerPart)
+		for i := 0; i < cfg.NumParts; i++ {
+			for k := 0; k < cfg.ConnsPerPart; k++ {
+				order = append(order, ck{i, k})
+			}
+		}
+		if cfg.ScatterConns {
+			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		}
+		for _, o := range order {
+			rec, err := makeConn(o.i)
+			if err != nil {
+				return nil, err
+			}
+			cid, _, err := mgr.Allocate(segConns, rec)
+			if err != nil {
+				return nil, err
+			}
+			db.Conns[o.i][o.k] = cid
+		}
+	}
+
+	// Pass 2: choose topology and patch all references in place.
+	patch := func(id oid.OID, fn func(o *object.MemObject)) error {
+		rec, _, err := mgr.Read(id)
+		if err != nil {
+			return err
+		}
+		o, err := object.Decode(schema, id, rec)
+		if err != nil {
+			return err
+		}
+		fn(o)
+		out, err := object.Encode(o)
+		if err != nil {
+			return err
+		}
+		_, err = mgr.Update(id, out)
+		return err
+	}
+	for i := 0; i < cfg.NumParts; i++ {
+		db.ToParts[i] = make([]int, cfg.ConnsPerPart)
+		for k := 0; k < cfg.ConnsPerPart; k++ {
+			to := db.pickTarget(rng, i, closest)
+			db.ToParts[i][k] = to
+			err := patch(db.Conns[i][k], func(o *object.MemObject) {
+				*o.Ref(0) = object.OIDRef(db.Parts[i])
+				*o.Ref(1) = object.OIDRef(db.Parts[to])
+			})
+			if err != nil {
+				return nil, err
+			}
+			db.ToIndex.Insert(db.Parts[to], db.Conns[i][k])
+		}
+		err := patch(db.Parts[i], func(o *object.MemObject) {
+			for k := 0; k < cfg.ConnsPerPart; k++ {
+				*o.Elem(5, k) = object.OIDRef(db.Conns[i][k])
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := db.buildExtents(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// buildExtents materializes the Part and Connection extents as typed
+// large lists through a temporary client.
+func (db *DB) buildExtents() error {
+	if err := db.Srv.Manager().CreateSegment(SegExtents); err != nil {
+		return err
+	}
+	om, err := core.New(core.Options{
+		Server: db.Srv, Schema: db.Schema,
+		PageBufferPages: 8192,
+	})
+	if err != nil {
+		return err
+	}
+	om.BeginApplication(swizzle.NewSpec("extent-gen", swizzle.NOS))
+	fill := func(elemType string, typ *object.Type, name string, ids func(fn func(oid.OID) error) error) (oid.OID, error) {
+		listName, _ := largeobj.TypedNames(elemType)
+		l, err := largeobj.CreateNamed(om, SegExtents, name, listName)
+		if err != nil {
+			return oid.Nil, err
+		}
+		v := om.NewVar(name+"-elem", typ)
+		if err := ids(func(id oid.OID) error {
+			if err := om.Load(v, id); err != nil {
+				return err
+			}
+			return l.Append(v)
+		}); err != nil {
+			return oid.Nil, err
+		}
+		om.FreeVar(v)
+		return l.OID()
+	}
+	db.PartExtent, err = fill("Part", db.Part, "parts-extent", func(fn func(oid.OID) error) error {
+		for _, id := range db.Parts {
+			if err := fn(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	db.ConnExtent, err = fill("Connection", db.Conn, "conns-extent", func(fn func(oid.OID) error) error {
+		for _, cs := range db.Conns {
+			for _, id := range cs {
+				if err := fn(id); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return om.Commit()
+}
+
+// indexParts builds the part-id B-tree index from the metadata.
+func indexParts(db *DB) *index.BTree {
+	t := index.NewBTree()
+	for i, id := range db.Parts {
+		t.Insert(int64(i+1), id)
+	}
+	return t
+}
+
+// indexTo builds the reverse (Connection.to) index from the metadata.
+// Keys are unswizzled references (§3.4.2).
+func indexTo(db *DB) *index.RefIndex {
+	x := index.NewRefIndex()
+	for i, tos := range db.ToParts {
+		for k, to := range tos {
+			x.Insert(db.Parts[to], db.Conns[i][k])
+		}
+	}
+	return x
+}
+
+// pickTarget selects the to-part of a connection of part i.
+func (db *DB) pickTarget(rng *rand.Rand, i, closest int) int {
+	n := db.Cfg.NumParts
+	if rng.Float64() < db.Cfg.Locality {
+		// Within the `closest` nearest part-ids, wrapping, excluding i.
+		d := rng.Intn(closest) + 1
+		if rng.Intn(2) == 0 {
+			d = -d
+		}
+		return ((i+d)%n + n) % n
+	}
+	for {
+		j := rng.Intn(n)
+		if j != i {
+			return j
+		}
+	}
+}
+
+// SizeBytes returns the object base's total page bytes on the server.
+func (db *DB) SizeBytes() int {
+	return db.Srv.Manager().Disk().TotalPages() * 4096
+}
+
+// NumPages returns the total page count.
+func (db *DB) NumPages() int {
+	return db.Srv.Manager().Disk().TotalPages()
+}

@@ -1,0 +1,66 @@
+package oo1
+
+import (
+	"encoding/gob"
+	"io"
+
+	"gom/internal/oid"
+	"gom/internal/server"
+	"gom/internal/storage"
+)
+
+// dbMeta is the serialized OO1 metadata that accompanies the storage
+// manager image: everything not reconstructible from the pages alone.
+type dbMeta struct {
+	Cfg                    Config
+	Parts                  []oid.OID
+	Conns                  [][]oid.OID
+	ToParts                [][]int
+	PartExtent, ConnExtent oid.OID
+}
+
+// Save serializes the object base — storage manager (pages + POT + OID
+// generator) followed by the OO1 metadata — so it can be reloaded by Load
+// or served by cmd/gomcli.
+func (db *DB) Save(w io.Writer) error {
+	if err := db.Srv.Manager().Save(w); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(dbMeta{
+		Cfg:        db.Cfg,
+		Parts:      db.Parts,
+		Conns:      db.Conns,
+		ToParts:    db.ToParts,
+		PartExtent: db.PartExtent,
+		ConnExtent: db.ConnExtent,
+	})
+}
+
+// Load deserializes an object base written by Save, rebuilding the schema
+// and the in-memory indexes.
+func Load(r io.Reader) (*DB, error) {
+	mgr, err := storage.LoadManager(r)
+	if err != nil {
+		return nil, err
+	}
+	var meta dbMeta
+	if err := gob.NewDecoder(r).Decode(&meta); err != nil {
+		return nil, err
+	}
+	schema, part, conn := buildSchema(meta.Cfg)
+	db := &DB{
+		Cfg:        meta.Cfg,
+		Srv:        server.NewLocal(mgr),
+		Schema:     schema,
+		Part:       part,
+		Conn:       conn,
+		Parts:      meta.Parts,
+		Conns:      meta.Conns,
+		ToParts:    meta.ToParts,
+		PartExtent: meta.PartExtent,
+		ConnExtent: meta.ConnExtent,
+	}
+	db.PartIndex = indexParts(db)
+	db.ToIndex = indexTo(db)
+	return db, nil
+}

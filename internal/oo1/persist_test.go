@@ -1,0 +1,86 @@
+package oo1
+
+import (
+	"bytes"
+	"testing"
+
+	"gom/internal/core"
+	"gom/internal/swizzle"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, err := Generate(smallCfg(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate something through a client first so the saved image carries
+	// committed state.
+	c, err := NewClient(db, core.Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Begin(swizzle.NewSpec("w", swizzle.NOS))
+	v := c.OM.NewVar("p", db.Part)
+	if err := c.OM.Load(v, db.Parts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OM.WriteInt(v, "built", 2026); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OM.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Cfg.NumParts != 200 || len(db2.Parts) != 200 {
+		t.Fatalf("reloaded config: %+v", db2.Cfg)
+	}
+	if db2.PartIndex.Len() != 200 || db2.ToIndex.Len() != 600 {
+		t.Errorf("indexes: %d / %d", db2.PartIndex.Len(), db2.ToIndex.Len())
+	}
+	if db2.PartExtent != db.PartExtent || db2.ConnExtent != db.ConnExtent {
+		t.Error("extent OIDs lost")
+	}
+
+	// The reloaded base must be fully navigable and carry the write.
+	c2, err := NewClient(db2, core.Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Begin(swizzle.NewSpec("r", swizzle.LIS))
+	w := c2.OM.NewVar("p", db2.Part)
+	if err := c2.OM.Load(w, db2.Parts[5]); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c2.OM.ReadInt(w, "built"); err != nil || got != 2026 {
+		t.Fatalf("built = %d, %v", got, err)
+	}
+	if _, err := c2.Traversal(3); err != nil {
+		t.Fatal(err)
+	}
+	// New allocations must not collide with reloaded OIDs (generator
+	// state restored).
+	n := c2.OM.NewVar("new", db2.Part)
+	if err := c2.OM.Create(db2.Part, SegParts, n); err != nil {
+		t.Fatal(err)
+	}
+	nid, err := c2.OM.OID(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range db2.Parts {
+		if id == nid {
+			t.Fatal("new OID collides with an existing part")
+		}
+	}
+	if err := c2.OM.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

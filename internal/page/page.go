@@ -1,0 +1,341 @@
+// Package page implements slotted pages, the unit of transfer between the
+// server's disk and the client buffer pool (paper §2, Fig. 1).
+//
+// A page stores variable-length records addressed by slot number. Record
+// slot numbers are stable across intra-page compaction, so a persistent
+// object's physical address (segment, page, slot) survives page-local
+// reorganization. Pages serialize to a fixed-size byte image; the in-memory
+// representation operates directly on that image, as a storage manager
+// would.
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Size is the page size in bytes (paper §6.1.1: 4096-byte pages).
+const Size = 4096
+
+// PageID identifies a page: 16 bits of segment number, 48 bits of page
+// number within the segment.
+type PageID uint64
+
+// NilPage is the invalid page id.
+const NilPage PageID = 0xFFFFFFFFFFFFFFFF
+
+// NewPageID composes a page identifier.
+func NewPageID(seg uint16, no uint64) PageID {
+	return PageID(uint64(seg)<<48 | no&(1<<48-1))
+}
+
+// Segment returns the segment number.
+func (id PageID) Segment() uint16 { return uint16(id >> 48) }
+
+// No returns the page number within the segment.
+func (id PageID) No() uint64 { return uint64(id) & (1<<48 - 1) }
+
+// String renders the page id as seg/page.
+func (id PageID) String() string {
+	if id == NilPage {
+		return "nilpage"
+	}
+	return fmt.Sprintf("%d/%d", id.Segment(), id.No())
+}
+
+// Header layout (little endian):
+//
+//	off  0: page id        (8 bytes)
+//	off  8: slot count     (2 bytes)
+//	off 10: free-space off (2 bytes)  start of unused area
+//	off 12: free bytes     (2 bytes)  usable after compaction
+//	off 14: flags          (2 bytes)
+//
+// Slot directory grows downward from the end of the page; each slot is
+// 4 bytes: record offset (2) and record length (2). Offset 0xFFFF marks a
+// deleted (reusable) slot.
+const (
+	headerSize   = 16
+	slotSize     = 4
+	deletedSlot  = 0xFFFF
+	offPageID    = 0
+	offSlotCount = 8
+	offFreeOff   = 10
+	offFreeBytes = 12
+	offFlags     = 14
+)
+
+// Errors returned by page operations.
+var (
+	ErrPageFull    = errors.New("page: not enough free space")
+	ErrBadSlot     = errors.New("page: no such slot")
+	ErrRecordSize  = errors.New("page: record too large for a page")
+	ErrCorruptPage = errors.New("page: corrupt page image")
+)
+
+// MaxRecord is the largest record that fits in an empty page.
+const MaxRecord = Size - headerSize - slotSize
+
+// Page is a slotted page over a fixed-size byte image.
+type Page struct {
+	buf [Size]byte
+}
+
+// New returns an initialized empty page with the given id.
+func New(id PageID) *Page {
+	p := &Page{}
+	p.Format(id)
+	return p
+}
+
+// Format re-initializes the page in place as empty with the given id.
+func (p *Page) Format(id PageID) {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(p.buf[offPageID:], uint64(id))
+	p.setU16(offSlotCount, 0)
+	p.setU16(offFreeOff, headerSize)
+	p.setU16(offFreeBytes, Size-headerSize)
+}
+
+// FromImage constructs a page from a serialized image. The image must be
+// exactly Size bytes; its header is validated.
+func FromImage(img []byte) (*Page, error) {
+	if len(img) != Size {
+		return nil, fmt.Errorf("%w: image is %d bytes, want %d", ErrCorruptPage, len(img), Size)
+	}
+	p := &Page{}
+	copy(p.buf[:], img)
+	n := int(p.u16(offSlotCount))
+	freeOff := int(p.u16(offFreeOff))
+	if freeOff < headerSize || freeOff > Size-n*slotSize {
+		return nil, fmt.Errorf("%w: free offset %d with %d slots", ErrCorruptPage, freeOff, n)
+	}
+	return p, nil
+}
+
+// Image returns the serialized page image. The returned slice aliases the
+// page's internal buffer; callers that retain it must copy.
+func (p *Page) Image() []byte { return p.buf[:] }
+
+// CloneImage returns a fresh copy of the page image.
+func (p *Page) CloneImage() []byte {
+	out := make([]byte, Size)
+	copy(out, p.buf[:])
+	return out
+}
+
+// ID returns the page id stored in the header.
+func (p *Page) ID() PageID {
+	return PageID(binary.LittleEndian.Uint64(p.buf[offPageID:]))
+}
+
+// SetID rewrites the page id (used when relocating pages during
+// reorganization).
+func (p *Page) SetID(id PageID) {
+	binary.LittleEndian.PutUint64(p.buf[offPageID:], uint64(id))
+}
+
+// Flags returns the page flag word.
+func (p *Page) Flags() uint16 { return p.u16(offFlags) }
+
+// SetFlags stores the page flag word.
+func (p *Page) SetFlags(f uint16) { p.setU16(offFlags, f) }
+
+func (p *Page) u16(off int) uint16 { return binary.LittleEndian.Uint16(p.buf[off:]) }
+func (p *Page) setU16(off int, v uint16) {
+	binary.LittleEndian.PutUint16(p.buf[off:], v)
+}
+
+// SlotCount returns the number of slots in the directory, including deleted
+// ones.
+func (p *Page) SlotCount() int { return int(p.u16(offSlotCount)) }
+
+func (p *Page) slotPos(slot int) int { return Size - (slot+1)*slotSize }
+
+func (p *Page) slot(slot int) (off, length int) {
+	pos := p.slotPos(slot)
+	return int(p.u16(pos)), int(p.u16(pos + 2))
+}
+
+func (p *Page) setSlot(slot, off, length int) {
+	pos := p.slotPos(slot)
+	p.setU16(pos, uint16(off))
+	p.setU16(pos+2, uint16(length))
+}
+
+// FreeSpace returns the bytes available for a new record, accounting for
+// the slot directory entry the record would need if no deleted slot can be
+// reused.
+func (p *Page) FreeSpace() int {
+	free := int(p.u16(offFreeBytes))
+	if !p.hasDeletedSlot() {
+		free -= slotSize
+	}
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+func (p *Page) hasDeletedSlot() bool {
+	n := p.SlotCount()
+	for s := 0; s < n; s++ {
+		if off, _ := p.slot(s); off == deletedSlot {
+			return true
+		}
+	}
+	return false
+}
+
+// contiguousFree returns the unfragmented free bytes between record area
+// and slot directory.
+func (p *Page) contiguousFree() int {
+	return Size - p.SlotCount()*slotSize - int(p.u16(offFreeOff))
+}
+
+// Insert stores a record and returns its slot number. A deleted slot is
+// reused if one exists; the page is compacted if the free space is
+// fragmented. Returns ErrPageFull if the record does not fit.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > MaxRecord {
+		return 0, fmt.Errorf("%w: %d bytes", ErrRecordSize, len(rec))
+	}
+	slot := -1
+	n := p.SlotCount()
+	for s := 0; s < n; s++ {
+		if off, _ := p.slot(s); off == deletedSlot {
+			slot = s
+			break
+		}
+	}
+	need := len(rec)
+	newSlot := slot == -1
+	if newSlot {
+		need += slotSize
+	}
+	if int(p.u16(offFreeBytes)) < need {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrPageFull, need, p.u16(offFreeBytes))
+	}
+	room := p.contiguousFree()
+	if newSlot {
+		room -= slotSize
+	}
+	if room < len(rec) {
+		p.Compact()
+	}
+	if slot == -1 {
+		slot = n
+		p.setU16(offSlotCount, uint16(n+1))
+	}
+	off := int(p.u16(offFreeOff))
+	copy(p.buf[off:], rec)
+	p.setSlot(slot, off, len(rec))
+	p.setU16(offFreeOff, uint16(off+len(rec)))
+	p.setU16(offFreeBytes, p.u16(offFreeBytes)-uint16(need))
+	return slot, nil
+}
+
+// Read returns the record in the given slot. The returned slice aliases the
+// page image and is invalidated by any mutation of the page.
+func (p *Page) Read(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.SlotCount() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, slot, p.SlotCount())
+	}
+	off, length := p.slot(slot)
+	if off == deletedSlot {
+		return nil, fmt.Errorf("%w: %d is deleted", ErrBadSlot, slot)
+	}
+	return p.buf[off : off+length], nil
+}
+
+// Update replaces the record in slot. If the new record is no longer than
+// the old one it is updated in place; otherwise it is relocated within the
+// page. Returns ErrPageFull if the page cannot hold the new version.
+func (p *Page) Update(slot int, rec []byte) error {
+	if slot < 0 || slot >= p.SlotCount() {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, slot, p.SlotCount())
+	}
+	off, length := p.slot(slot)
+	if off == deletedSlot {
+		return fmt.Errorf("%w: %d is deleted", ErrBadSlot, slot)
+	}
+	if len(rec) <= length {
+		copy(p.buf[off:], rec)
+		p.setSlot(slot, off, len(rec))
+		p.setU16(offFreeBytes, p.u16(offFreeBytes)+uint16(length-len(rec)))
+		return nil
+	}
+	grow := len(rec) - length
+	if int(p.u16(offFreeBytes)) < grow {
+		return fmt.Errorf("%w: update needs %d more bytes, have %d", ErrPageFull, grow, p.u16(offFreeBytes))
+	}
+	// Relocate: mark old space dead, compact if needed, append.
+	p.setSlot(slot, deletedSlot, length)
+	if p.contiguousFree() < len(rec) {
+		p.Compact()
+	}
+	noff := int(p.u16(offFreeOff))
+	copy(p.buf[noff:], rec)
+	p.setSlot(slot, noff, len(rec))
+	p.setU16(offFreeOff, uint16(noff+len(rec)))
+	p.setU16(offFreeBytes, p.u16(offFreeBytes)-uint16(grow))
+	return nil
+}
+
+// Delete removes the record in slot, leaving the slot reusable.
+func (p *Page) Delete(slot int) error {
+	if slot < 0 || slot >= p.SlotCount() {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, slot, p.SlotCount())
+	}
+	off, length := p.slot(slot)
+	if off == deletedSlot {
+		return fmt.Errorf("%w: %d already deleted", ErrBadSlot, slot)
+	}
+	p.setSlot(slot, deletedSlot, 0)
+	p.setU16(offFreeBytes, p.u16(offFreeBytes)+uint16(length))
+	return nil
+}
+
+// Live reports whether the slot holds a record.
+func (p *Page) Live(slot int) bool {
+	if slot < 0 || slot >= p.SlotCount() {
+		return false
+	}
+	off, _ := p.slot(slot)
+	return off != deletedSlot
+}
+
+// Records calls fn for every live record in slot order. The record slice
+// aliases the page image.
+func (p *Page) Records(fn func(slot int, rec []byte)) {
+	n := p.SlotCount()
+	for s := 0; s < n; s++ {
+		off, length := p.slot(s)
+		if off == deletedSlot {
+			continue
+		}
+		fn(s, p.buf[off:off+length])
+	}
+}
+
+// Compact slides all live records to the front of the record area,
+// eliminating fragmentation. Slot numbers are preserved.
+func (p *Page) Compact() {
+	n := p.SlotCount()
+	var tmp [Size]byte
+	w := headerSize
+	for s := 0; s < n; s++ {
+		off, length := p.slot(s)
+		if off == deletedSlot {
+			continue
+		}
+		copy(tmp[w:], p.buf[off:off+length])
+		p.setSlot(s, w, length)
+		w += length
+	}
+	copy(p.buf[headerSize:w], tmp[headerSize:w])
+	p.setU16(offFreeOff, uint16(w))
+}

@@ -1,0 +1,362 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageIDParts(t *testing.T) {
+	id := NewPageID(7, 123456)
+	if id.Segment() != 7 {
+		t.Errorf("segment = %d, want 7", id.Segment())
+	}
+	if id.No() != 123456 {
+		t.Errorf("no = %d, want 123456", id.No())
+	}
+	if got := id.String(); got != "7/123456" {
+		t.Errorf("string = %q", got)
+	}
+}
+
+func TestPageIDQuickRoundTrip(t *testing.T) {
+	f := func(seg uint16, no uint64) bool {
+		no &= 1<<48 - 1
+		id := NewPageID(seg, no)
+		return id.Segment() == seg && id.No() == no
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPageEmpty(t *testing.T) {
+	p := New(NewPageID(1, 1))
+	if p.SlotCount() != 0 {
+		t.Errorf("slot count = %d, want 0", p.SlotCount())
+	}
+	if p.FreeSpace() != Size-headerSize-slotSize {
+		t.Errorf("free = %d, want %d", p.FreeSpace(), Size-headerSize-slotSize)
+	}
+	if p.ID() != NewPageID(1, 1) {
+		t.Errorf("id = %v", p.ID())
+	}
+}
+
+func TestInsertReadRoundTrip(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	recs := [][]byte{
+		[]byte("hello"),
+		[]byte(""),
+		bytes.Repeat([]byte{0xAB}, 300),
+		[]byte{0},
+	}
+	slots := make([]int, len(recs))
+	for i, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		slots[i] = s
+	}
+	for i, r := range recs {
+		got, err := p.Read(slots[i])
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, r) {
+			t.Errorf("record %d = %q, want %q", i, got, r)
+		}
+	}
+}
+
+func TestInsertUntilFull(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	rec := bytes.Repeat([]byte{1}, 100)
+	n := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			break
+		}
+		n++
+	}
+	want := (Size - headerSize) / (100 + slotSize)
+	if n != want {
+		t.Errorf("inserted %d records, want %d", n, want)
+	}
+	if p.FreeSpace() >= 100 {
+		t.Errorf("free space %d should be < 100 after fill", p.FreeSpace())
+	}
+}
+
+func TestMaxRecord(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	if _, err := p.Insert(make([]byte, MaxRecord)); err != nil {
+		t.Fatalf("max record insert: %v", err)
+	}
+	p2 := New(NewPageID(0, 0))
+	if _, err := p2.Insert(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversize record insert succeeded")
+	}
+}
+
+func TestDeleteAndReuse(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	s0, _ := p.Insert([]byte("one"))
+	s1, _ := p.Insert([]byte("two"))
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Live(s0) {
+		t.Error("slot 0 live after delete")
+	}
+	if _, err := p.Read(s0); err == nil {
+		t.Error("read of deleted slot succeeded")
+	}
+	// Deleting again must fail.
+	if err := p.Delete(s0); err == nil {
+		t.Error("double delete succeeded")
+	}
+	// New insert reuses the deleted slot.
+	s2, err := p.Insert([]byte("three"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != s0 {
+		t.Errorf("reused slot = %d, want %d", s2, s0)
+	}
+	got, _ := p.Read(s1)
+	if string(got) != "two" {
+		t.Errorf("slot %d = %q, want two", s1, got)
+	}
+}
+
+func TestUpdateInPlaceAndRelocate(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	s, _ := p.Insert([]byte("abcdef"))
+	if err := p.Update(s, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Read(s)
+	if string(got) != "xy" {
+		t.Errorf("after shrink = %q", got)
+	}
+	big := bytes.Repeat([]byte{7}, 500)
+	if err := p.Update(s, big); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Read(s)
+	if !bytes.Equal(got, big) {
+		t.Error("after grow mismatch")
+	}
+}
+
+func TestUpdateFull(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	s, _ := p.Insert([]byte("x"))
+	if err := p.Update(s, make([]byte, Size)); err == nil {
+		t.Fatal("oversized update succeeded")
+	}
+	// Original record must be intact (slot not left deleted).
+	got, err := p.Read(s)
+	if err != nil || string(got) != "x" {
+		t.Fatalf("record damaged after failed update: %q, %v", got, err)
+	}
+}
+
+func TestCompactPreservesSlots(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	var slots []int
+	for i := 0; i < 20; i++ {
+		s, err := p.Insert(bytes.Repeat([]byte{byte(i)}, 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	for i := 0; i < 20; i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Compact()
+	for i := 1; i < 20; i += 2 {
+		got, err := p.Read(slots[i])
+		if err != nil {
+			t.Fatalf("slot %d after compact: %v", slots[i], err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 50)) {
+			t.Errorf("slot %d content changed by compact", slots[i])
+		}
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p := New(NewPageID(3, 9))
+	s, _ := p.Insert([]byte("persist me"))
+	img := p.CloneImage()
+	q, err := FromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID() != p.ID() {
+		t.Errorf("id = %v, want %v", q.ID(), p.ID())
+	}
+	got, err := q.Read(s)
+	if err != nil || string(got) != "persist me" {
+		t.Fatalf("record = %q, %v", got, err)
+	}
+}
+
+func TestFromImageRejectsBadSizeAndCorrupt(t *testing.T) {
+	if _, err := FromImage(make([]byte, 10)); err == nil {
+		t.Error("short image accepted")
+	}
+	img := make([]byte, Size)
+	img[offFreeOff] = 1 // free offset 1 < headerSize
+	if _, err := FromImage(img); err == nil {
+		t.Error("corrupt image accepted")
+	}
+}
+
+func TestRecordsIteration(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	s0, _ := p.Insert([]byte("a"))
+	s1, _ := p.Insert([]byte("b"))
+	s2, _ := p.Insert([]byte("c"))
+	p.Delete(s1)
+	var seen []int
+	p.Records(func(slot int, rec []byte) { seen = append(seen, slot) })
+	if len(seen) != 2 || seen[0] != s0 || seen[1] != s2 {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	p := New(NewPageID(0, 0))
+	p.SetFlags(0xBEEF)
+	if p.Flags() != 0xBEEF {
+		t.Errorf("flags = %#x", p.Flags())
+	}
+	q, err := FromImage(p.CloneImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Flags() != 0xBEEF {
+		t.Error("flags lost in image round trip")
+	}
+}
+
+// TestPageShadowModel drives a page with random inserts, updates and deletes
+// and checks it against a map-based shadow model, including after an image
+// round trip. This is the replacement-safety workhorse for the slotted page.
+func TestPageShadowModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 20; iter++ {
+		p := New(NewPageID(1, uint64(iter)))
+		shadow := map[int][]byte{}
+		for op := 0; op < 2000; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // insert
+				rec := make([]byte, rng.Intn(200))
+				rng.Read(rec)
+				s, err := p.Insert(rec)
+				if err != nil {
+					continue // full: acceptable
+				}
+				if _, exists := shadow[s]; exists {
+					t.Fatalf("iter %d op %d: insert reused live slot %d", iter, op, s)
+				}
+				shadow[s] = rec
+			case 2: // update random live slot
+				s := pick(rng, shadow)
+				if s < 0 {
+					continue
+				}
+				rec := make([]byte, rng.Intn(300))
+				rng.Read(rec)
+				if err := p.Update(s, rec); err != nil {
+					continue // full: old record must survive, checked below
+				}
+				shadow[s] = rec
+			case 3: // delete random live slot
+				s := pick(rng, shadow)
+				if s < 0 {
+					continue
+				}
+				if err := p.Delete(s); err != nil {
+					t.Fatalf("iter %d op %d: delete live slot %d: %v", iter, op, s, err)
+				}
+				delete(shadow, s)
+			}
+		}
+		check := func(q *Page, tag string) {
+			for s, want := range shadow {
+				got, err := q.Read(s)
+				if err != nil {
+					t.Fatalf("%s: slot %d: %v", tag, s, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s: slot %d mismatch", tag, s)
+				}
+			}
+			live := 0
+			q.Records(func(int, []byte) { live++ })
+			if live != len(shadow) {
+				t.Fatalf("%s: %d live records, want %d", tag, live, len(shadow))
+			}
+		}
+		check(p, "direct")
+		q, err := FromImage(p.CloneImage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(q, "after image round trip")
+	}
+}
+
+func pick(rng *rand.Rand, m map[int][]byte) int {
+	if len(m) == 0 {
+		return -1
+	}
+	n := rng.Intn(len(m))
+	for s := range m {
+		if n == 0 {
+			return s
+		}
+		n--
+	}
+	return -1
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rec := make([]byte, 36) // a Part-sized record
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := New(NewPageID(0, 0))
+		for {
+			if _, err := p.Insert(rec); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	p := New(NewPageID(0, 0))
+	var slots []int
+	for {
+		s, err := p.Insert(make([]byte, 36))
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Read(slots[i%len(slots)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

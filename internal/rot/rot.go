@@ -1,0 +1,71 @@
+// Package rot implements the resident object table (paper §3.1): the
+// mapping from OIDs to the main-memory representations of all resident
+// objects. Every no-swizzling dereference consults it; swizzling exists to
+// bypass it. The cost of each consultation is charged by the object manager
+// at its call sites, because the charge depends on why the table is
+// consulted.
+package rot
+
+import (
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/storage"
+)
+
+// Entry is one resident object: its in-memory representation and the
+// physical address its persistent record was loaded from.
+type Entry struct {
+	Obj  *object.MemObject
+	Addr storage.PAddr
+}
+
+// Table is the resident object table. It belongs to one client and is not
+// safe for concurrent use.
+type Table struct {
+	m map[oid.OID]*Entry
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{m: make(map[oid.OID]*Entry)}
+}
+
+// Register records a resident object. Registering an already-registered
+// OID replaces the entry (the caller is responsible for having displaced
+// the old representation).
+func (t *Table) Register(obj *object.MemObject, addr storage.PAddr) *Entry {
+	e := &Entry{Obj: obj, Addr: addr}
+	t.m[obj.OID] = e
+	return e
+}
+
+// Lookup returns the entry for an OID, or nil (an object fault, §3.2.1 —
+// note the object's page may still be buffered; residency here means
+// "registered in the ROT").
+func (t *Table) Lookup(id oid.OID) *Entry { return t.m[id] }
+
+// Unregister removes an object.
+func (t *Table) Unregister(id oid.OID) { delete(t.m, id) }
+
+// Len returns the number of resident objects.
+func (t *Table) Len() int { return len(t.m) }
+
+// Range calls fn for every entry until fn returns false. fn must not
+// mutate the table; collect OIDs first when displacing.
+func (t *Table) Range(fn func(*Entry) bool) {
+	for _, e := range t.m {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// OIDs returns all resident OIDs (safe to displace while iterating the
+// returned slice).
+func (t *Table) OIDs() []oid.OID {
+	out := make([]oid.OID, 0, len(t.m))
+	for id := range t.m {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package rot
+
+import (
+	"testing"
+
+	"gom/internal/object"
+	"gom/internal/oid"
+	"gom/internal/page"
+	"gom/internal/storage"
+)
+
+func testObj(serial uint64) *object.MemObject {
+	s := object.NewSchema()
+	typ := s.MustDefine("T", object.Field{Name: "v", Kind: object.KindInt})
+	return object.New(typ, oid.MustNew(1, serial))
+}
+
+func TestRegisterLookupUnregister(t *testing.T) {
+	tab := New()
+	obj := testObj(1)
+	addr := storage.PAddr{Page: page.NewPageID(0, 3), Slot: 7}
+	e := tab.Register(obj, addr)
+	if e.Obj != obj || e.Addr != addr {
+		t.Fatal("entry mismatch")
+	}
+	if got := tab.Lookup(obj.OID); got != e {
+		t.Fatal("lookup mismatch")
+	}
+	if tab.Lookup(oid.MustNew(1, 99)) != nil {
+		t.Error("missing OID resolved")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("len = %d", tab.Len())
+	}
+	tab.Unregister(obj.OID)
+	if tab.Lookup(obj.OID) != nil || tab.Len() != 0 {
+		t.Error("unregister failed")
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	tab := New()
+	a := testObj(1)
+	b := testObj(1) // same OID, new representation
+	tab.Register(a, storage.PAddr{})
+	tab.Register(b, storage.PAddr{Slot: 1})
+	if e := tab.Lookup(a.OID); e.Obj != b || e.Addr.Slot != 1 {
+		t.Error("replacement did not take effect")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("len = %d", tab.Len())
+	}
+}
+
+func TestRangeAndOIDs(t *testing.T) {
+	tab := New()
+	for i := uint64(1); i <= 5; i++ {
+		tab.Register(testObj(i), storage.PAddr{})
+	}
+	seen := 0
+	tab.Range(func(e *Entry) bool { seen++; return true })
+	if seen != 5 {
+		t.Errorf("range saw %d", seen)
+	}
+	seen = 0
+	tab.Range(func(e *Entry) bool { seen++; return false })
+	if seen != 1 {
+		t.Error("range did not stop")
+	}
+	if got := tab.OIDs(); len(got) != 5 {
+		t.Errorf("oids = %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+// Package server provides the page server of the client/server architecture
+// (paper §2, Fig. 1). Clients fetch pages, resolve OIDs, and allocate
+// objects through the Server interface.
+//
+// Two implementations are provided: Local wraps a storage.Manager in
+// process (what the benchmarks use — deterministic, no network noise), and
+// a TCP server/client pair speaking a length-prefixed binary protocol (the
+// paper's architecture has the object manager talk to a remote server
+// through "communication software"; §2 notes the swizzling techniques are
+// independent of the server kind, which this interface enforces).
+package server
+
+import (
+	"gom/internal/oid"
+	"gom/internal/storage"
+
+	"gom/internal/page"
+)
+
+// Server is what the client-side object manager needs from the server. All
+// implementations are safe for concurrent use by multiple clients.
+type Server interface {
+	// Lookup resolves a logical OID to its physical address by consulting
+	// the server's persistent object table.
+	Lookup(id oid.OID) (storage.PAddr, error)
+	// ReadPage ships one page to the client.
+	ReadPage(pid page.PageID) ([]byte, error)
+	// WritePage installs a page image shipped back from a client.
+	WritePage(pid page.PageID, img []byte) error
+	// Allocate creates a new object in a segment.
+	Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error)
+	// AllocateNear creates a new object clustered with a neighbor.
+	AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, storage.PAddr, error)
+	// UpdateObject rewrites an object server-side, relocating it if it no
+	// longer fits its page (used for objects that grow past page room).
+	UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error)
+	// NumPages returns the number of pages in a segment.
+	NumPages(seg uint16) (int, error)
+}
+
+// Local serves pages directly from a storage manager in the same process.
+type Local struct {
+	mgr *storage.Manager
+}
+
+// NewLocal returns an in-process server over the manager.
+func NewLocal(mgr *storage.Manager) *Local { return &Local{mgr: mgr} }
+
+// Manager exposes the underlying storage manager (generation code uses it).
+func (l *Local) Manager() *storage.Manager { return l.mgr }
+
+// Lookup implements Server.
+func (l *Local) Lookup(id oid.OID) (storage.PAddr, error) { return l.mgr.Lookup(id) }
+
+// ReadPage implements Server.
+func (l *Local) ReadPage(pid page.PageID) ([]byte, error) {
+	return l.mgr.Disk().ReadPage(pid)
+}
+
+// WritePage implements Server.
+func (l *Local) WritePage(pid page.PageID, img []byte) error {
+	return l.mgr.Disk().WritePage(pid, img)
+}
+
+// Allocate implements Server.
+func (l *Local) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
+	return l.mgr.Allocate(seg, rec)
+}
+
+// AllocateNear implements Server.
+func (l *Local) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
+	return l.mgr.AllocateNear(seg, neighbor, rec)
+}
+
+// UpdateObject implements Server.
+func (l *Local) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
+	return l.mgr.Update(id, rec)
+}
+
+// NumPages implements Server.
+func (l *Local) NumPages(seg uint16) (int, error) {
+	return l.mgr.Disk().NumPages(seg)
+}

@@ -1,0 +1,499 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"gom/internal/oid"
+	"gom/internal/page"
+	"gom/internal/storage"
+)
+
+// Wire protocol: every message is
+//
+//	uint32 length (of everything after this field)
+//	uint8  opcode (request) / status (response)
+//	payload
+//
+// Integers are little endian. A status of 0 is success; 1 carries an error
+// string as payload.
+const (
+	opLookup = iota + 1
+	opReadPage
+	opWritePage
+	opAllocate
+	opAllocateNear
+	opUpdateObject
+	opNumPages
+	// Transactional extension: a connection runs at most one transaction
+	// at a time; between opTxBegin and opTxCommit/opTxAbort, every data
+	// operation on the connection is routed through the transaction's
+	// session (strict 2PL + undo, see txn.go).
+	opTxBegin
+	opTxCommit
+	opTxAbort
+)
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxMessage bounds a message (a page plus small headers is the largest
+// legitimate payload).
+const maxMessage = page.Size + 1024
+
+var errProtocol = errors.New("server: protocol error")
+
+func writeMsg(w *bufio.Writer, code byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = code
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readMsg(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxMessage {
+		return 0, nil, fmt.Errorf("%w: message length %d", errProtocol, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+func putOID(b []byte, id oid.OID) { binary.LittleEndian.PutUint64(b, uint64(id)) }
+func getOID(b []byte) oid.OID     { return oid.OID(binary.LittleEndian.Uint64(b)) }
+
+func putPAddr(b []byte, a storage.PAddr) {
+	binary.LittleEndian.PutUint64(b, uint64(a.Page))
+	binary.LittleEndian.PutUint16(b[8:], a.Slot)
+}
+
+func getPAddr(b []byte) storage.PAddr {
+	return storage.PAddr{
+		Page: page.PageID(binary.LittleEndian.Uint64(b)),
+		Slot: binary.LittleEndian.Uint16(b[8:]),
+	}
+}
+
+// TCPServer serves a storage manager over TCP to any number of clients.
+// When constructed with ServeTx it additionally offers per-connection
+// transactions.
+type TCPServer struct {
+	mgr *storage.Manager
+	tx  *TxServer // nil when serving non-transactionally
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the manager on the listener. It returns immediately;
+// use Close to stop.
+func Serve(ln net.Listener, mgr *storage.Manager) *TCPServer {
+	s := &TCPServer{mgr: mgr, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// ServeTx serves a transactional server: clients may bracket their work in
+// BeginTx/CommitTx/AbortTx. A connection that drops mid-transaction has
+// its transaction aborted.
+func ServeTx(ln net.Listener, tx *TxServer) *TCPServer {
+	s := &TCPServer{mgr: tx.Manager(), tx: tx, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and closes all client connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// connState carries the per-connection transactional state.
+type connState struct {
+	tx   TxID
+	sess Server // the transaction session, or nil outside a transaction
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	cs := &connState{}
+	defer func() {
+		// A dropped connection aborts its in-flight transaction.
+		if s.tx != nil && cs.sess != nil {
+			_ = s.tx.Abort(cs.tx)
+		}
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, page.Size+1024)
+	w := bufio.NewWriterSize(conn, page.Size+1024)
+	for {
+		op, payload, err := readMsg(r)
+		if err != nil {
+			return
+		}
+		resp, err := s.handle(cs, op, payload)
+		if err != nil {
+			if werr := writeMsg(w, statusErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeMsg(w, statusOK, resp); err != nil {
+			return
+		}
+	}
+}
+
+// backend selects the data-plane server for the connection: its live
+// transaction session, or the raw manager.
+func (s *TCPServer) backend(cs *connState) Server {
+	if cs.sess != nil {
+		return cs.sess
+	}
+	return NewLocal(s.mgr)
+}
+
+func (s *TCPServer) handle(cs *connState, op byte, payload []byte) ([]byte, error) {
+	switch op {
+	case opTxBegin:
+		if s.tx == nil {
+			return nil, errors.New("server: not a transactional server")
+		}
+		if cs.sess != nil {
+			return nil, errors.New("server: transaction already open on this connection")
+		}
+		cs.tx = s.tx.Begin()
+		cs.sess = s.tx.Session(cs.tx)
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, uint64(cs.tx))
+		return out, nil
+	case opTxCommit, opTxAbort:
+		if s.tx == nil || cs.sess == nil {
+			return nil, errors.New("server: no open transaction")
+		}
+		var err error
+		if op == opTxCommit {
+			err = s.tx.Commit(cs.tx)
+		} else {
+			err = s.tx.Abort(cs.tx)
+		}
+		cs.sess = nil
+		cs.tx = 0
+		return nil, err
+	}
+	return s.handleData(s.backend(cs), op, payload)
+}
+
+func (s *TCPServer) handleData(backend Server, op byte, payload []byte) ([]byte, error) {
+	switch op {
+	case opLookup:
+		if len(payload) != 8 {
+			return nil, errProtocol
+		}
+		addr, err := backend.Lookup(getOID(payload))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 10)
+		putPAddr(out, addr)
+		return out, nil
+	case opReadPage:
+		if len(payload) != 8 {
+			return nil, errProtocol
+		}
+		pid := page.PageID(binary.LittleEndian.Uint64(payload))
+		return backend.ReadPage(pid)
+	case opWritePage:
+		if len(payload) != 8+page.Size {
+			return nil, errProtocol
+		}
+		pid := page.PageID(binary.LittleEndian.Uint64(payload))
+		return nil, backend.WritePage(pid, payload[8:])
+	case opAllocate:
+		if len(payload) < 2 {
+			return nil, errProtocol
+		}
+		seg := binary.LittleEndian.Uint16(payload)
+		id, addr, err := backend.Allocate(seg, payload[2:])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 18)
+		putOID(out, id)
+		putPAddr(out[8:], addr)
+		return out, nil
+	case opAllocateNear:
+		if len(payload) < 10 {
+			return nil, errProtocol
+		}
+		seg := binary.LittleEndian.Uint16(payload)
+		neighbor := getOID(payload[2:])
+		id, addr, err := backend.AllocateNear(seg, neighbor, payload[10:])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 18)
+		putOID(out, id)
+		putPAddr(out[8:], addr)
+		return out, nil
+	case opUpdateObject:
+		if len(payload) < 8 {
+			return nil, errProtocol
+		}
+		addr, err := backend.UpdateObject(getOID(payload), payload[8:])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 10)
+		putPAddr(out, addr)
+		return out, nil
+	case opNumPages:
+		if len(payload) != 2 {
+			return nil, errProtocol
+		}
+		n, err := backend.NumPages(binary.LittleEndian.Uint16(payload))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, uint64(n))
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: opcode %d", errProtocol, op)
+	}
+}
+
+// Client is a TCP client implementing Server. Requests are serialized over
+// one connection; it is safe for concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a TCP page server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, page.Size+1024),
+		w:    bufio.NewWriterSize(conn, page.Size+1024),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeMsg(c.w, op, payload); err != nil {
+		return nil, err
+	}
+	status, resp, err := readMsg(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if status == statusErr {
+		return nil, errors.New(string(resp))
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("%w: status %d", errProtocol, status)
+	}
+	return resp, nil
+}
+
+// Lookup implements Server.
+func (c *Client) Lookup(id oid.OID) (storage.PAddr, error) {
+	req := make([]byte, 8)
+	putOID(req, id)
+	resp, err := c.call(opLookup, req)
+	if err != nil {
+		return storage.PAddr{}, err
+	}
+	if len(resp) != 10 {
+		return storage.PAddr{}, errProtocol
+	}
+	return getPAddr(resp), nil
+}
+
+// ReadPage implements Server.
+func (c *Client) ReadPage(pid page.PageID) ([]byte, error) {
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint64(req, uint64(pid))
+	resp, err := c.call(opReadPage, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) != page.Size {
+		return nil, errProtocol
+	}
+	return resp, nil
+}
+
+// WritePage implements Server.
+func (c *Client) WritePage(pid page.PageID, img []byte) error {
+	if len(img) != page.Size {
+		return fmt.Errorf("server: image is %d bytes", len(img))
+	}
+	req := make([]byte, 8+page.Size)
+	binary.LittleEndian.PutUint64(req, uint64(pid))
+	copy(req[8:], img)
+	_, err := c.call(opWritePage, req)
+	return err
+}
+
+// Allocate implements Server.
+func (c *Client) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
+	req := make([]byte, 2+len(rec))
+	binary.LittleEndian.PutUint16(req, seg)
+	copy(req[2:], rec)
+	resp, err := c.call(opAllocate, req)
+	if err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
+	if len(resp) != 18 {
+		return oid.Nil, storage.PAddr{}, errProtocol
+	}
+	return getOID(resp), getPAddr(resp[8:]), nil
+}
+
+// AllocateNear implements Server.
+func (c *Client) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
+	req := make([]byte, 10+len(rec))
+	binary.LittleEndian.PutUint16(req, seg)
+	putOID(req[2:], neighbor)
+	copy(req[10:], rec)
+	resp, err := c.call(opAllocateNear, req)
+	if err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
+	if len(resp) != 18 {
+		return oid.Nil, storage.PAddr{}, errProtocol
+	}
+	return getOID(resp), getPAddr(resp[8:]), nil
+}
+
+// UpdateObject implements Server.
+func (c *Client) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
+	req := make([]byte, 8+len(rec))
+	putOID(req, id)
+	copy(req[8:], rec)
+	resp, err := c.call(opUpdateObject, req)
+	if err != nil {
+		return storage.PAddr{}, err
+	}
+	if len(resp) != 10 {
+		return storage.PAddr{}, errProtocol
+	}
+	return getPAddr(resp), nil
+}
+
+// BeginTx starts a transaction on the connection (the server must have
+// been started with ServeTx). All subsequent operations on this client run
+// inside it until CommitTx or AbortTx.
+func (c *Client) BeginTx() (TxID, error) {
+	resp, err := c.call(opTxBegin, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errProtocol
+	}
+	return TxID(binary.LittleEndian.Uint64(resp)), nil
+}
+
+// CommitTx commits the connection's transaction.
+func (c *Client) CommitTx() error {
+	_, err := c.call(opTxCommit, nil)
+	return err
+}
+
+// AbortTx aborts the connection's transaction; the client-side object
+// manager must Discard its buffers afterwards.
+func (c *Client) AbortTx() error {
+	_, err := c.call(opTxAbort, nil)
+	return err
+}
+
+// NumPages implements Server.
+func (c *Client) NumPages(seg uint16) (int, error) {
+	req := make([]byte, 2)
+	binary.LittleEndian.PutUint16(req, seg)
+	resp, err := c.call(opNumPages, req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errProtocol
+	}
+	return int(binary.LittleEndian.Uint64(resp)), nil
+}
+
+var (
+	_ Server = (*Local)(nil)
+	_ Server = (*Client)(nil)
+)

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gom/internal/oid"
+	"gom/internal/page"
+	"gom/internal/storage"
+)
+
+// Transaction layer (paper §2: "the object manager also provides
+// concurrency control and recovery" — unevaluated there, implemented here
+// as a server-side service so multiple client object managers can share
+// one object base safely):
+//
+//   - strict two-phase locking at page granularity: ReadPage takes a
+//     shared lock, WritePage an exclusive lock, both held to commit;
+//   - object-level undo: Allocate and UpdateObject record compensation
+//     actions, WritePage records a page before-image; Abort runs them in
+//     reverse;
+//   - deadlocks are resolved by lock-wait timeout (the waiter aborts with
+//     ErrLockTimeout and should Abort its transaction);
+//   - Recover aborts every live transaction (crash recovery: the durable
+//     state then reflects only committed work).
+//
+// A transaction is used by building a client object manager over
+// TxServer.Session(tx) — a Server implementation scoped to the
+// transaction. After Abort, the client's buffers hold rolled-back images
+// and must be Reset.
+
+// Transaction errors.
+var (
+	ErrLockTimeout = errors.New("server: lock wait timeout (possible deadlock; abort the transaction)")
+	ErrNoTx        = errors.New("server: no such transaction")
+	ErrTxDone      = errors.New("server: transaction already finished")
+)
+
+// TxID identifies a transaction.
+type TxID uint64
+
+// lockMode is S or X.
+type lockMode uint8
+
+const (
+	lockS lockMode = iota
+	lockX
+)
+
+// pageLock is a shared/exclusive lock with writer priority: while any
+// transaction waits for exclusive access, new shared requests from other
+// transactions are held back. Without this, a steady influx of readers
+// starves lock upgrades forever (the upgrader needs a moment with no other
+// shared holders). Waiters poll on a condition variable; timeouts bound
+// waits and resolve genuine deadlocks.
+type pageLock struct {
+	holders map[TxID]lockMode // invariant: either one X holder or N S holders
+	waitX   int               // transactions currently waiting for X
+}
+
+func (l *pageLock) compatible(tx TxID, mode lockMode) bool {
+	if mode == lockS && l.waitX > 0 {
+		// Writer priority: queue behind the pending exclusive request
+		// (the requester holding S already returned via the held-check).
+		return false
+	}
+	for h, m := range l.holders {
+		if h == tx {
+			continue
+		}
+		if mode == lockX || m == lockX {
+			return false
+		}
+	}
+	return true
+}
+
+// undoFn compensates one action of a transaction.
+type undoFn func(mgr *storage.Manager) error
+
+type txState struct {
+	locks map[page.PageID]lockMode
+	undo  []undoFn
+	done  bool
+}
+
+// TxServer provides transactional sessions over one storage manager. It
+// is safe for concurrent use by many clients (each in its own goroutine).
+type TxServer struct {
+	mgr     *storage.Manager
+	timeout time.Duration
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	next  TxID
+	locks map[page.PageID]*pageLock
+	txs   map[TxID]*txState
+}
+
+// NewTxServer wraps a storage manager. timeout bounds lock waits
+// (deadlock resolution); 0 means a 2-second default.
+func NewTxServer(mgr *storage.Manager, timeout time.Duration) *TxServer {
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	s := &TxServer{
+		mgr:     mgr,
+		timeout: timeout,
+		locks:   make(map[page.PageID]*pageLock),
+		txs:     make(map[TxID]*txState),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Manager exposes the underlying storage manager (non-transactional
+// tooling such as generators uses it before serving begins).
+func (s *TxServer) Manager() *storage.Manager { return s.mgr }
+
+// Begin starts a transaction.
+func (s *TxServer) Begin() TxID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	tx := s.next
+	s.txs[tx] = &txState{locks: make(map[page.PageID]lockMode)}
+	return tx
+}
+
+// Live returns the number of unfinished transactions.
+func (s *TxServer) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.txs)
+}
+
+// acquire takes a page lock for the transaction, blocking up to the
+// timeout. Lock upgrades (S→X) are supported.
+func (s *TxServer) acquire(tx TxID, pid page.PageID, mode lockMode) error {
+	deadline := time.Now().Add(s.timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Writer-priority bookkeeping: an X requester registers itself so new
+	// shared grants pause until it is served (or gives up). The lock
+	// object is stable while registered: finish() keeps locks with
+	// waiting writers alive.
+	var regLock *pageLock
+	defer func() {
+		if regLock != nil {
+			regLock.waitX--
+			if len(regLock.holders) == 0 && regLock.waitX == 0 && s.locks[pid] == regLock {
+				delete(s.locks, pid)
+			}
+			s.cond.Broadcast()
+		}
+	}()
+	for {
+		st, ok := s.txs[tx]
+		if !ok || st.done {
+			return fmt.Errorf("%w: %d", ErrTxDone, tx)
+		}
+		l := s.locks[pid]
+		if l == nil {
+			l = &pageLock{holders: make(map[TxID]lockMode)}
+			s.locks[pid] = l
+		}
+		if held, ok := st.locks[pid]; ok && (held == lockX || held == mode) {
+			return nil // already held strongly enough
+		}
+		if l.compatible(tx, mode) {
+			l.holders[tx] = mode
+			st.locks[pid] = mode
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: page %v", ErrLockTimeout, pid)
+		}
+		if mode == lockX && regLock == nil {
+			l.waitX++
+			regLock = l
+		}
+		// Wait with a wake-up tick so timeouts fire without a separate
+		// timer per waiter.
+		waitCtx := make(chan struct{})
+		go func() {
+			select {
+			case <-time.After(50 * time.Millisecond):
+				s.cond.Broadcast()
+			case <-waitCtx:
+			}
+		}()
+		s.cond.Wait()
+		close(waitCtx)
+	}
+}
+
+// finish releases a transaction's locks and removes it.
+func (s *TxServer) finish(tx TxID, st *txState) {
+	for pid := range st.locks {
+		if l := s.locks[pid]; l != nil {
+			delete(l.holders, tx)
+			if len(l.holders) == 0 && l.waitX == 0 {
+				delete(s.locks, pid)
+			}
+		}
+	}
+	st.done = true
+	delete(s.txs, tx)
+	s.cond.Broadcast()
+}
+
+// Commit ends the transaction, making its writes durable and visible.
+func (s *TxServer) Commit(tx TxID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.txs[tx]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoTx, tx)
+	}
+	s.finish(tx, st)
+	return nil
+}
+
+// Abort rolls the transaction back by running its undo actions in reverse
+// order, then releases its locks.
+func (s *TxServer) Abort(tx TxID) error {
+	s.mu.Lock()
+	st, ok := s.txs[tx]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoTx, tx)
+	}
+	undo := st.undo
+	st.undo = nil
+	s.mu.Unlock()
+
+	var errs []error
+	for i := len(undo) - 1; i >= 0; i-- {
+		if err := undo[i](s.mgr); err != nil {
+			errs = append(errs, err)
+		}
+	}
+
+	s.mu.Lock()
+	s.finish(tx, st)
+	s.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Recover aborts every live transaction — what restart-after-crash does
+// with the undo information.
+func (s *TxServer) Recover() error {
+	s.mu.Lock()
+	ids := make([]TxID, 0, len(s.txs))
+	for tx := range s.txs {
+		ids = append(ids, tx)
+	}
+	s.mu.Unlock()
+	var errs []error
+	for _, tx := range ids {
+		if err := s.Abort(tx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (s *TxServer) logUndo(tx TxID, fn undoFn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.txs[tx]
+	if !ok || st.done {
+		return fmt.Errorf("%w: %d", ErrTxDone, tx)
+	}
+	st.undo = append(st.undo, fn)
+	return nil
+}
+
+// Session returns a Server scoped to the transaction: every page it
+// touches is locked under strict 2PL, and every modification is undoable
+// until Commit.
+func (s *TxServer) Session(tx TxID) Server {
+	return &txSession{srv: s, tx: tx}
+}
+
+type txSession struct {
+	srv *TxServer
+	tx  TxID
+}
+
+// Lookup implements Server (the POT is consulted without locking: the
+// physical address of an object is protected by its page's lock once the
+// page is read).
+func (c *txSession) Lookup(id oid.OID) (storage.PAddr, error) {
+	return c.srv.mgr.Lookup(id)
+}
+
+// ReadPage implements Server under a shared lock.
+func (c *txSession) ReadPage(pid page.PageID) ([]byte, error) {
+	if err := c.srv.acquire(c.tx, pid, lockS); err != nil {
+		return nil, err
+	}
+	return c.srv.mgr.Disk().ReadPage(pid)
+}
+
+// WritePage implements Server under an exclusive lock, recording the page
+// before-image.
+func (c *txSession) WritePage(pid page.PageID, img []byte) error {
+	if err := c.srv.acquire(c.tx, pid, lockX); err != nil {
+		return err
+	}
+	before, err := c.srv.mgr.Disk().ReadPage(pid)
+	if err != nil {
+		return err
+	}
+	if err := c.srv.logUndo(c.tx, func(mgr *storage.Manager) error {
+		return mgr.Disk().WritePage(pid, before)
+	}); err != nil {
+		return err
+	}
+	return c.srv.mgr.Disk().WritePage(pid, img)
+}
+
+// Allocate implements Server; the undo deletes the object again.
+func (c *txSession) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
+	id, addr, err := c.srv.mgr.Allocate(seg, rec)
+	if err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
+	if err := c.lockAllocation(id, addr); err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
+	return id, addr, nil
+}
+
+// AllocateNear implements Server.
+func (c *txSession) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
+	id, addr, err := c.srv.mgr.AllocateNear(seg, neighbor, rec)
+	if err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
+	if err := c.lockAllocation(id, addr); err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
+	return id, addr, nil
+}
+
+func (c *txSession) lockAllocation(id oid.OID, addr storage.PAddr) error {
+	// The allocation already happened (placement is the manager's
+	// choice); lock its page and log the compensation. If the lock cannot
+	// be taken, compensate immediately.
+	if err := c.srv.acquire(c.tx, addr.Page, lockX); err != nil {
+		_ = c.srv.mgr.Delete(id)
+		return err
+	}
+	return c.srv.logUndo(c.tx, func(mgr *storage.Manager) error {
+		return mgr.Delete(id)
+	})
+}
+
+// UpdateObject implements Server, logging the object's before-image (an
+// object-level undo survives relocations in both directions).
+func (c *txSession) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
+	addr, err := c.srv.mgr.Lookup(id)
+	if err != nil {
+		return storage.PAddr{}, err
+	}
+	if err := c.srv.acquire(c.tx, addr.Page, lockX); err != nil {
+		return storage.PAddr{}, err
+	}
+	// Capture the before-image under the lock (the object may have moved
+	// between Lookup and acquire; re-read resolves the current state).
+	var before []byte
+	before, addr, err = c.srv.mgr.Read(id)
+	if err != nil {
+		return storage.PAddr{}, err
+	}
+	if err := c.srv.acquire(c.tx, addr.Page, lockX); err != nil {
+		return storage.PAddr{}, err
+	}
+	newAddr, err := c.srv.mgr.Update(id, rec)
+	if err != nil {
+		return storage.PAddr{}, err
+	}
+	if newAddr.Page != addr.Page {
+		if err := c.srv.acquire(c.tx, newAddr.Page, lockX); err != nil {
+			return storage.PAddr{}, err
+		}
+	}
+	if err := c.srv.logUndo(c.tx, func(mgr *storage.Manager) error {
+		_, uerr := mgr.Update(id, before)
+		return uerr
+	}); err != nil {
+		return storage.PAddr{}, err
+	}
+	return newAddr, nil
+}
+
+// NumPages implements Server.
+func (c *txSession) NumPages(seg uint16) (int, error) {
+	return c.srv.mgr.Disk().NumPages(seg)
+}
+
+var _ Server = (*txSession)(nil)

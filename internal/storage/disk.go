@@ -1,0 +1,212 @@
+// Package storage implements the server-side storage manager: a simulated
+// disk of slotted pages grouped into segments, a persistent object table
+// (POT) mapping logical OIDs to physical addresses via linear hashing, and
+// object allocation with clustering hints.
+//
+// This plays the role EXODUS v1.3 played for GOM (paper §6.1.1): it resolves
+// OIDs to (page, slot) and serves pages. The swizzling layers above are, by
+// design (§2), independent of how it is implemented.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"gom/internal/page"
+)
+
+// Errors returned by the storage layer.
+var (
+	ErrNoSegment    = errors.New("storage: no such segment")
+	ErrSegmentExist = errors.New("storage: segment already exists")
+	ErrNoPage       = errors.New("storage: no such page")
+	ErrNoObject     = errors.New("storage: no such object")
+	ErrObjectExists = errors.New("storage: object already exists")
+)
+
+// Disk is a simulated disk: page images addressable by PageID, grouped into
+// segments. It is safe for concurrent use (it sits on the server side and
+// serves multiple clients).
+type Disk struct {
+	mu   sync.RWMutex
+	segs map[uint16][][]byte // segment -> page images, index = page number
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk {
+	return &Disk{segs: make(map[uint16][][]byte)}
+}
+
+// CreateSegment creates an empty segment.
+func (d *Disk) CreateSegment(seg uint16) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.segs[seg]; ok {
+		return fmt.Errorf("%w: %d", ErrSegmentExist, seg)
+	}
+	d.segs[seg] = nil
+	return nil
+}
+
+// Segments returns the existing segment numbers, sorted.
+func (d *Disk) Segments() []uint16 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]uint16, 0, len(d.segs))
+	for s := range d.segs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumPages returns the number of pages in a segment.
+func (d *Disk) NumPages(seg uint16) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	pages, ok := d.segs[seg]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSegment, seg)
+	}
+	return len(pages), nil
+}
+
+// AllocPage appends a freshly formatted page to the segment and returns its
+// id.
+func (d *Disk) AllocPage(seg uint16) (page.PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.segs[seg]
+	if !ok {
+		return page.NilPage, fmt.Errorf("%w: %d", ErrNoSegment, seg)
+	}
+	id := page.NewPageID(seg, uint64(len(pages)))
+	d.segs[seg] = append(pages, page.New(id).CloneImage())
+	return id, nil
+}
+
+// ReadPage returns a copy of the page image.
+func (d *Disk) ReadPage(id page.PageID) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	img, err := d.lookupLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, page.Size)
+	copy(out, img)
+	return out, nil
+}
+
+// WritePage replaces the page image.
+func (d *Disk) WritePage(id page.PageID, img []byte) error {
+	if len(img) != page.Size {
+		return fmt.Errorf("storage: image is %d bytes, want %d", len(img), page.Size)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dst, err := d.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	copy(dst, img)
+	return nil
+}
+
+func (d *Disk) lookupLocked(id page.PageID) ([]byte, error) {
+	pages, ok := d.segs[id.Segment()]
+	if !ok {
+		return nil, fmt.Errorf("%w: segment %d", ErrNoSegment, id.Segment())
+	}
+	no := id.No()
+	if no >= uint64(len(pages)) {
+		return nil, fmt.Errorf("%w: %v", ErrNoPage, id)
+	}
+	return pages[no], nil
+}
+
+// TotalPages returns the page count over all segments.
+func (d *Disk) TotalPages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, pages := range d.segs {
+		n += len(pages)
+	}
+	return n
+}
+
+// Save serializes the disk to w. Format: magic, segment count, then per
+// segment: number, page count, raw page images.
+func (d *Disk) Save(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	hdr := make([]byte, 8)
+	copy(hdr, "GOMDISK1")
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	segs := make([]uint16, 0, len(d.segs))
+	for s := range d.segs {
+		segs = append(segs, s)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(segs))); err != nil {
+		return err
+	}
+	for _, s := range segs {
+		pages := d.segs[s]
+		if err := binary.Write(w, binary.LittleEndian, s); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(pages))); err != nil {
+			return err
+		}
+		for _, img := range pages {
+			if _, err := w.Write(img); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadDisk deserializes a disk written by Save.
+func LoadDisk(r io.Reader) (*Disk, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr) != "GOMDISK1" {
+		return nil, errors.New("storage: bad disk image magic")
+	}
+	var nseg uint32
+	if err := binary.Read(r, binary.LittleEndian, &nseg); err != nil {
+		return nil, err
+	}
+	d := NewDisk()
+	for i := uint32(0); i < nseg; i++ {
+		var seg uint16
+		var npages uint64
+		if err := binary.Read(r, binary.LittleEndian, &seg); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &npages); err != nil {
+			return nil, err
+		}
+		pages := make([][]byte, npages)
+		for j := range pages {
+			img := make([]byte, page.Size)
+			if _, err := io.ReadFull(r, img); err != nil {
+				return nil, err
+			}
+			pages[j] = img
+		}
+		d.segs[seg] = pages
+	}
+	return d, nil
+}

@@ -1,0 +1,315 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"gom/internal/oid"
+	"gom/internal/page"
+)
+
+// Manager is the server-side storage manager. It owns the disk, the
+// persistent object table, and object allocation. Placement supports the
+// clustering policies the paper evaluates in §6.6.3: callers either let the
+// manager append to a segment's current fill page (type-based clustering is
+// then achieved by giving each type its own segment) or pass a neighbor
+// object so the new object is co-located on the neighbor's page
+// (Part-to-Connection clustering).
+type Manager struct {
+	mu       sync.Mutex
+	disk     *Disk
+	pot      *POT
+	gen      *oid.Generator
+	fillPage map[uint16]page.PageID // per-segment current allocation target
+}
+
+// NewManager returns a manager allocating OIDs on the given volume over a
+// fresh disk.
+func NewManager(volume uint16) *Manager {
+	return &Manager{
+		disk:     NewDisk(),
+		pot:      NewPOT(),
+		gen:      oid.NewGenerator(volume),
+		fillPage: make(map[uint16]page.PageID),
+	}
+}
+
+// Disk exposes the underlying disk (the page server serves from it).
+func (m *Manager) Disk() *Disk { return m.disk }
+
+// POT exposes the persistent object table.
+func (m *Manager) POT() *POT { return m.pot }
+
+// CreateSegment creates an empty segment.
+func (m *Manager) CreateSegment(seg uint16) error {
+	return m.disk.CreateSegment(seg)
+}
+
+// Allocate stores a new object in the segment and returns its OID and
+// physical address. The record is placed on the segment's current fill page
+// if it has room, otherwise on a fresh page.
+func (m *Manager) Allocate(seg uint16, rec []byte) (oid.OID, PAddr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.gen.Next()
+	addr, err := m.placeLocked(seg, page.NilPage, rec)
+	if err != nil {
+		return oid.Nil, PAddr{}, err
+	}
+	m.pot.Put(id, addr)
+	return id, addr, nil
+}
+
+// AllocateNear stores a new object, trying first to place it on the same
+// page as the neighbor object (clustering hint). It falls back to normal
+// placement when the neighbor's page is full or the neighbor is unknown.
+func (m *Manager) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, PAddr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hint := page.NilPage
+	if naddr, ok := m.pot.Get(neighbor); ok {
+		hint = naddr.Page
+	}
+	id := m.gen.Next()
+	addr, err := m.placeLocked(seg, hint, rec)
+	if err != nil {
+		return oid.Nil, PAddr{}, err
+	}
+	m.pot.Put(id, addr)
+	return id, addr, nil
+}
+
+// placeLocked stores rec in the segment, honoring the page hint when given.
+func (m *Manager) placeLocked(seg uint16, hint page.PageID, rec []byte) (PAddr, error) {
+	if hint != page.NilPage {
+		if addr, ok := m.tryInsert(hint, rec); ok {
+			return addr, nil
+		}
+	}
+	if fill, ok := m.fillPage[seg]; ok {
+		if addr, ok := m.tryInsert(fill, rec); ok {
+			return addr, nil
+		}
+	}
+	pid, err := m.disk.AllocPage(seg)
+	if err != nil {
+		return PAddr{}, err
+	}
+	m.fillPage[seg] = pid
+	addr, ok := m.tryInsert(pid, rec)
+	if !ok {
+		return PAddr{}, fmt.Errorf("storage: record of %d bytes does not fit a fresh page", len(rec))
+	}
+	return addr, nil
+}
+
+// tryInsert attempts to insert rec into the given page; it reports success.
+func (m *Manager) tryInsert(pid page.PageID, rec []byte) (PAddr, bool) {
+	img, err := m.disk.ReadPage(pid)
+	if err != nil {
+		return PAddr{}, false
+	}
+	p, err := page.FromImage(img)
+	if err != nil {
+		return PAddr{}, false
+	}
+	slot, err := p.Insert(rec)
+	if err != nil {
+		return PAddr{}, false
+	}
+	if err := m.disk.WritePage(pid, p.Image()); err != nil {
+		return PAddr{}, false
+	}
+	return PAddr{Page: pid, Slot: uint16(slot)}, true
+}
+
+// Lookup resolves an OID to its physical address.
+func (m *Manager) Lookup(id oid.OID) (PAddr, error) {
+	addr, ok := m.pot.Get(id)
+	if !ok {
+		return PAddr{}, fmt.Errorf("%w: %v", ErrNoObject, id)
+	}
+	return addr, nil
+}
+
+// Read returns a copy of an object's persistent record and its address.
+func (m *Manager) Read(id oid.OID) ([]byte, PAddr, error) {
+	addr, err := m.Lookup(id)
+	if err != nil {
+		return nil, PAddr{}, err
+	}
+	img, err := m.disk.ReadPage(addr.Page)
+	if err != nil {
+		return nil, PAddr{}, err
+	}
+	p, err := page.FromImage(img)
+	if err != nil {
+		return nil, PAddr{}, err
+	}
+	rec, err := p.Read(int(addr.Slot))
+	if err != nil {
+		return nil, PAddr{}, fmt.Errorf("storage: object %v at %v/%d: %w", id, addr.Page, addr.Slot, err)
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, addr, nil
+}
+
+// Update replaces an object's persistent record. If the new record no
+// longer fits its page, the object is relocated to another page of the same
+// segment and the POT is updated (this is what logical OIDs buy: the move is
+// invisible to references, paper §3.3).
+func (m *Manager) Update(id oid.OID, rec []byte) (PAddr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	addr, ok := m.pot.Get(id)
+	if !ok {
+		return PAddr{}, fmt.Errorf("%w: %v", ErrNoObject, id)
+	}
+	img, err := m.disk.ReadPage(addr.Page)
+	if err != nil {
+		return PAddr{}, err
+	}
+	p, err := page.FromImage(img)
+	if err != nil {
+		return PAddr{}, err
+	}
+	if err := p.Update(int(addr.Slot), rec); err == nil {
+		if err := m.disk.WritePage(addr.Page, p.Image()); err != nil {
+			return PAddr{}, err
+		}
+		return addr, nil
+	}
+	// Relocate: delete from the old page, place elsewhere in the segment.
+	if err := p.Delete(int(addr.Slot)); err != nil {
+		return PAddr{}, err
+	}
+	if err := m.disk.WritePage(addr.Page, p.Image()); err != nil {
+		return PAddr{}, err
+	}
+	naddr, err := m.placeLocked(addr.Page.Segment(), page.NilPage, rec)
+	if err != nil {
+		return PAddr{}, err
+	}
+	m.pot.Put(id, naddr)
+	return naddr, nil
+}
+
+// Save serializes the manager — disk, persistent object table, and OID
+// generator state — so an object base survives process restarts.
+// Format: the disk image (see Disk.Save), then "GOMMGR01", the generator
+// volume and next serial, the POT entry count, and the entries.
+func (m *Manager) Save(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.disk.Save(w); err != nil {
+		return err
+	}
+	hdr := make([]byte, 8)
+	copy(hdr, "GOMMGR01")
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, m.gen.Volume()); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, m.gen.Peek()); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(m.pot.Len())); err != nil {
+		return err
+	}
+	var err error
+	m.pot.Range(func(id oid.OID, addr PAddr) bool {
+		if werr := binary.Write(w, binary.LittleEndian, uint64(id)); werr != nil {
+			err = werr
+			return false
+		}
+		if werr := binary.Write(w, binary.LittleEndian, uint64(addr.Page)); werr != nil {
+			err = werr
+			return false
+		}
+		if werr := binary.Write(w, binary.LittleEndian, addr.Slot); werr != nil {
+			err = werr
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// LoadManager deserializes a manager written by Save.
+func LoadManager(r io.Reader) (*Manager, error) {
+	disk, err := LoadDisk(r)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr) != "GOMMGR01" {
+		return nil, errors.New("storage: bad manager image magic")
+	}
+	var volume uint16
+	var nextSerial, n uint64
+	if err := binary.Read(r, binary.LittleEndian, &volume); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nextSerial); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		disk:     disk,
+		pot:      NewPOT(),
+		gen:      oid.NewGeneratorAt(volume, nextSerial),
+		fillPage: make(map[uint16]page.PageID),
+	}
+	for i := uint64(0); i < n; i++ {
+		var id, pid uint64
+		var slot uint16
+		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &pid); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &slot); err != nil {
+			return nil, err
+		}
+		m.pot.Put(oid.OID(id), PAddr{Page: page.PageID(pid), Slot: slot})
+	}
+	return m, nil
+}
+
+// Delete removes an object from its page and from the POT.
+func (m *Manager) Delete(id oid.OID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	addr, ok := m.pot.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoObject, id)
+	}
+	img, err := m.disk.ReadPage(addr.Page)
+	if err != nil {
+		return err
+	}
+	p, err := page.FromImage(img)
+	if err != nil {
+		return err
+	}
+	if err := p.Delete(int(addr.Slot)); err != nil {
+		return err
+	}
+	if err := m.disk.WritePage(addr.Page, p.Image()); err != nil {
+		return err
+	}
+	m.pot.Delete(id)
+	return nil
+}

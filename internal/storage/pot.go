@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"sync"
+
+	"gom/internal/oid"
+	"gom/internal/page"
+)
+
+// PAddr is the physical address of an object: the page holding it and the
+// slot within that page.
+type PAddr struct {
+	Page page.PageID
+	Slot uint16
+}
+
+// POT is the persistent object table: it maps logical OIDs to physical
+// addresses using linear hashing (paper §6.1.2 — GOM maps logical OIDs to
+// physical addresses with a linear hash table; the paper cites Larson's
+// separator variant, whose separators optimize disk probes of an on-disk
+// table. The mapping semantics reproduced here are those of classic linear
+// hashing: a split pointer, doubling rounds, and overflow chains).
+//
+// POT is safe for concurrent use.
+type POT struct {
+	mu      sync.RWMutex
+	buckets []potBucket
+	split   int // next bucket to split in this round
+	level   uint
+	n       int // live entries
+}
+
+const (
+	potInitialBuckets = 8
+	potBucketCap      = 16
+	// potMaxLoad is the load factor that triggers a split.
+	potMaxLoad = 0.75
+)
+
+type potEntry struct {
+	key oid.OID
+	val PAddr
+}
+
+type potBucket struct {
+	entries  []potEntry
+	overflow *potBucket
+}
+
+// NewPOT returns an empty persistent object table.
+func NewPOT() *POT {
+	return &POT{buckets: make([]potBucket, potInitialBuckets)}
+}
+
+// potHash mixes the OID so that sequentially allocated serials spread over
+// buckets (Fibonacci hashing).
+func potHash(id oid.OID) uint64 {
+	return uint64(id) * 0x9E3779B97F4A7C15
+}
+
+// bucketFor returns the bucket index for a key under the current level and
+// split pointer.
+func (t *POT) bucketFor(id oid.OID) int {
+	h := potHash(id)
+	mask := uint64(potInitialBuckets)<<t.level - 1
+	b := int(h & mask)
+	if b < t.split {
+		b = int(h & (mask<<1 | 1))
+	}
+	return b
+}
+
+// Len returns the number of entries.
+func (t *POT) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+// Get returns the physical address of an OID.
+func (t *POT) Get(id oid.OID) (PAddr, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for b := &t.buckets[t.bucketFor(id)]; b != nil; b = b.overflow {
+		for i := range b.entries {
+			if b.entries[i].key == id {
+				return b.entries[i].val, true
+			}
+		}
+	}
+	return PAddr{}, false
+}
+
+// Put inserts or replaces the mapping for an OID.
+func (t *POT) Put(id oid.OID, addr PAddr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buckets[t.bucketFor(id)]
+	for cur := b; cur != nil; cur = cur.overflow {
+		for i := range cur.entries {
+			if cur.entries[i].key == id {
+				cur.entries[i].val = addr
+				return
+			}
+		}
+	}
+	t.insertInto(b, potEntry{id, addr})
+	t.n++
+	t.maybeSplit()
+}
+
+// insertInto appends an entry to the first chain bucket with room.
+func (t *POT) insertInto(b *potBucket, e potEntry) {
+	for {
+		if len(b.entries) < potBucketCap {
+			b.entries = append(b.entries, e)
+			return
+		}
+		if b.overflow == nil {
+			b.overflow = &potBucket{}
+		}
+		b = b.overflow
+	}
+}
+
+// Delete removes the mapping for an OID; it reports whether it existed.
+func (t *POT) Delete(id oid.OID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for b := &t.buckets[t.bucketFor(id)]; b != nil; b = b.overflow {
+		for i := range b.entries {
+			if b.entries[i].key == id {
+				last := len(b.entries) - 1
+				b.entries[i] = b.entries[last]
+				b.entries = b.entries[:last]
+				t.n--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// maybeSplit splits the bucket under the split pointer when the load factor
+// exceeds potMaxLoad, advancing the pointer and, at the end of a round,
+// doubling the level.
+func (t *POT) maybeSplit() {
+	if float64(t.n)/float64(len(t.buckets)*potBucketCap) <= potMaxLoad {
+		return
+	}
+	level := t.level
+	old := t.buckets[t.split]
+	t.buckets[t.split] = potBucket{}
+	t.buckets = append(t.buckets, potBucket{})
+
+	t.split++
+	if t.split == potInitialBuckets<<level {
+		t.split = 0
+		t.level++
+	}
+
+	// Rehash the old chain with one more address bit: every key lands
+	// either back in the split bucket or in the newly appended one.
+	mask := uint64(potInitialBuckets)<<(level+1) - 1
+	for b := &old; b != nil; b = b.overflow {
+		for _, e := range b.entries {
+			t.insertInto(&t.buckets[potHash(e.key)&mask], e)
+		}
+	}
+}
+
+// Range calls fn for every entry until fn returns false. The table is
+// locked for reading during the iteration.
+func (t *POT) Range(fn func(oid.OID, PAddr) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := range t.buckets {
+		for b := &t.buckets[i]; b != nil; b = b.overflow {
+			for _, e := range b.entries {
+				if !fn(e.key, e.val) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Buckets returns the number of primary buckets (for tests and stats).
+func (t *POT) Buckets() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.buckets)
+}

@@ -1,0 +1,387 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gom/internal/oid"
+	"gom/internal/page"
+)
+
+func TestDiskSegmentsAndPages(t *testing.T) {
+	d := NewDisk()
+	if err := d.CreateSegment(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateSegment(1); err == nil {
+		t.Error("duplicate segment accepted")
+	}
+	if _, err := d.AllocPage(9); err == nil {
+		t.Error("alloc in missing segment accepted")
+	}
+	p0, err := d.AllocPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := d.AllocPage(1)
+	if p0 == p1 {
+		t.Error("duplicate page ids")
+	}
+	n, _ := d.NumPages(1)
+	if n != 2 {
+		t.Errorf("pages = %d, want 2", n)
+	}
+	if d.TotalPages() != 2 {
+		t.Errorf("total = %d", d.TotalPages())
+	}
+}
+
+func TestDiskReadWritePage(t *testing.T) {
+	d := NewDisk()
+	d.CreateSegment(0)
+	pid, _ := d.AllocPage(0)
+	img, err := d.ReadPage(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := page.FromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() != pid {
+		t.Errorf("fresh page id = %v, want %v", p.ID(), pid)
+	}
+	s, _ := p.Insert([]byte("data"))
+	if err := d.WritePage(pid, p.Image()); err != nil {
+		t.Fatal(err)
+	}
+	img2, _ := d.ReadPage(pid)
+	q, _ := page.FromImage(img2)
+	rec, err := q.Read(s)
+	if err != nil || string(rec) != "data" {
+		t.Fatalf("rec = %q, %v", rec, err)
+	}
+	// ReadPage must return a copy.
+	img2[100] = 0xFF
+	img3, _ := d.ReadPage(pid)
+	if img3[100] == 0xFF {
+		t.Error("ReadPage aliases disk storage")
+	}
+	if err := d.WritePage(pid, []byte("short")); err == nil {
+		t.Error("short page image accepted")
+	}
+	if _, err := d.ReadPage(page.NewPageID(0, 99)); err == nil {
+		t.Error("read of missing page accepted")
+	}
+}
+
+func TestDiskSaveLoad(t *testing.T) {
+	d := NewDisk()
+	d.CreateSegment(2)
+	d.CreateSegment(5)
+	pid, _ := d.AllocPage(2)
+	img, _ := d.ReadPage(pid)
+	p, _ := page.FromImage(img)
+	p.Insert([]byte("persisted"))
+	d.WritePage(pid, p.Image())
+	d.AllocPage(5)
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadDisk(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Segments(); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("segments = %v", got)
+	}
+	img2, err := d2.ReadPage(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := page.FromImage(img2)
+	rec, err := q.Read(0)
+	if err != nil || string(rec) != "persisted" {
+		t.Fatalf("rec = %q, %v", rec, err)
+	}
+	if _, err := LoadDisk(bytes.NewReader([]byte("GARBAGE!"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestPOTBasic(t *testing.T) {
+	pot := NewPOT()
+	id := oid.MustNew(1, 7)
+	if _, ok := pot.Get(id); ok {
+		t.Error("get on empty table succeeded")
+	}
+	addr := PAddr{Page: page.NewPageID(1, 3), Slot: 9}
+	pot.Put(id, addr)
+	got, ok := pot.Get(id)
+	if !ok || got != addr {
+		t.Fatalf("get = %v %v", got, ok)
+	}
+	addr2 := PAddr{Page: page.NewPageID(1, 4), Slot: 0}
+	pot.Put(id, addr2) // replace
+	if got, _ := pot.Get(id); got != addr2 {
+		t.Errorf("after replace = %v", got)
+	}
+	if pot.Len() != 1 {
+		t.Errorf("len = %d", pot.Len())
+	}
+	if !pot.Delete(id) {
+		t.Error("delete failed")
+	}
+	if pot.Delete(id) {
+		t.Error("double delete succeeded")
+	}
+	if pot.Len() != 0 {
+		t.Errorf("len after delete = %d", pot.Len())
+	}
+}
+
+// TestPOTShadowModel compares the linear hash table against a map through
+// random workloads heavy enough to force many splits and several rounds.
+func TestPOTShadowModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pot := NewPOT()
+	shadow := map[oid.OID]PAddr{}
+	keys := []oid.OID{}
+	for op := 0; op < 60000; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // insert
+			id := oid.MustNew(1, uint64(rng.Intn(1<<20)+1))
+			addr := PAddr{Page: page.NewPageID(0, uint64(op)), Slot: uint16(op)}
+			if _, dup := shadow[id]; !dup {
+				keys = append(keys, id)
+			}
+			pot.Put(id, addr)
+			shadow[id] = addr
+		case 6, 7: // lookup
+			if len(keys) == 0 {
+				continue
+			}
+			id := keys[rng.Intn(len(keys))]
+			got, ok := pot.Get(id)
+			want, wantOK := shadow[id]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("op %d: get(%v) = %v,%v want %v,%v", op, id, got, ok, want, wantOK)
+			}
+		default: // delete
+			if len(keys) == 0 {
+				continue
+			}
+			id := keys[rng.Intn(len(keys))]
+			_, wantOK := shadow[id]
+			if pot.Delete(id) != wantOK {
+				t.Fatalf("op %d: delete(%v) disagreed with shadow", op, id)
+			}
+			delete(shadow, id)
+		}
+	}
+	if pot.Len() != len(shadow) {
+		t.Fatalf("len = %d, shadow = %d", pot.Len(), len(shadow))
+	}
+	// Full verification both directions.
+	for id, want := range shadow {
+		got, ok := pot.Get(id)
+		if !ok || got != want {
+			t.Fatalf("final get(%v) = %v,%v want %v", id, got, ok, want)
+		}
+	}
+	seen := 0
+	pot.Range(func(id oid.OID, addr PAddr) bool {
+		want, ok := shadow[id]
+		if !ok || want != addr {
+			t.Fatalf("range produced unknown or stale entry %v", id)
+		}
+		seen++
+		return true
+	})
+	if seen != len(shadow) {
+		t.Fatalf("range saw %d entries, want %d", seen, len(shadow))
+	}
+	if pot.Buckets() <= potInitialBuckets {
+		t.Error("table never split under load")
+	}
+}
+
+func TestPOTSplitsKeepSequentialKeys(t *testing.T) {
+	pot := NewPOT()
+	const n = 20000
+	for i := uint64(1); i <= n; i++ {
+		pot.Put(oid.MustNew(1, i), PAddr{Slot: uint16(i)})
+	}
+	for i := uint64(1); i <= n; i++ {
+		got, ok := pot.Get(oid.MustNew(1, i))
+		if !ok || got.Slot != uint16(i) {
+			t.Fatalf("key %d lost after splits", i)
+		}
+	}
+}
+
+func TestManagerAllocateReadUpdateDelete(t *testing.T) {
+	m := NewManager(1)
+	if err := m.CreateSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	id, addr, err := m.Allocate(0, []byte("object one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.IsNil() {
+		t.Fatal("nil OID allocated")
+	}
+	rec, addr2, err := m.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec) != "object one" || addr2 != addr {
+		t.Fatalf("read = %q at %v", rec, addr2)
+	}
+	if _, err := m.Update(id, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	rec, _, _ = m.Read(id)
+	if string(rec) != "v2" {
+		t.Errorf("after update = %q", rec)
+	}
+	if err := m.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Read(id); err == nil {
+		t.Error("read after delete succeeded")
+	}
+	if err := m.Delete(id); err == nil {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestManagerFillsPagesSequentially(t *testing.T) {
+	m := NewManager(1)
+	m.CreateSegment(0)
+	rec := make([]byte, 100)
+	perPage := (page.Size - 16) / (100 + 4)
+	var addrs []PAddr
+	for i := 0; i < perPage+1; i++ {
+		_, a, err := m.Allocate(0, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	for i := 0; i < perPage; i++ {
+		if addrs[i].Page != addrs[0].Page {
+			t.Fatalf("object %d not on first page", i)
+		}
+	}
+	if addrs[perPage].Page == addrs[0].Page {
+		t.Error("overflow object placed on full page")
+	}
+}
+
+func TestManagerAllocateNearClusters(t *testing.T) {
+	m := NewManager(1)
+	m.CreateSegment(0)
+	anchor, aaddr, _ := m.Allocate(0, make([]byte, 36))
+	// Move the segment's fill page past the anchor's page while leaving
+	// room on it: three 1200-byte records fill most of page 0, the fourth
+	// opens page 1 and becomes the fill target.
+	for i := 0; i < 4; i++ {
+		m.Allocate(0, make([]byte, 1200))
+	}
+	if fill := m.fillPage[0]; fill == aaddr.Page {
+		t.Fatal("test setup: fill page still the anchor's page")
+	}
+	_, naddr, err := m.AllocateNear(0, anchor, make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naddr.Page != aaddr.Page {
+		t.Errorf("neighbor on %v, anchor on %v: not clustered", naddr.Page, aaddr.Page)
+	}
+	// Unknown neighbor falls back to normal placement.
+	if _, _, err := m.AllocateNear(0, oid.MustNew(9, 999), make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerUpdateRelocates(t *testing.T) {
+	m := NewManager(1)
+	m.CreateSegment(0)
+	// Nearly fill one page, then grow one object beyond its page's room.
+	big := make([]byte, 1200)
+	var ids []oid.OID
+	for i := 0; i < 3; i++ {
+		id, _, err := m.Allocate(0, big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	before, _ := m.Lookup(ids[0])
+	huge := bytes.Repeat([]byte{9}, 2000)
+	after, err := m.Update(ids[0], huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Page == before.Page {
+		t.Error("grown object not relocated")
+	}
+	rec, _, err := m.Read(ids[0])
+	if err != nil || !bytes.Equal(rec, huge) {
+		t.Fatalf("relocated object unreadable: %v", err)
+	}
+	// Other objects untouched.
+	for _, id := range ids[1:] {
+		rec, _, err := m.Read(id)
+		if err != nil || len(rec) != 1200 {
+			t.Fatalf("sibling object damaged: %v", err)
+		}
+	}
+}
+
+func TestManagerManyObjectsRoundTrip(t *testing.T) {
+	m := NewManager(2)
+	m.CreateSegment(3)
+	const n = 5000
+	ids := make([]oid.OID, n)
+	for i := range ids {
+		rec := []byte(fmt.Sprintf("record-%d", i))
+		id, _, err := m.Allocate(3, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		rec, _, err := m.Read(id)
+		if err != nil || string(rec) != fmt.Sprintf("record-%d", i) {
+			t.Fatalf("object %d: %q, %v", i, rec, err)
+		}
+	}
+}
+
+func BenchmarkPOTPut(b *testing.B) {
+	pot := NewPOT()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pot.Put(oid.MustNew(1, uint64(i)+1), PAddr{Slot: uint16(i)})
+	}
+}
+
+func BenchmarkPOTGet(b *testing.B) {
+	pot := NewPOT()
+	const n = 100000
+	for i := uint64(1); i <= n; i++ {
+		pot.Put(oid.MustNew(1, i), PAddr{Slot: uint16(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pot.Get(oid.MustNew(1, uint64(i%n)+1))
+	}
+}

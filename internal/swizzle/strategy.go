@@ -1,0 +1,283 @@
+// Package swizzle defines the five reference-management strategies of the
+// paper's classification (Table 1, restricted to the techniques that take
+// precautions for object replacement, plus no-swizzling) and the adaptable
+// granule specification that maps every reference an application
+// dereferences to one strategy (§4).
+package swizzle
+
+import (
+	"fmt"
+
+	"gom/internal/object"
+)
+
+// Strategy is one of the paper's reference-management techniques.
+type Strategy uint8
+
+// The strategies. Moss's optimistic techniques (which preclude replacement)
+// are deliberately absent: this reproduction is about the replacement-safe
+// class.
+const (
+	// NOS: no-swizzling. References stay OIDs; every dereference consults
+	// the resident object table.
+	NOS Strategy = iota
+	// EDS: eager direct swizzling. All references of a faulted object are
+	// swizzled to direct pointers immediately; referenced objects are
+	// loaded too (the snowball of §3.2.2).
+	EDS
+	// EIS: eager indirect swizzling. All references of a faulted object are
+	// swizzled to descriptors immediately; no loading is induced.
+	EIS
+	// LDS: lazy direct swizzling. A reference is swizzled to a direct
+	// pointer when it is first read (swizzling upon discovery, §3.2.1),
+	// loading the target.
+	LDS
+	// LIS: lazy indirect swizzling. A reference is swizzled to a descriptor
+	// when it is first read.
+	LIS
+
+	// NumStrategies is the number of strategies.
+	NumStrategies = 5
+)
+
+// Strategies lists all strategies in the paper's presentation order.
+var Strategies = []Strategy{NOS, LIS, EIS, LDS, EDS}
+
+// String returns the paper's abbreviation.
+func (s Strategy) String() string {
+	switch s {
+	case NOS:
+		return "NOS"
+	case EDS:
+		return "EDS"
+	case EIS:
+		return "EIS"
+	case LDS:
+		return "LDS"
+	case LIS:
+		return "LIS"
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+// Parse resolves a strategy abbreviation.
+func Parse(name string) (Strategy, error) {
+	for _, s := range Strategies {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return NOS, fmt.Errorf("swizzle: unknown strategy %q", name)
+}
+
+// Eager reports whether references are swizzled at object-fault time.
+func (s Strategy) Eager() bool { return s == EDS || s == EIS }
+
+// Lazy reports whether references are swizzled upon discovery.
+func (s Strategy) Lazy() bool { return s == LDS || s == LIS }
+
+// Direct reports whether swizzled references are direct pointers (requiring
+// RRLs and resident targets).
+func (s Strategy) Direct() bool { return s == EDS || s == LDS }
+
+// Indirect reports whether swizzled references go through descriptors.
+func (s Strategy) Indirect() bool { return s == EIS || s == LIS }
+
+// Swizzles reports whether the strategy converts references at all.
+func (s Strategy) Swizzles() bool { return s != NOS }
+
+// TargetState is the reference representation the strategy swizzles into.
+func (s Strategy) TargetState() object.RefState {
+	switch {
+	case s.Direct():
+		return object.RefDirect
+	case s.Indirect():
+		return object.RefIndirect
+	default:
+		return object.RefOID
+	}
+}
+
+// Granularity is the adjustment granularity of a specification (§4.2).
+type Granularity uint8
+
+// The granularities. Reference-specific swizzling (§4.2.4) is analyzed in
+// the paper and rejected; it is not implemented, as in the paper.
+const (
+	// GranApplication swizzles all references uniformly (§4.2.1).
+	GranApplication Granularity = iota
+	// GranType swizzles by the declared type of the referenced object
+	// (§4.2.2).
+	GranType
+	// GranContext swizzles by the context the reference is stored in: a
+	// (home type, field) pair or an individual program variable (§4.2.3).
+	GranContext
+)
+
+// String names the granularity.
+func (g Granularity) String() string {
+	switch g {
+	case GranApplication:
+		return "application"
+	case GranType:
+		return "type"
+	case GranContext:
+		return "context"
+	}
+	return fmt.Sprintf("granularity(%d)", uint8(g))
+}
+
+// Spec statically maps the references of an application to strategies. It
+// mirrors the compile-time mapping of §4.1: the resolution never requires a
+// run-time check beyond what the chosen strategy itself needs, because each
+// slot's strategy is fixed for the whole application.
+//
+// Resolution order for a field or set element: Contexts["Type.field"] if
+// present, else Types[declared target type] if present, else Default. For a
+// program variable: Vars[name], else Types[declared target type], else
+// Default. Variables form their own contexts (§4.2.3).
+type Spec struct {
+	// Name labels the specification in diagnostics.
+	Name string
+	// Default is the application-specific strategy.
+	Default Strategy
+	// Types maps a *target* type name to a strategy (type-specific mode:
+	// "the type of the referenced object, not the home object, determines
+	// how a reference is swizzled").
+	Types map[string]Strategy
+	// Contexts maps "HomeType.field" to a strategy (context-specific mode).
+	Contexts map[string]Strategy
+	// Vars maps a variable name to a strategy.
+	Vars map[string]Strategy
+}
+
+// NewSpec returns an application-specific spec with the given default.
+func NewSpec(name string, def Strategy) *Spec {
+	return &Spec{Name: name, Default: def}
+}
+
+// WithType adds a type-specific entry and returns the spec.
+func (sp *Spec) WithType(typeName string, s Strategy) *Spec {
+	if sp.Types == nil {
+		sp.Types = make(map[string]Strategy)
+	}
+	sp.Types[typeName] = s
+	return sp
+}
+
+// WithContext adds a context-specific entry ("HomeType.field") and returns
+// the spec.
+func (sp *Spec) WithContext(homeType, field string, s Strategy) *Spec {
+	if sp.Contexts == nil {
+		sp.Contexts = make(map[string]Strategy)
+	}
+	sp.Contexts[homeType+"."+field] = s
+	return sp
+}
+
+// WithVar adds a variable-context entry and returns the spec.
+func (sp *Spec) WithVar(name string, s Strategy) *Spec {
+	if sp.Vars == nil {
+		sp.Vars = make(map[string]Strategy)
+	}
+	sp.Vars[name] = s
+	return sp
+}
+
+// Granularity reports the finest granularity the spec uses. A spec with
+// context or variable entries is context-specific; one with only type
+// entries is type-specific; otherwise it is application-specific.
+func (sp *Spec) Granularity() Granularity {
+	if len(sp.Contexts) > 0 || len(sp.Vars) > 0 {
+		return GranContext
+	}
+	if len(sp.Types) > 0 {
+		return GranType
+	}
+	return GranApplication
+}
+
+// PerObjectCall reports whether accessing/faulting an object involves the
+// late-bound type-specific fetch procedure (charged FC in Equations 2–3;
+// application-specific swizzling avoids it).
+func (sp *Spec) PerObjectCall() bool { return sp.Granularity() != GranApplication }
+
+// ForField resolves the strategy of a reference stored in the given field
+// of a home type.
+func (sp *Spec) ForField(home *object.Type, field int) Strategy {
+	f := home.FieldAt(field)
+	if len(sp.Contexts) > 0 {
+		if s, ok := sp.Contexts[home.Name+"."+f.Name]; ok {
+			return s
+		}
+	}
+	if len(sp.Types) > 0 {
+		if s, ok := sp.Types[f.Target]; ok {
+			return s
+		}
+	}
+	return sp.Default
+}
+
+// ForSlot resolves the strategy of a slot (field, set element, or — with
+// Home == nil — a variable, which must then carry its name and declared
+// type through ForVar instead; ForSlot panics on variable slots).
+func (sp *Spec) ForSlot(s object.Slot) Strategy {
+	if s.IsVar() {
+		panic("swizzle: ForSlot on a variable slot; use ForVar")
+	}
+	return sp.ForField(s.Home.Type, s.Field)
+}
+
+// ForVar resolves the strategy of a program variable with the given name
+// and declared target type.
+func (sp *Spec) ForVar(name, declaredTarget string) Strategy {
+	if len(sp.Vars) > 0 {
+		if s, ok := sp.Vars[name]; ok {
+			return s
+		}
+	}
+	if len(sp.Types) > 0 {
+		if s, ok := sp.Types[declaredTarget]; ok {
+			return s
+		}
+	}
+	return sp.Default
+}
+
+// Equal reports whether two specs resolve identically (used to decide
+// whether cached objects must be reswizzled between applications, §4.1.2).
+func (sp *Spec) Equal(o *Spec) bool {
+	if sp == o {
+		return true
+	}
+	if sp == nil || o == nil {
+		return false
+	}
+	if sp.Default != o.Default || len(sp.Types) != len(o.Types) ||
+		len(sp.Contexts) != len(o.Contexts) || len(sp.Vars) != len(o.Vars) {
+		return false
+	}
+	for k, v := range sp.Types {
+		if ov, ok := o.Types[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range sp.Contexts {
+		if ov, ok := o.Contexts[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k, v := range sp.Vars {
+		if ov, ok := o.Vars[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the spec.
+func (sp *Spec) String() string {
+	return fmt.Sprintf("spec(%s: default %v, %d type, %d context, %d var entries)",
+		sp.Name, sp.Default, len(sp.Types), len(sp.Contexts), len(sp.Vars))
+}

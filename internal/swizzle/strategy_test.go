@@ -1,0 +1,166 @@
+package swizzle
+
+import (
+	"testing"
+
+	"gom/internal/object"
+)
+
+func TestStrategyPredicates(t *testing.T) {
+	cases := []struct {
+		s              Strategy
+		eager, direct  bool
+		lazy, indirect bool
+		swizzles       bool
+	}{
+		{NOS, false, false, false, false, false},
+		{EDS, true, true, false, false, true},
+		{EIS, true, false, false, true, true},
+		{LDS, false, true, true, false, true},
+		{LIS, false, false, true, true, true},
+	}
+	for _, c := range cases {
+		if c.s.Eager() != c.eager || c.s.Direct() != c.direct ||
+			c.s.Lazy() != c.lazy || c.s.Indirect() != c.indirect ||
+			c.s.Swizzles() != c.swizzles {
+			t.Errorf("%v predicates wrong", c.s)
+		}
+	}
+	if NOS.TargetState() != object.RefOID ||
+		EDS.TargetState() != object.RefDirect ||
+		LIS.TargetState() != object.RefIndirect {
+		t.Error("target states wrong")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range Strategies {
+		got, err := Parse(s.String())
+		if err != nil || got != s {
+			t.Errorf("parse(%v) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := Parse("XYZ"); err == nil {
+		t.Error("bogus strategy parsed")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy has empty name")
+	}
+}
+
+func oo1Schema() (*object.Schema, *object.Type, *object.Type) {
+	s := object.NewSchema()
+	part := s.MustDefine("Part",
+		object.Field{Name: "id", Kind: object.KindInt},
+		object.Field{Name: "connTo", Kind: object.KindRefSet, Target: "Connection"},
+	)
+	conn := s.MustDefine("Connection",
+		object.Field{Name: "from", Kind: object.KindRef, Target: "Part"},
+		object.Field{Name: "to", Kind: object.KindRef, Target: "Part"},
+	)
+	return s, part, conn
+}
+
+func TestSpecResolutionOrder(t *testing.T) {
+	_, part, conn := oo1Schema()
+	sp := NewSpec("mix", NOS).
+		WithType("Part", EIS).
+		WithContext("Connection", "to", EDS).
+		WithVar("hot", LDS)
+
+	// Context beats type: Connection.to → EDS although target is Part(EIS).
+	if got := sp.ForField(conn, conn.FieldIndex("to")); got != EDS {
+		t.Errorf("Connection.to = %v", got)
+	}
+	// Type applies where no context: Connection.from targets Part → EIS.
+	if got := sp.ForField(conn, conn.FieldIndex("from")); got != EIS {
+		t.Errorf("Connection.from = %v", got)
+	}
+	// Default where neither: Part.connTo targets Connection → NOS.
+	if got := sp.ForField(part, part.FieldIndex("connTo")); got != NOS {
+		t.Errorf("Part.connTo = %v", got)
+	}
+	// Vars: name beats type beats default.
+	if got := sp.ForVar("hot", "Part"); got != LDS {
+		t.Errorf("var hot = %v", got)
+	}
+	if got := sp.ForVar("other", "Part"); got != EIS {
+		t.Errorf("var other = %v", got)
+	}
+	if got := sp.ForVar("other", "Connection"); got != NOS {
+		t.Errorf("var other(conn) = %v", got)
+	}
+}
+
+func TestSpecGranularity(t *testing.T) {
+	if g := NewSpec("a", NOS).Granularity(); g != GranApplication {
+		t.Errorf("plain spec = %v", g)
+	}
+	if g := NewSpec("b", NOS).WithType("Part", EDS).Granularity(); g != GranType {
+		t.Errorf("typed spec = %v", g)
+	}
+	if g := NewSpec("c", NOS).WithContext("Connection", "to", EDS).Granularity(); g != GranContext {
+		t.Errorf("context spec = %v", g)
+	}
+	if g := NewSpec("d", NOS).WithVar("v", EDS).Granularity(); g != GranContext {
+		t.Errorf("var spec = %v", g)
+	}
+	if NewSpec("e", NOS).PerObjectCall() {
+		t.Error("application-specific spec charges FC")
+	}
+	if !NewSpec("f", NOS).WithType("Part", EDS).PerObjectCall() {
+		t.Error("type-specific spec does not charge FC")
+	}
+	for _, g := range []Granularity{GranApplication, GranType, GranContext, Granularity(9)} {
+		if g.String() == "" {
+			t.Error("empty granularity name")
+		}
+	}
+}
+
+func TestSpecEqual(t *testing.T) {
+	a := NewSpec("a", LDS).WithType("Part", EIS).WithContext("Connection", "to", EDS)
+	b := NewSpec("b", LDS).WithType("Part", EIS).WithContext("Connection", "to", EDS)
+	if !a.Equal(b) {
+		t.Error("identical specs unequal (name must not matter)")
+	}
+	if !a.Equal(a) || a.Equal(nil) {
+		t.Error("reflexivity / nil handling broken")
+	}
+	c := NewSpec("c", LDS).WithType("Part", EIS)
+	if a.Equal(c) {
+		t.Error("different context sets equal")
+	}
+	d := NewSpec("d", LDS).WithType("Part", LIS).WithContext("Connection", "to", EDS)
+	if a.Equal(d) {
+		t.Error("different type strategy equal")
+	}
+	e := NewSpec("e", NOS)
+	f := NewSpec("f", LDS)
+	if e.Equal(f) {
+		t.Error("different defaults equal")
+	}
+	g := NewSpec("g", LDS).WithVar("x", EDS)
+	h := NewSpec("h", LDS).WithVar("x", EIS)
+	if g.Equal(h) {
+		t.Error("different var strategy equal")
+	}
+}
+
+func TestForSlotPanicsOnVar(t *testing.T) {
+	sp := NewSpec("a", NOS)
+	var r object.Ref
+	defer func() {
+		if recover() == nil {
+			t.Error("ForSlot on var slot did not panic")
+		}
+	}()
+	sp.ForSlot(object.VarSlot(&r))
+}
+
+func TestSpecString(t *testing.T) {
+	sp := NewSpec("x", EDS).WithType("Part", EIS)
+	if sp.String() == "" {
+		t.Error("empty spec string")
+	}
+}
