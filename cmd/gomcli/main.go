@@ -8,13 +8,20 @@
 //	gomcli lookup -oid 1:42 base.gom
 //	gomcli serve -addr :7070 base.gom
 //	gomcli serve -tx -addr :7070 base.gom     # transactional (2PL + abort)
+//	gomcli serve -debug :7071 base.gom        # expose /debug/metrics + pprof
 //	gomcli traverse -depth 5 -strategy LIS base.gom
+//	gomcli stats -addr 127.0.0.1:7071         # live stats of a running server
+//	gomcli stats -workload traversal base.gom # run locally, dump the registry
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"gom/internal/core"
+	"gom/internal/metrics"
 	"gom/internal/object"
 	"gom/internal/oid"
 	"gom/internal/oo1"
@@ -46,6 +54,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "traverse":
 		err = cmdTraverse(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	default:
 		usage()
 	}
@@ -56,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gomcli gen|info|lookup|serve|traverse [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: gomcli gen|info|lookup|serve|traverse|stats [flags] [file]")
 	os.Exit(2)
 }
 
@@ -205,6 +215,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	tx := fs.Bool("tx", false, "serve transactionally (per-connection Begin/Commit/Abort, strict 2PL)")
 	lockTimeout := fs.Duration("lock-timeout", 2*time.Second, "lock wait timeout (deadlock resolution, with -tx)")
+	debug := fs.String("debug", "", "also serve /debug/metrics, /debug/vars and /debug/pprof on this address")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("serve: need a base file")
@@ -224,6 +235,15 @@ func cmdServe(args []string) error {
 	} else {
 		srv = server.Serve(ln, db.Srv.Manager())
 		fmt.Printf("serving %v on %v (ctrl-c to stop)\n", db.Cfg, srv.Addr())
+	}
+	if *debug != "" {
+		srv.SetMetrics(metrics.New())
+		dbgAddr, err := srv.StartDebug(*debug)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		fmt.Printf("debug endpoint on http://%v/debug/metrics (also /debug/vars, /debug/pprof)\n", dbgAddr)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -265,4 +285,83 @@ func cmdTraverse(args []string) error {
 	fmt.Printf("swizzles: %d direct, %d indirect; descriptors live: %d\n",
 		m.Count(sim.CntSwizzleDirect), m.Count(sim.CntSwizzleIndirect), c.OM.DescriptorCount())
 	return nil
+}
+
+// cmdStats reports observability counters. With -addr it asks a running
+// `gomcli serve -debug` endpoint for its live registry snapshot; with a
+// base file it runs a workload locally with a registry installed and dumps
+// the full report.
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "", "debug address of a running server (host:port); omit for local mode")
+	workload := fs.String("workload", "traversal", "local mode: traversal|lookups")
+	depth := fs.Int("depth", 4, "traversal depth (local mode)")
+	ops := fs.Int("ops", 500, "lookup count (local mode)")
+	strategy := fs.String("strategy", "LIS", "NOS|EDS|EIS|LDS|LIS (local mode)")
+	pages := fs.Int("pages", 1000, "page buffer frames (local mode)")
+	seed := fs.Int64("seed", 7, "operation seed (local mode)")
+	fs.Parse(args)
+
+	if *addr != "" {
+		return statsRemote(*addr)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("stats: need -addr or a base file")
+	}
+	st, err := swizzle.Parse(strings.ToUpper(*strategy))
+	if err != nil {
+		return err
+	}
+	db, err := loadDB(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	reg := metrics.New()
+	db.Srv.SetMetrics(reg)
+	c, err := oo1.NewClient(db, core.Options{PageBufferPages: *pages, Metrics: reg}, *seed)
+	if err != nil {
+		return err
+	}
+	c.Begin(swizzle.NewSpec(st.String(), st))
+	switch *workload {
+	case "traversal":
+		if _, err := c.Traversal(*depth); err != nil {
+			return err
+		}
+	case "lookups":
+		if err := c.LookupN(*ops); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+	fmt.Printf("%s workload under %v:\n", *workload, st)
+	fmt.Print(reg.Snapshot().Format())
+	return nil
+}
+
+// statsRemote fetches the JSON registry snapshot from a serve -debug
+// endpoint and re-indents it for the terminal.
+func statsRemote(addr string) error {
+	url := "http://" + addr + "/debug/metrics"
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: %s returned %s", url, resp.Status)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, body, "", "  "); err != nil {
+		return fmt.Errorf("stats: bad JSON from %s: %w", url, err)
+	}
+	buf.WriteByte('\n')
+	_, err = buf.WriteTo(os.Stdout)
+	return err
 }

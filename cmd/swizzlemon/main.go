@@ -20,6 +20,7 @@ import (
 
 	"gom/internal/core"
 	"gom/internal/costmodel"
+	"gom/internal/metrics"
 	"gom/internal/monitor"
 	"gom/internal/oo1"
 	"gom/internal/swizzle"
@@ -56,7 +57,10 @@ func run(workload string, parts, depth, repeat, ops, pages int, seed int64, stat
 		return runStatic(db, workload, depth, repeat, ops, pages, seed)
 	}
 
-	drive := func(c *oo1.Client) error {
+	// drive runs the workload, printing live observability counts after
+	// every repetition (the always-on metrics layer, not the §7 monitor).
+	drive := func(c *oo1.Client, reg *metrics.Registry) error {
+		prev := reg.Snapshot()
 		for r := 0; r < repeat; r++ {
 			c.Reseed(seed)
 			switch workload {
@@ -81,23 +85,40 @@ func run(workload string, parts, depth, repeat, ops, pages int, seed int64, stat
 			default:
 				return fmt.Errorf("unknown workload %q", workload)
 			}
+			cur := reg.Snapshot()
+			fmt.Printf("  rep %d: %s\n", r+1, cur.Delta(prev))
+			prev = cur
 		}
 		return nil
 	}
+	printObs := func(label string, s metrics.Snapshot) {
+		fmt.Printf("observability (%s): object_faults=%d page_faults=%d rot_lookups=%d "+
+			"swizzles{EDS/EIS/LDS/LIS}=%d/%d/%d/%d buffer hit/miss/evict=%d/%d/%d displacements=%d\n",
+			label,
+			s.Count(metrics.CtrObjectFault), s.Count(metrics.CtrPageFault),
+			s.Count(metrics.CtrROTLookup),
+			s.Count(metrics.CtrSwizzleEDS), s.Count(metrics.CtrSwizzleEIS),
+			s.Count(metrics.CtrSwizzleLDS), s.Count(metrics.CtrSwizzleLIS),
+			s.Count(metrics.CtrBufferHit), s.Count(metrics.CtrBufferMiss),
+			s.Count(metrics.CtrBufferEvict), s.Count(metrics.CtrDisplacement))
+	}
 
 	// Training run under NOS with the monitor attached (§7.1).
-	c, err := oo1.NewClient(db, core.Options{PageBufferPages: pages}, seed)
+	reg := metrics.New()
+	c, err := oo1.NewClient(db, core.Options{PageBufferPages: pages, Metrics: reg}, seed)
 	if err != nil {
 		return err
 	}
+	db.Srv.SetMetrics(reg)
 	trace := monitor.NewTrace()
 	c.OM.SetTracer(trace)
 	c.Begin(swizzle.NewSpec("training", swizzle.NOS))
-	if err := drive(c); err != nil {
+	if err := drive(c, reg); err != nil {
 		return err
 	}
 	trainCost := c.OM.Meter().Micros()
 	fmt.Printf("training (NOS): %.1f ms simulated, %d trace records\n", trainCost/1000, trace.Len())
+	printObs("training", reg.Snapshot())
 
 	// Analysis: swizzling graph + cost-model decision + greedy EDS pass.
 	res := monitor.NewStorageResolver(db.Srv, db.Schema)
@@ -131,18 +152,22 @@ func run(workload string, parts, depth, repeat, ops, pages int, seed int64, stat
 		fmt.Printf("  context %-21s -> %v\n", ctx, st)
 	}
 
-	// Validation: re-run the identical workload under the recommendation.
-	c2, err := oo1.NewClient(db, core.Options{PageBufferPages: pages}, seed)
+	// Validation: re-run the identical workload under the recommendation,
+	// with a fresh registry so the two runs' live counts are comparable.
+	reg2 := metrics.New()
+	c2, err := oo1.NewClient(db, core.Options{PageBufferPages: pages, Metrics: reg2}, seed)
 	if err != nil {
 		return err
 	}
+	db.Srv.SetMetrics(reg2)
 	c2.Begin(spec)
-	if err := drive(c2); err != nil {
+	if err := drive(c2, reg2); err != nil {
 		return err
 	}
 	tuned := c2.OM.Meter().Micros()
 	fmt.Printf("\ntuned run: %.1f ms simulated (training %.1f ms) — savings %.1f%%\n",
 		tuned/1000, trainCost/1000, (trainCost-tuned)/trainCost*100)
+	printObs("tuned", reg2.Snapshot())
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"gom/internal/metrics"
 	"gom/internal/page"
 	"gom/internal/server"
 	"gom/internal/sim"
@@ -51,6 +52,7 @@ type EvictFn func(pid page.PageID, f *Frame)
 type Pool struct {
 	srv      server.Server
 	meter    *sim.Meter
+	obs      *metrics.Registry // nil unless observability is installed
 	capacity int
 	frames   map[page.PageID]*Frame
 	lru      *list.List // of page.PageID
@@ -75,6 +77,10 @@ func New(srv server.Server, capacity int, meter *sim.Meter) *Pool {
 // OnEvict installs the eviction hook.
 func (p *Pool) OnEvict(fn EvictFn) { p.onEvict = fn }
 
+// SetMetrics installs (or removes, with nil) the observability registry
+// recording buffer hits, misses, and evictions.
+func (p *Pool) SetMetrics(r *metrics.Registry) { p.obs = r }
+
 // Capacity returns the pool capacity in frames.
 func (p *Pool) Capacity() int { return p.capacity }
 
@@ -95,9 +101,11 @@ func (p *Pool) Peek(pid page.PageID) *Frame { return p.frames[pid] }
 // necessary. The frame is moved to the front of the LRU list.
 func (p *Pool) Get(pid page.PageID) (*Frame, error) {
 	if f, ok := p.frames[pid]; ok {
+		p.obs.Inc(metrics.CtrBufferHit)
 		p.lru.MoveToFront(f.elem)
 		return f, nil
 	}
+	p.obs.Inc(metrics.CtrBufferMiss)
 	if err := p.makeRoom(); err != nil {
 		return nil, err
 	}
@@ -105,6 +113,7 @@ func (p *Pool) Get(pid page.PageID) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.obs.Inc(metrics.CtrPageFault)
 	p.meter.Event(sim.CntPageFault, p.meter.Costs().PageIO)
 	p.meter.Add(sim.CntPageRead, 1)
 	p.meter.Add(sim.CntServerRoundTrip, 1)
@@ -164,6 +173,8 @@ func (p *Pool) Evict(pid page.PageID) error {
 	p.lru.Remove(f.elem)
 	delete(p.frames, pid)
 	p.meter.Add(sim.CntPageEvict, 1)
+	p.obs.Inc(metrics.CtrBufferEvict)
+	p.obs.Trace(metrics.CtrBufferEvict, uint64(pid), 0)
 	return nil
 }
 

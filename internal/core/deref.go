@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"gom/internal/metrics"
 	"gom/internal/objcache"
 	"gom/internal/object"
 	"gom/internal/oid"
@@ -57,6 +58,7 @@ func (om *OM) deref(slot object.Slot, strat swizzle.Strategy) (*object.MemObject
 		return obj, nil
 
 	case object.RefIndirect:
+		om.obs.Inc(metrics.CtrDescriptorIndirection)
 		om.meter.Charge(costs.Indirection)
 		om.meter.Add(sim.CntResidencyCheck, 1)
 		d := r.Desc()
@@ -81,6 +83,7 @@ func (om *OM) deref(slot object.Slot, strat swizzle.Strategy) (*object.MemObject
 
 	case object.RefOID:
 		// No-swizzling: consult the ROT on every access (§3.1).
+		om.obs.Inc(metrics.CtrROTLookup)
 		om.meter.Event(sim.CntROTLookup, costs.ROTLookup)
 		e := om.rot.Lookup(r.OID())
 		if e == nil {
@@ -132,6 +135,8 @@ func (om *OM) ensureResident(id oid.OID) (*object.MemObject, error) {
 // architecture), register it in the ROT, revalidate its descriptor, and —
 // under eager granules — scan through it and swizzle its references.
 func (om *OM) objectFault(id oid.OID) (*object.MemObject, error) {
+	om.obs.Inc(metrics.CtrObjectFault)
+	om.obs.Trace(metrics.CtrObjectFault, uint64(id), 0)
 	om.meter.Add(sim.CntObjectFault, 1)
 	if om.spec.PerObjectCall() {
 		// The late-bound type-specific fetch procedure (§4.2.2, FC).
@@ -258,6 +263,7 @@ func (om *OM) swizzleSlot(slot object.Slot, strat swizzle.Strategy) error {
 			// scans of nested faults); re-check before converting.
 			return nil
 		}
+		om.obs.Inc(swizzleCounter(strat))
 		om.meter.Event(sim.CntSwizzleDirect, costs.SwizzleDirect)
 		om.registerDirect(slot, target)
 		*slot.Ref() = object.DirectRef(target)
@@ -266,6 +272,7 @@ func (om *OM) swizzleSlot(slot object.Slot, strat swizzle.Strategy) error {
 	// Indirect: find or allocate the descriptor.
 	d := om.descriptorFor(id)
 	d.FanIn++
+	om.obs.Inc(swizzleCounter(strat))
 	om.meter.Event(sim.CntSwizzleIndirect, costs.SwizzleIndirect)
 	*slot.Ref() = object.IndirectRef(d)
 	return nil
@@ -368,11 +375,13 @@ func (om *OM) unswizzleSlot(slot object.Slot) {
 		target := r.Ptr()
 		om.unregisterDirect(slot, target)
 		*slot.Ref() = object.OIDRef(target.OID)
+		om.obs.Inc(metrics.CtrUnswizzle)
 		om.meter.Event(sim.CntUnswizzleDirect, costs.UnswizzleDirect)
 	case object.RefIndirect:
 		d := r.Desc()
 		om.releaseDescriptor(d)
 		*slot.Ref() = object.OIDRef(d.OID)
+		om.obs.Inc(metrics.CtrUnswizzle)
 		om.meter.Event(sim.CntUnswizzleIndirect, costs.UnswizzleIndirect)
 	}
 }

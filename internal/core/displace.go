@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gom/internal/buffer"
+	"gom/internal/metrics"
 	"gom/internal/object"
 	"gom/internal/oid"
 	"gom/internal/page"
@@ -73,6 +74,8 @@ func (om *OM) displace(obj *object.MemObject, fromHook bool) error {
 	}
 	om.displacing[obj.OID] = true
 	defer delete(om.displacing, obj.OID)
+	om.obs.Inc(metrics.CtrDisplacement)
+	om.obs.Trace(metrics.CtrDisplacement, uint64(obj.OID), uint64(e.Addr.Page))
 
 	if obj.Dirty {
 		if _, err := om.writeBack(e); err != nil {
@@ -117,6 +120,7 @@ func (om *OM) displace(obj *object.MemObject, fromHook bool) error {
 			om.tableUnregisterDirect(s)
 		}
 		*r = object.OIDRef(obj.OID)
+		om.obs.Inc(metrics.CtrUnswizzle)
 		om.meter.Event(sim.CntUnswizzleDirect, costs.UnswizzleDirect)
 		if !s.IsVar() && om.spec.ForSlot(s) == swizzle.EDS {
 			cascade = append(cascade, s.Home)

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"gom/internal/metrics"
+	"gom/internal/swizzle"
+)
+
+// TestStrategyMetricsSemantics ties the observability counters to the
+// strategy semantics of the cost model (Table 5): no-swizzling pays a ROT
+// lookup on every dereference, direct strategies pay nothing once the
+// reference is swizzled, and indirect strategies pay exactly one
+// descriptor indirection per dereference.
+func TestStrategyMetricsSemantics(t *testing.T) {
+	const derefs = 10
+	cases := []struct {
+		strat       swizzle.Strategy
+		rotPerDeref int64
+		indPerDeref int64
+	}{
+		{swizzle.NOS, 1, 0},
+		{swizzle.EDS, 0, 0},
+		{swizzle.EIS, 0, 1},
+		{swizzle.LDS, 0, 0},
+		{swizzle.LIS, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.strat.String(), func(t *testing.T) {
+			b := buildBase(t, 10)
+			reg := metrics.New()
+			om := b.om(t, Options{Metrics: reg})
+			om.BeginApplication(appSpec(tc.strat))
+			v := om.NewVar("p", b.part)
+			if err := om.Load(v, b.parts[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := om.ReadInt(v, "x"); err != nil {
+				t.Fatal(err) // warm up: object fault plus any swizzling
+			}
+			warm := reg.Snapshot()
+			for i := 0; i < derefs; i++ {
+				if _, err := om.ReadInt(v, "x"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d := reg.Snapshot().Delta(warm)
+			if got, want := d.Count(metrics.CtrROTLookup), tc.rotPerDeref*derefs; got != want {
+				t.Errorf("steady-state rot_lookup = %d, want %d", got, want)
+			}
+			if got, want := d.Count(metrics.CtrDescriptorIndirection), tc.indPerDeref*derefs; got != want {
+				t.Errorf("steady-state descriptor_indirection = %d, want %d", got, want)
+			}
+			if got, want := d.Count(metrics.CtrRead), int64(derefs); got != want {
+				t.Errorf("read = %d, want %d", got, want)
+			}
+
+			// The swizzle counters must name the active strategy and only it.
+			total := reg.Snapshot()
+			var swizzled int64
+			for _, c := range []metrics.Counter{
+				metrics.CtrSwizzleEDS, metrics.CtrSwizzleEIS,
+				metrics.CtrSwizzleLDS, metrics.CtrSwizzleLIS,
+			} {
+				swizzled += total.Count(c)
+			}
+			if tc.strat == swizzle.NOS {
+				if swizzled != 0 {
+					t.Errorf("NOS recorded %d swizzles", swizzled)
+				}
+			} else {
+				own := total.Count(swizzleCounter(tc.strat))
+				if own == 0 {
+					t.Errorf("no swizzle{%v} events recorded", tc.strat)
+				}
+				if own != swizzled {
+					t.Errorf("swizzle{%v} = %d but total swizzles = %d; foreign strategy counted", tc.strat, own, swizzled)
+				}
+			}
+			mustVerify(t, om)
+		})
+	}
+}
+
+// TestMetricsCountObjectFaults checks the fault counters against a known
+// workload: loading and reading n distinct cold parts faults each exactly
+// once, and a second pass faults none.
+func TestMetricsCountObjectFaults(t *testing.T) {
+	const n = 8
+	b := buildBase(t, n)
+	reg := metrics.New()
+	om := b.om(t, Options{Metrics: reg})
+	om.BeginApplication(appSpec(swizzle.LDS))
+	vars := make([]*Var, n)
+	for i := range vars {
+		vars[i] = om.NewVar("p", b.part)
+		if err := om.Load(vars[i], b.parts[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := om.ReadInt(vars[i], "part-id"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Count(metrics.CtrObjectFault); got != n {
+		t.Errorf("object_fault = %d, want %d", got, n)
+	}
+	for i := range vars {
+		if _, err := om.ReadInt(vars[i], "part-id"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Snapshot().Delta(snap).Count(metrics.CtrObjectFault); got != 0 {
+		t.Errorf("resident re-reads faulted %d times", got)
+	}
+}
+
+// TestDerefZeroAlloc pins the hot-path contract of the observability
+// layer: a steady-state field read allocates nothing — both with no
+// registry installed (nil-receiver no-ops) and with one recording.
+func TestDerefZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		reg  *metrics.Registry
+	}{
+		{"NoMetrics", nil},
+		{"WithMetrics", metrics.New()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := buildBase(t, 10)
+			om := b.om(t, Options{Metrics: tc.reg})
+			om.BeginApplication(appSpec(swizzle.EDS))
+			v := om.NewVar("p", b.part)
+			if err := om.Load(v, b.parts[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := om.ReadInt(v, "x"); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := om.ReadInt(v, "x"); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state ReadInt allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkDerefNoMetrics measures the steady-state dereference path with
+// no registry installed; BenchmarkDerefWithMetrics is the same workload
+// with every hook live. Comparing them bounds the cost of the always-on
+// layer (the nil path must stay within a few percent).
+func BenchmarkDerefNoMetrics(b *testing.B)   { benchDeref(b, nil) }
+func BenchmarkDerefWithMetrics(b *testing.B) { benchDeref(b, metrics.New()) }
+
+func benchDeref(b *testing.B, reg *metrics.Registry) {
+	base := buildBase(b, 10)
+	om := base.om(b, Options{Metrics: reg})
+	om.BeginApplication(appSpec(swizzle.EDS))
+	v := om.NewVar("p", base.part)
+	if err := om.Load(v, base.parts[0]); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := om.ReadInt(v, "x"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := om.ReadInt(v, "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

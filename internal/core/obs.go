@@ -1,0 +1,23 @@
+package core
+
+import (
+	"gom/internal/metrics"
+	"gom/internal/swizzle"
+)
+
+// swizzleCounter maps a strategy to its swizzle{strategy} metrics counter.
+// NOS never swizzles; it maps to -1 and callers must not record it (the
+// swizzle paths are only reached for strategies with Swizzles() true).
+func swizzleCounter(st swizzle.Strategy) metrics.Counter {
+	switch st {
+	case swizzle.EDS:
+		return metrics.CtrSwizzleEDS
+	case swizzle.EIS:
+		return metrics.CtrSwizzleEIS
+	case swizzle.LDS:
+		return metrics.CtrSwizzleLDS
+	case swizzle.LIS:
+		return metrics.CtrSwizzleLIS
+	}
+	return -1
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 
 	"gom/internal/buffer"
+	"gom/internal/metrics"
 	"gom/internal/objcache"
 	"gom/internal/object"
 	"gom/internal/oid"
@@ -76,6 +77,12 @@ type Options struct {
 	// swizzles are rejected and behave like no-swizzling, and evictions
 	// inspect the whole table. Mutually exclusive with PagewiseRRL.
 	SwizzleTableSize int
+	// Metrics installs the always-on observability registry: real event
+	// counts (faults, swizzles, displacements, buffer hits) recorded
+	// alongside the simulated cost meter. Nil disables the hooks at the
+	// cost of one nil check each — the paper-reproduction hot paths stay
+	// allocation-free either way.
+	Metrics *metrics.Registry
 }
 
 // OM is the adaptable object manager for one client application stream.
@@ -86,6 +93,7 @@ type OM struct {
 	srv    server.Server
 	schema *object.Schema
 	meter  *sim.Meter
+	obs    *metrics.Registry // nil unless observability is installed
 	pool   *buffer.Pool
 	cache  *objcache.Cache // nil in the pure page-buffer architecture
 	rot    *rot.Table
@@ -156,6 +164,7 @@ func New(opt Options) (*OM, error) {
 		retainDescriptors:   opt.RetainDescriptors,
 	}
 	om.pool.OnEvict(om.onPageEvict)
+	om.SetMetrics(opt.Metrics)
 	if opt.ObjectCache {
 		bytes := opt.ObjectCacheBytes
 		if bytes == 0 {
@@ -180,6 +189,16 @@ func New(opt Options) (*OM, error) {
 
 // Meter returns the client's cost meter.
 func (om *OM) Meter() *sim.Meter { return om.meter }
+
+// Metrics returns the installed observability registry, or nil.
+func (om *OM) Metrics() *metrics.Registry { return om.obs }
+
+// SetMetrics installs (or removes, with nil) the observability registry on
+// the object manager and its page buffer pool.
+func (om *OM) SetMetrics(r *metrics.Registry) {
+	om.obs = r
+	om.pool.SetMetrics(r)
+}
 
 // Schema returns the schema.
 func (om *OM) Schema() *object.Schema { return om.schema }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gom/internal/metrics"
 	"gom/internal/object"
 	"gom/internal/oid"
 	"gom/internal/sim"
@@ -79,6 +80,7 @@ func (om *OM) ReadInt(v *Var, field string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	om.obs.Inc(metrics.CtrRead)
 	om.meter.Event(sim.CntLookupInt, om.meter.Costs().FieldAccess)
 	om.trace(obj.OID, field, false)
 	return obj.Int(fi), nil
@@ -94,6 +96,7 @@ func (om *OM) ReadStr(v *Var, field string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	om.obs.Inc(metrics.CtrRead)
 	om.meter.Event(sim.CntLookupInt, om.meter.Costs().FieldAccess)
 	om.trace(obj.OID, field, false)
 	return obj.Str(fi), nil
@@ -116,6 +119,7 @@ func (om *OM) ReadRef(v *Var, field string, dst *Var) error {
 		return err
 	}
 	costs := om.meter.Costs()
+	om.obs.Inc(metrics.CtrRead)
 	om.meter.Event(sim.CntLookupRef, costs.FieldAccess+costs.RefFieldExtra)
 	om.trace(obj.OID, field, false)
 	return om.withPinned(obj, func() error {
@@ -145,6 +149,7 @@ func (om *OM) ReadElem(v *Var, field string, i int, dst *Var) error {
 			obj.Type.Name, field, i, obj.SetLen(fi))
 	}
 	costs := om.meter.Costs()
+	om.obs.Inc(metrics.CtrRead)
 	om.meter.Event(sim.CntLookupRef, costs.FieldAccess+costs.RefFieldExtra)
 	om.trace(obj.OID, field, false)
 	return om.withPinned(obj, func() error {
@@ -179,6 +184,7 @@ func (om *OM) Card(v *Var, field string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	om.obs.Inc(metrics.CtrRead)
 	om.meter.Event(sim.CntLookupInt, om.meter.Costs().FieldAccess)
 	om.trace(obj.OID, field, false)
 	return obj.SetLen(fi), nil
@@ -195,6 +201,7 @@ func (om *OM) WriteInt(v *Var, field string, val int64) error {
 		return err
 	}
 	costs := om.meter.Costs()
+	om.obs.Inc(metrics.CtrWrite)
 	om.meter.Event(sim.CntUpdateInt, costs.FieldAccess+costs.MarkDirty)
 	om.trace(obj.OID, field, true)
 	obj.SetInt(fi, val)
@@ -213,6 +220,7 @@ func (om *OM) WriteStr(v *Var, field string, val string) error {
 		return err
 	}
 	costs := om.meter.Costs()
+	om.obs.Inc(metrics.CtrWrite)
 	om.meter.Event(sim.CntUpdateInt, costs.FieldAccess+costs.MarkDirty)
 	om.trace(obj.OID, field, true)
 	obj.SetStr(fi, val)
@@ -237,6 +245,7 @@ func (om *OM) WriteRef(v *Var, field string, src *Var) error {
 		return err
 	}
 	costs := om.meter.Costs()
+	om.obs.Inc(metrics.CtrWrite)
 	om.meter.Event(sim.CntUpdateRef, costs.FieldAccess+costs.RefFieldExtra+costs.MarkDirty)
 	om.trace(obj.OID, field, true)
 	if err := om.withPinned(obj, func() error {
@@ -279,6 +288,7 @@ func (om *OM) AppendElem(v *Var, field string, src *Var) error {
 		return err
 	}
 	costs := om.meter.Costs()
+	om.obs.Inc(metrics.CtrWrite)
 	om.meter.Event(sim.CntUpdateRef, costs.FieldAccess+costs.RefFieldExtra+costs.MarkDirty)
 	om.trace(obj.OID, field, true)
 	if err := om.withPinned(obj, func() error {
@@ -310,6 +320,7 @@ func (om *OM) WriteElem(v *Var, field string, i int, src *Var) error {
 		return fmt.Errorf("core: %s.%s[%d] out of range", obj.Type.Name, field, i)
 	}
 	costs := om.meter.Costs()
+	om.obs.Inc(metrics.CtrWrite)
 	om.meter.Event(sim.CntUpdateRef, costs.FieldAccess+costs.RefFieldExtra+costs.MarkDirty)
 	om.trace(obj.OID, field, true)
 	if err := om.withPinned(obj, func() error {
@@ -337,6 +348,7 @@ func (om *OM) RemoveElem(v *Var, field string, i int) error {
 		return fmt.Errorf("core: %s.%s[%d] out of range", obj.Type.Name, field, i)
 	}
 	costs := om.meter.Costs()
+	om.obs.Inc(metrics.CtrWrite)
 	om.meter.Event(sim.CntUpdateRef, costs.FieldAccess+costs.RefFieldExtra+costs.MarkDirty)
 	om.trace(obj.OID, field, true)
 	om.unregisterSlot(object.ElemSlot(obj, fi, i))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"gom/internal/metrics"
 	"gom/internal/object"
 	"gom/internal/page"
 	"gom/internal/sim"
@@ -130,6 +131,7 @@ func (om *OM) pageIncomingSlots(obj *object.MemObject) []object.Slot {
 			out = append(out, object.VarSlot(&v.ref))
 		}
 	}
+	om.obs.AddN(metrics.CtrPagewiseScan, int64(scanned))
 	om.meter.Charge(float64(scanned) * om.meter.Costs().FieldAccess / 4)
 	return out
 }

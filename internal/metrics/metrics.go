@@ -1,0 +1,490 @@
+// Package metrics is the always-on observability layer of the
+// reproduction: a small, dependency-free registry of atomic counters and
+// fixed-bucket latency histograms, plus a bounded ring-buffer event tracer
+// for post-mortem debugging.
+//
+// It is deliberately distinct from two neighbouring facilities:
+//
+//   - internal/sim.Meter charges *simulated 1993 microseconds* so
+//     experiments reproduce the paper's numbers deterministically; it is a
+//     cost model, not a monitor, and it is per-client and single-threaded.
+//   - internal/monitor implements the paper's §7 training-mode tracer: it
+//     records per-object access traces under no-swizzling to feed the
+//     strategy-selection pipeline, and is far too heavy to leave enabled.
+//
+// The registry here is what a production deployment watches: real event
+// counts (faults, swizzles, displacements, buffer hits, disk I/O) and real
+// wall-clock RPC latencies, safe for concurrent use, cheap enough to stay
+// on permanently. Every hook in the hot paths is nil-safe — calling any
+// method on a nil *Registry is a no-op — so the layers instrument
+// unconditionally and pay a single predictable branch when no registry is
+// installed (the deref hot path stays at 0 allocs/op; see
+// BenchmarkDerefNoMetrics).
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter enumerates the named events the observability layer records.
+// Keep counterNames in sync.
+type Counter int
+
+// The counters. Swizzles are labelled by strategy (NOS never swizzles);
+// everything else is a plain event count.
+const (
+	CtrPageFault Counter = iota
+	CtrObjectFault
+	CtrROTLookup
+	CtrDescriptorIndirection
+	CtrDisplacement
+	CtrUnswizzle
+	CtrSwizzleEDS
+	CtrSwizzleEIS
+	CtrSwizzleLDS
+	CtrSwizzleLIS
+	CtrBufferHit
+	CtrBufferMiss
+	CtrBufferEvict
+	CtrDiskPageRead
+	CtrDiskPageWrite
+	CtrDiskPageAlloc
+	CtrRead
+	CtrWrite
+	CtrPagewiseScan
+	CtrRPCError
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"page_fault",
+	"object_fault",
+	"rot_lookup",
+	"descriptor_indirection",
+	"displacement",
+	"unswizzle",
+	"swizzle{EDS}",
+	"swizzle{EIS}",
+	"swizzle{LDS}",
+	"swizzle{LIS}",
+	"buffer_hit",
+	"buffer_miss",
+	"buffer_evict",
+	"disk_page_read",
+	"disk_page_write",
+	"disk_page_alloc",
+	"read",
+	"write",
+	"pagewise_scan",
+	"server_rpc_error",
+}
+
+// String returns the counter's snake_case event name.
+func (c Counter) String() string {
+	if c < 0 || c >= NumCounters {
+		return fmt.Sprintf("counter(%d)", int(c))
+	}
+	return counterNames[c]
+}
+
+// RPCOp enumerates the server operations whose latencies are recorded, one
+// histogram each (server_rpc{op}). Keep rpcNames in sync.
+type RPCOp int
+
+// The RPC operations, mirroring the Server interface plus the
+// transactional extension of the TCP protocol.
+const (
+	RPCLookup RPCOp = iota
+	RPCReadPage
+	RPCWritePage
+	RPCAllocate
+	RPCAllocateNear
+	RPCUpdateObject
+	RPCNumPages
+	RPCTxBegin
+	RPCTxCommit
+	RPCTxAbort
+	NumRPCOps
+)
+
+var rpcNames = [NumRPCOps]string{
+	"lookup",
+	"read_page",
+	"write_page",
+	"allocate",
+	"allocate_near",
+	"update_object",
+	"num_pages",
+	"tx_begin",
+	"tx_commit",
+	"tx_abort",
+}
+
+// String returns the op's snake_case name.
+func (op RPCOp) String() string {
+	if op < 0 || op >= NumRPCOps {
+		return fmt.Sprintf("rpc(%d)", int(op))
+	}
+	return rpcNames[op]
+}
+
+// NumHistBuckets is the number of histogram buckets. Bucket i counts
+// observations whose duration in nanoseconds has bit-length i, i.e. the
+// half-open range [2^(i-1), 2^i) ns (bucket 0 is exactly 0 ns); the last
+// bucket absorbs everything longer (~2.1 s and beyond).
+const NumHistBuckets = 32
+
+// BucketBound returns the exclusive nanosecond upper bound of bucket i
+// (the last bucket is unbounded and reports the maximum duration).
+func BucketBound(i int) time.Duration {
+	if i >= NumHistBuckets-1 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(int64(1) << i)
+}
+
+// Histogram is a fixed power-of-two-bucket latency histogram. The zero
+// value is ready for use; all methods are safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [NumHistBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumHistBuckets {
+		b = NumHistBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[b].Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count   int64
+	SumNS   int64
+	Buckets [NumHistBuckets]int64
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.SumNS = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observed duration, or 0 with no observations.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) from the
+// bucket boundaries, or 0 with no observations.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(NumHistBuckets - 1)
+}
+
+// Delta returns the histogram activity since an earlier snapshot.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Count: s.Count - prev.Count, SumNS: s.SumNS - prev.SumNS}
+	for i := range d.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
+// Registry is the event registry one deployment unit (a client object
+// manager, a page server) exposes. All methods are safe for concurrent use
+// and are no-ops on a nil receiver, so instrumented layers call them
+// unconditionally.
+type Registry struct {
+	start    time.Time
+	counters [NumCounters]atomic.Int64
+	rpc      [NumRPCOps]Histogram
+	tracer   *Tracer
+}
+
+// New returns a registry with a tracer of DefaultTraceDepth.
+func New() *Registry {
+	return &Registry{start: time.Now(), tracer: NewTracer(DefaultTraceDepth)}
+}
+
+// Inc records one occurrence of the counter.
+func (r *Registry) Inc(c Counter) {
+	if r == nil {
+		return
+	}
+	r.counters[c].Add(1)
+}
+
+// AddN records n occurrences of the counter.
+func (r *Registry) AddN(c Counter, n int64) {
+	if r == nil {
+		return
+	}
+	r.counters[c].Add(n)
+}
+
+// Count returns the current value of one counter (0 on a nil registry).
+func (r *Registry) Count(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[c].Load()
+}
+
+// ObserveRPC records one server operation latency.
+func (r *Registry) ObserveRPC(op RPCOp, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.rpc[op].Observe(d)
+}
+
+// Now returns the current time, or the zero time on a nil registry — the
+// companion of RPCSince, letting callers skip the clock read entirely when
+// no registry is installed:
+//
+//	defer reg.RPCSince(metrics.RPCLookup, reg.Now())
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// RPCSince records the latency of an operation started at start; a zero
+// start (from Now on a nil registry) is ignored.
+func (r *Registry) RPCSince(op RPCOp, start time.Time) {
+	if r == nil || start.IsZero() {
+		return
+	}
+	r.rpc[op].Observe(time.Since(start))
+}
+
+// Trace appends an event to the ring-buffer tracer (no-op when the
+// registry or its tracer is nil). A and B are event-specific arguments —
+// an OID, a page id — kept as raw integers so tracing never allocates.
+func (r *Registry) Trace(kind Counter, a, b uint64) {
+	if r == nil || r.tracer == nil {
+		return
+	}
+	r.tracer.Record(kind, a, b)
+}
+
+// TraceEvents returns the retained trace events, oldest first.
+func (r *Registry) TraceEvents() []Event {
+	if r == nil || r.tracer == nil {
+		return nil
+	}
+	return r.tracer.Events()
+}
+
+// Snapshot captures every counter and histogram for later diffing.
+type Snapshot struct {
+	Counters [NumCounters]int64
+	RPC      [NumRPCOps]HistSnapshot
+}
+
+// Snapshot returns the current state (zero value on a nil registry).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for i := range s.Counters {
+		s.Counters[i] = r.counters[i].Load()
+	}
+	for i := range s.RPC {
+		s.RPC[i] = r.rpc[i].snapshot()
+	}
+	return s
+}
+
+// Count returns one counter from the snapshot.
+func (s Snapshot) Count(c Counter) int64 { return s.Counters[c] }
+
+// Delta returns the activity between an earlier snapshot and this one.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	var d Snapshot
+	for i := range d.Counters {
+		d.Counters[i] = s.Counters[i] - prev.Counters[i]
+	}
+	for i := range d.RPC {
+		d.RPC[i] = s.RPC[i].Delta(prev.RPC[i])
+	}
+	return d
+}
+
+// String renders the snapshot's non-zero counters and RPC histograms on
+// one line, for live stats output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for i, v := range s.Counters {
+		if v == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", Counter(i), v)
+	}
+	for i, h := range s.RPC {
+		if h.Count == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "server_rpc{%s}=%d(mean %v)", RPCOp(i), h.Count, h.Mean().Round(time.Microsecond))
+	}
+	if b.Len() == 0 {
+		return "(idle)"
+	}
+	return b.String()
+}
+
+// jsonSnapshot is the wire form of the expvar/HTTP dump.
+type jsonSnapshot struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Counters      map[string]int64   `json:"counters"`
+	RPC           map[string]jsonRPC `json:"rpc"`
+	Trace         []jsonEvent        `json:"trace,omitempty"`
+}
+
+type jsonRPC struct {
+	Count  int64 `json:"count"`
+	SumNS  int64 `json:"sum_ns"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+}
+
+type jsonEvent struct {
+	Seq    uint64 `json:"seq"`
+	UnixNS int64  `json:"unix_ns"`
+	Kind   string `json:"kind"`
+	A      uint64 `json:"a"`
+	B      uint64 `json:"b"`
+}
+
+func (r *Registry) jsonValue() jsonSnapshot {
+	s := r.Snapshot()
+	out := jsonSnapshot{
+		Counters: make(map[string]int64, NumCounters),
+		RPC:      make(map[string]jsonRPC, NumRPCOps),
+	}
+	if !r.start.IsZero() {
+		out.UptimeSeconds = time.Since(r.start).Seconds()
+	}
+	for i, v := range s.Counters {
+		out.Counters[Counter(i).String()] = v
+	}
+	for i, h := range s.RPC {
+		if h.Count == 0 {
+			continue
+		}
+		out.RPC[RPCOp(i).String()] = jsonRPC{
+			Count:  h.Count,
+			SumNS:  h.SumNS,
+			MeanNS: int64(h.Mean()),
+			P50NS:  int64(h.Quantile(0.50)),
+			P99NS:  int64(h.Quantile(0.99)),
+		}
+	}
+	for _, e := range r.TraceEvents() {
+		out.Trace = append(out.Trace, jsonEvent{
+			Seq: e.Seq, UnixNS: e.UnixNS, Kind: e.Kind.String(), A: e.A, B: e.B,
+		})
+	}
+	return out
+}
+
+// String returns the registry as a JSON object, making Registry an
+// expvar.Var: expvar.Publish("gom", reg) exposes the full snapshot under
+// /debug/vars.
+func (r *Registry) String() string {
+	if r == nil {
+		return "null"
+	}
+	b, err := json.Marshal(r.jsonValue())
+	if err != nil {
+		return fmt.Sprintf("{%q:%q}", "error", err.Error())
+	}
+	return string(b)
+}
+
+// ServeHTTP serves the JSON snapshot, making Registry an http.Handler for
+// a /debug/metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write([]byte(r.String()))
+	_, _ = w.Write([]byte("\n"))
+}
+
+// Format renders a human-readable multi-line report of the snapshot:
+// sorted non-zero counters, then one line per active RPC histogram.
+func (s Snapshot) Format() string {
+	type kv struct {
+		name string
+		v    int64
+	}
+	var rows []kv
+	for i, v := range s.Counters {
+		if v != 0 {
+			rows = append(rows, kv{Counter(i).String(), v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %12d\n", r.name, r.v)
+	}
+	for i, h := range s.RPC {
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  server_rpc{%-14s %12d   mean %-10v p50 %-10v p99 %v\n",
+			RPCOp(i).String()+"}", h.Count,
+			h.Mean().Round(100*time.Nanosecond),
+			h.Quantile(0.50), h.Quantile(0.99))
+	}
+	if b.Len() == 0 {
+		return "  (no events recorded)\n"
+	}
+	return b.String()
+}

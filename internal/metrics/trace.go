@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceDepth is the ring capacity of a Registry built with New.
+const DefaultTraceDepth = 256
+
+// Event is one traced occurrence: a sequence number (total order of trace
+// calls on the registry), a wall-clock stamp, the event kind, and two
+// event-specific integer arguments (an OID, a page id — raw integers so
+// recording never allocates).
+type Event struct {
+	Seq    uint64
+	UnixNS int64
+	Kind   Counter
+	A, B   uint64
+}
+
+// Tracer is a bounded ring buffer of Events for post-mortem debugging:
+// when something goes wrong, the last DefaultTraceDepth displacement /
+// fault / eviction events show how the client got there. Recording is
+// mutex-guarded — trace points sit on cold paths (faults, displacements,
+// evictions), never on the per-dereference hot path.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the last depth events; depth <= 0
+// disables tracing (Record becomes a no-op).
+func NewTracer(depth int) *Tracer {
+	t := &Tracer{}
+	if depth > 0 {
+		t.buf = make([]Event, depth)
+	}
+	return t
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+func (t *Tracer) Record(kind Counter, a, b uint64) {
+	if t == nil || len(t.buf) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.total%uint64(len(t.buf))] = Event{
+		Seq:    t.total,
+		UnixNS: time.Now().UnixNano(),
+		Kind:   kind,
+		A:      a,
+		B:      b,
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.buf) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	depth := uint64(len(t.buf))
+	if n > depth {
+		out := make([]Event, depth)
+		start := n % depth
+		copy(out, t.buf[start:])
+		copy(out[depth-start:], t.buf[:start])
+		return out
+	}
+	out := make([]Event, n)
+	copy(out, t.buf[:n])
+	return out
+}

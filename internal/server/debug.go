@@ -1,0 +1,98 @@
+package server
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"gom/internal/metrics"
+)
+
+// Server-side profiling and introspection: a small HTTP endpoint next to
+// the TCP page server exposing
+//
+//	/debug/metrics  — the observability registry as JSON
+//	/debug/vars     — the standard expvar dump (the registry is published
+//	                  there too, under "gom.server")
+//	/debug/pprof/   — the net/http/pprof profiler suite
+//
+// so an operator can ask a production server *why* a strategy choice is
+// fast or slow without stopping it.
+
+// expvarName is the name the registry is published under in expvar.
+const expvarName = "gom.server"
+
+var expvarMu sync.Mutex
+
+// publishExpvar publishes v under name, replacing semantics are not
+// available in expvar, so later registries for the same name are dropped
+// (expvar.Publish panics on duplicates; servers come and go in tests).
+func publishExpvar(name string, v expvar.Var) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, v)
+	}
+}
+
+// DebugHandler returns the handler tree served by StartDebug: reg at
+// /debug/metrics, expvar at /debug/vars, pprof under /debug/pprof/.
+func DebugHandler(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", reg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+type debugServer struct {
+	ln net.Listener
+	hs *http.Server
+}
+
+func (d *debugServer) close() {
+	_ = d.hs.Close()
+}
+
+// StartDebug starts the profiling/metrics HTTP endpoint on addr (use
+// ":0" for an ephemeral port) and returns its bound address. A registry is
+// created and installed if none is present; it is also published to expvar
+// so /debug/vars carries the snapshot. The endpoint is shut down by
+// TCPServer.Close.
+func (s *TCPServer) StartDebug(addr string) (net.Addr, error) {
+	reg := s.Metrics()
+	if reg == nil {
+		reg = metrics.New()
+		s.SetMetrics(reg)
+	}
+	publishExpvar(expvarName, reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: DebugHandler(reg)}
+	d := &debugServer{ln: ln, hs: hs}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errProtocol
+	}
+	if s.debug != nil {
+		old := s.debug
+		s.debug = nil
+		s.mu.Unlock()
+		old.close()
+		s.mu.Lock()
+	}
+	s.debug = d
+	s.mu.Unlock()
+	go func() { _ = hs.Serve(ln) }()
+	return ln.Addr(), nil
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"gom/internal/page"
+)
+
+// frame encodes one wire message the way writeMsg does, for seeding.
+func frame(tb testing.TB, code byte, payload []byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := writeMsg(bufio.NewWriter(&buf), code, payload); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzTCPFrame throws arbitrary bytes at the length-prefixed frame decoder.
+// Invariants: readMsg never panics and never allocates beyond maxMessage,
+// and any frame that decodes must survive a writeMsg/readMsg round trip
+// byte-identically.
+func FuzzTCPFrame(f *testing.F) {
+	f.Add(frame(f, opLookup, make([]byte, 8)))
+	f.Add(frame(f, opReadPage, []byte{1, 0, 0, 0, 0, 0, 0, 0}))
+	f.Add(frame(f, opTxBegin, nil))
+	f.Add(frame(f, statusOK, []byte("hello")))
+	f.Add(frame(f, opWritePage, make([]byte, page.Size)))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})                // zero length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1}) // absurd length
+	f.Add([]byte{10, 0, 0, 0, opLookup})     // truncated body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		code, payload, err := readMsg(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return // malformed input must fail cleanly, which it just did
+		}
+		if len(payload)+1 > maxMessage {
+			t.Fatalf("decoded %d payload bytes, above maxMessage %d", len(payload), maxMessage)
+		}
+		var buf bytes.Buffer
+		if err := writeMsg(bufio.NewWriter(&buf), code, payload); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		code2, payload2, err := readMsg(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if code2 != code || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip mismatch: code %d->%d, payload %d->%d bytes",
+				code, code2, len(payload), len(payload2))
+		}
+	})
+}
+
+// TestReadMsgRejectsBadLengths pins the two length-check branches: a length
+// of zero and a length beyond maxMessage must both produce errProtocol
+// before any body allocation is attempted.
+func TestReadMsgRejectsBadLengths(t *testing.T) {
+	for _, n := range []uint32{0, maxMessage + 1, 1 << 31, 0xffffffff} {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], n)
+		_, _, err := readMsg(bufio.NewReader(bytes.NewReader(hdr[:])))
+		if !errors.Is(err, errProtocol) {
+			t.Errorf("length %d: err = %v, want errProtocol", n, err)
+		}
+	}
+}
+
+// TestReadMsgTruncated checks that a frame cut off mid-body reports the
+// read error instead of returning a short payload.
+func TestReadMsgTruncated(t *testing.T) {
+	msg := frame(t, opLookup, make([]byte, 8))
+	for cut := 1; cut < len(msg); cut++ {
+		_, _, err := readMsg(bufio.NewReader(bytes.NewReader(msg[:cut])))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded successfully", cut, len(msg))
+		}
+	}
+}
+
+// TestFrameRoundTripLargest round-trips the biggest legal payload.
+func TestFrameRoundTripLargest(t *testing.T) {
+	payload := make([]byte, maxMessage-1)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	code, got, err := readMsg(bufio.NewReader(bytes.NewReader(frame(t, opWritePage, payload))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != opWritePage || !bytes.Equal(got, payload) {
+		t.Fatalf("largest frame mangled: code %d, %d bytes", code, len(got))
+	}
+	// One byte more must be rejected by the decoder.
+	over := frame(t, opWritePage, make([]byte, maxMessage))
+	if _, _, err := readMsg(bufio.NewReader(bytes.NewReader(over))); !errors.Is(err, errProtocol) {
+		t.Fatalf("oversize frame: err = %v, want errProtocol", err)
+	}
+}

@@ -11,6 +11,7 @@
 package server
 
 import (
+	"gom/internal/metrics"
 	"gom/internal/oid"
 	"gom/internal/storage"
 
@@ -41,43 +42,63 @@ type Server interface {
 // Local serves pages directly from a storage manager in the same process.
 type Local struct {
 	mgr *storage.Manager
+	obs *metrics.Registry // nil unless observability is installed
 }
 
 // NewLocal returns an in-process server over the manager.
 func NewLocal(mgr *storage.Manager) *Local { return &Local{mgr: mgr} }
 
+// SetMetrics installs (or removes, with nil) the observability registry
+// recording per-operation latency histograms, and wires the underlying
+// disk's I/O counters to the same registry. Install before serving
+// traffic. Returns the receiver for chaining.
+func (l *Local) SetMetrics(r *metrics.Registry) *Local {
+	l.obs = r
+	l.mgr.Disk().SetMetrics(r)
+	return l
+}
+
 // Manager exposes the underlying storage manager (generation code uses it).
 func (l *Local) Manager() *storage.Manager { return l.mgr }
 
 // Lookup implements Server.
-func (l *Local) Lookup(id oid.OID) (storage.PAddr, error) { return l.mgr.Lookup(id) }
+func (l *Local) Lookup(id oid.OID) (storage.PAddr, error) {
+	defer l.obs.RPCSince(metrics.RPCLookup, l.obs.Now())
+	return l.mgr.Lookup(id)
+}
 
 // ReadPage implements Server.
 func (l *Local) ReadPage(pid page.PageID) ([]byte, error) {
+	defer l.obs.RPCSince(metrics.RPCReadPage, l.obs.Now())
 	return l.mgr.Disk().ReadPage(pid)
 }
 
 // WritePage implements Server.
 func (l *Local) WritePage(pid page.PageID, img []byte) error {
+	defer l.obs.RPCSince(metrics.RPCWritePage, l.obs.Now())
 	return l.mgr.Disk().WritePage(pid, img)
 }
 
 // Allocate implements Server.
 func (l *Local) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
+	defer l.obs.RPCSince(metrics.RPCAllocate, l.obs.Now())
 	return l.mgr.Allocate(seg, rec)
 }
 
 // AllocateNear implements Server.
 func (l *Local) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
+	defer l.obs.RPCSince(metrics.RPCAllocateNear, l.obs.Now())
 	return l.mgr.AllocateNear(seg, neighbor, rec)
 }
 
 // UpdateObject implements Server.
 func (l *Local) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
+	defer l.obs.RPCSince(metrics.RPCUpdateObject, l.obs.Now())
 	return l.mgr.Update(id, rec)
 }
 
 // NumPages implements Server.
 func (l *Local) NumPages(seg uint16) (int, error) {
+	defer l.obs.RPCSince(metrics.RPCNumPages, l.obs.Now())
 	return l.mgr.Disk().NumPages(seg)
 }

@@ -8,7 +8,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"gom/internal/metrics"
 	"gom/internal/oid"
 	"gom/internal/page"
 	"gom/internal/storage"
@@ -103,10 +105,15 @@ type TCPServer struct {
 
 	ln net.Listener
 
+	// obs is the observability registry; an atomic pointer so SetMetrics
+	// can be called while connection goroutines are already serving.
+	obs atomic.Pointer[metrics.Registry]
+
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+	debug  *debugServer // non-nil once StartDebug has run
 }
 
 // Serve starts serving the manager on the listener. It returns immediately;
@@ -131,7 +138,47 @@ func ServeTx(ln net.Listener, tx *TxServer) *TCPServer {
 // Addr returns the listener address.
 func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the server and closes all client connections.
+// SetMetrics installs (or removes, with nil) the observability registry
+// recording per-RPC latency histograms and protocol errors, and wires the
+// storage manager's disk I/O counters to the same registry. Safe to call
+// while the server is running.
+func (s *TCPServer) SetMetrics(r *metrics.Registry) {
+	s.obs.Store(r)
+	s.mgr.Disk().SetMetrics(r)
+}
+
+// Metrics returns the installed registry, or nil.
+func (s *TCPServer) Metrics() *metrics.Registry { return s.obs.Load() }
+
+// rpcOpOf maps a wire opcode to its latency histogram, or -1.
+func rpcOpOf(op byte) metrics.RPCOp {
+	switch op {
+	case opLookup:
+		return metrics.RPCLookup
+	case opReadPage:
+		return metrics.RPCReadPage
+	case opWritePage:
+		return metrics.RPCWritePage
+	case opAllocate:
+		return metrics.RPCAllocate
+	case opAllocateNear:
+		return metrics.RPCAllocateNear
+	case opUpdateObject:
+		return metrics.RPCUpdateObject
+	case opNumPages:
+		return metrics.RPCNumPages
+	case opTxBegin:
+		return metrics.RPCTxBegin
+	case opTxCommit:
+		return metrics.RPCTxCommit
+	case opTxAbort:
+		return metrics.RPCTxAbort
+	}
+	return -1
+}
+
+// Close stops the server, closes all client connections, and shuts down
+// the debug endpoint if one was started.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -139,7 +186,12 @@ func (s *TCPServer) Close() error {
 	for c := range s.conns {
 		c.Close()
 	}
+	debug := s.debug
+	s.debug = nil
 	s.mu.Unlock()
+	if debug != nil {
+		debug.close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -190,8 +242,15 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		obs := s.obs.Load()
+		start := obs.Now()
 		resp, err := s.handle(cs, op, payload)
+		if rpc := rpcOpOf(op); rpc >= 0 {
+			obs.RPCSince(rpc, start)
+		}
 		if err != nil {
+			obs.Inc(metrics.CtrRPCError)
+			obs.Trace(metrics.CtrRPCError, uint64(op), 0)
 			if werr := writeMsg(w, statusErr, []byte(err.Error())); werr != nil {
 				return
 			}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"gom/internal/metrics"
 	"gom/internal/page"
 )
 
@@ -34,11 +35,20 @@ var (
 type Disk struct {
 	mu   sync.RWMutex
 	segs map[uint16][][]byte // segment -> page images, index = page number
+	obs  *metrics.Registry   // nil unless observability is installed
 }
 
 // NewDisk returns an empty disk.
 func NewDisk() *Disk {
 	return &Disk{segs: make(map[uint16][][]byte)}
+}
+
+// SetMetrics installs (or removes, with nil) the observability registry
+// recording page-level I/O against this disk.
+func (d *Disk) SetMetrics(r *metrics.Registry) {
+	d.mu.Lock()
+	d.obs = r
+	d.mu.Unlock()
 }
 
 // CreateSegment creates an empty segment.
@@ -86,6 +96,7 @@ func (d *Disk) AllocPage(seg uint16) (page.PageID, error) {
 	}
 	id := page.NewPageID(seg, uint64(len(pages)))
 	d.segs[seg] = append(pages, page.New(id).CloneImage())
+	d.obs.Inc(metrics.CtrDiskPageAlloc)
 	return id, nil
 }
 
@@ -97,6 +108,7 @@ func (d *Disk) ReadPage(id page.PageID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.obs.Inc(metrics.CtrDiskPageRead)
 	out := make([]byte, page.Size)
 	copy(out, img)
 	return out, nil
@@ -113,6 +125,7 @@ func (d *Disk) WritePage(id page.PageID, img []byte) error {
 	if err != nil {
 		return err
 	}
+	d.obs.Inc(metrics.CtrDiskPageWrite)
 	copy(dst, img)
 	return nil
 }
