@@ -8,9 +8,11 @@
 //	oo1bench -exp fig13,fig14
 //	oo1bench -list           # list experiment ids
 //	oo1bench -quick          # shrunken object bases (seconds, CI-friendly)
+//	oo1bench -json BENCH_oo1.json   # also write results as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +22,31 @@ import (
 	"gom/internal/bench"
 )
 
+// jsonReport is the machine-readable counterpart of the printed tables, so
+// CI can archive a run and diffs between runs stay greppable.
+type jsonReport struct {
+	Quick       bool             `json:"quick"`
+	Seed        int64            `json:"seed"`
+	GeneratedAt string           `json:"generated_at"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		quick = flag.Bool("quick", false, "run with shrunken object bases")
-		seed  = flag.Int64("seed", 42, "generator and workload seed")
+		exp      = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "run with shrunken object bases")
+		seed     = flag.Int64("seed", 42, "generator and workload seed")
+		jsonPath = flag.String("json", "", "also write results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -51,6 +72,11 @@ func main() {
 	}
 
 	opts := bench.Opts{Quick: *quick, Seed: *seed}
+	report := jsonReport{
+		Quick:       *quick,
+		Seed:        *seed,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
 	for _, e := range todo {
 		start := time.Now()
 		res, err := e.Run(opts)
@@ -58,7 +84,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "oo1bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		res.Print(os.Stdout)
-		fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID:        res.ID,
+			Title:     res.Title,
+			Header:    res.Header,
+			Rows:      res.Rows,
+			Notes:     res.Notes,
+			ElapsedMS: elapsed.Milliseconds(),
+		})
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oo1bench: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "oo1bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -57,6 +57,7 @@ type Pool struct {
 	frames   map[page.PageID]*Frame
 	lru      *list.List // of page.PageID
 	onEvict  EvictFn
+	ra       *readahead // nil unless EnableReadahead succeeded
 }
 
 // New returns a pool of the given capacity (in frames) served by srv,
@@ -109,14 +110,28 @@ func (p *Pool) Get(pid page.PageID) (*Frame, error) {
 	if err := p.makeRoom(); err != nil {
 		return nil, err
 	}
-	img, err := p.srv.ReadPage(pid)
-	if err != nil {
-		return nil, err
+	var img []byte
+	if p.ra != nil {
+		img = p.ra.take(pid, p.obs)
 	}
-	p.obs.Inc(metrics.CtrPageFault)
-	p.meter.Event(sim.CntPageFault, p.meter.Costs().PageIO)
-	p.meter.Add(sim.CntPageRead, 1)
-	p.meter.Add(sim.CntServerRoundTrip, 1)
+	if img != nil {
+		// Prefetched by readahead: no synchronous round-trip; the page I/O
+		// happened in the background, overlapped with client work.
+		p.obs.Inc(metrics.CtrReadaheadHit)
+		p.obs.Inc(metrics.CtrPageFault)
+		p.meter.Event(sim.CntPageFault, p.meter.Costs().PageIO)
+		p.meter.Add(sim.CntPageRead, 1)
+	} else {
+		var err error
+		img, err = p.srv.ReadPage(pid)
+		if err != nil {
+			return nil, err
+		}
+		p.obs.Inc(metrics.CtrPageFault)
+		p.meter.Event(sim.CntPageFault, p.meter.Costs().PageIO)
+		p.meter.Add(sim.CntPageRead, 1)
+		p.meter.Add(sim.CntServerRoundTrip, 1)
+	}
 	pg, err := page.FromImage(img)
 	if err != nil {
 		return nil, err
@@ -124,6 +139,9 @@ func (p *Pool) Get(pid page.PageID) (*Frame, error) {
 	f := &Frame{Page: pg}
 	f.elem = p.lru.PushFront(pid)
 	p.frames[pid] = f
+	if p.ra != nil {
+		p.noteMiss(pid)
+	}
 	return f, nil
 }
 
@@ -179,6 +197,10 @@ func (p *Pool) Evict(pid page.PageID) error {
 }
 
 func (p *Pool) writeBack(pid page.PageID, f *Frame) error {
+	if p.ra != nil {
+		// Any prefetched copy of this page is about to become stale.
+		p.ra.invalidate(pid, p.obs)
+	}
 	if err := p.srv.WritePage(pid, f.Page.Image()); err != nil {
 		return err
 	}
@@ -247,6 +269,11 @@ func (p *Pool) Refresh(pid page.PageID) error {
 			return err
 		}
 	}
+	if p.ra != nil {
+		// The server-side page changed (that is why the caller refreshes);
+		// a staged prefetch of it is stale.
+		p.ra.invalidate(pid, p.obs)
+	}
 	img, err := p.srv.ReadPage(pid)
 	if err != nil {
 		return err
@@ -284,6 +311,11 @@ func (p *Pool) DropAll() error {
 			return err
 		}
 	}
+	// Cooling the buffer must also cool the readahead staging area, or a
+	// "cold" run would consume pages prefetched by the previous one.
+	if p.ra != nil {
+		p.ra.discardAll(p.obs)
+	}
 	return nil
 }
 
@@ -293,6 +325,9 @@ func (p *Pool) DropAll() error {
 func (p *Pool) Discard() {
 	p.frames = make(map[page.PageID]*Frame, p.capacity)
 	p.lru.Init()
+	if p.ra != nil {
+		p.ra.discardAll(p.obs)
+	}
 }
 
 // Pages returns the ids of all buffered pages, most recently used first.

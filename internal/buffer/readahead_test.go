@@ -1,0 +1,222 @@
+package buffer
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"gom/internal/metrics"
+	"gom/internal/page"
+	"gom/internal/server"
+	"gom/internal/sim"
+	"gom/internal/storage"
+)
+
+// gateServer wraps a Local server and lets a test hold ReadPages fetches
+// at the gate, so the asynchronous staging can be interleaved
+// deterministically with client-side writes.
+type gateServer struct {
+	server.Server
+	runs *server.Local
+	mu   sync.Mutex
+	gate chan struct{} // fetches block receiving from it when non-nil
+}
+
+func (g *gateServer) ReadPages(pid page.PageID, n int) ([][]byte, error) {
+	g.mu.Lock()
+	gate := g.gate
+	g.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return g.runs.ReadPages(pid, n)
+}
+
+func (g *gateServer) hold()    { g.mu.Lock(); g.gate = make(chan struct{}); g.mu.Unlock() }
+func (g *gateServer) release() { g.mu.Lock(); close(g.gate); g.gate = nil; g.mu.Unlock() }
+
+var _ server.PageRunReader = (*gateServer)(nil)
+
+// raSetup builds a manager with npages sequential pages in segment 0 and a
+// readahead-enabled pool of the given window over a gated Local server.
+func raSetup(t *testing.T, npages, capacity, window int) (*Pool, *gateServer, *metrics.Registry, []page.PageID) {
+	t.Helper()
+	mgr := storage.NewManager(1)
+	if err := mgr.CreateSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	pids := make([]page.PageID, npages)
+	for i := range pids {
+		pid, err := mgr.Disk().AllocPage(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, _ := mgr.Disk().ReadPage(pid)
+		pg, _ := page.FromImage(img)
+		pg.Insert([]byte{byte(i)})
+		mgr.Disk().WritePage(pid, pg.Image())
+		pids[i] = pid
+	}
+	local := server.NewLocal(mgr)
+	gs := &gateServer{Server: local, runs: local}
+	pool := New(gs, capacity, sim.NewMeter(sim.DefaultCosts()))
+	reg := metrics.New()
+	pool.SetMetrics(reg)
+	if !pool.EnableReadahead(window) {
+		t.Fatal("EnableReadahead failed against a PageRunReader server")
+	}
+	return pool, gs, reg, pids
+}
+
+func TestReadaheadSequentialScan(t *testing.T) {
+	const n = 24
+	pool, _, reg, pids := raSetup(t, n, n+4, 8)
+	for i, pid := range pids {
+		f, err := pool.Get(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := f.Page.Read(0)
+		if err != nil || rec[0] != byte(i) {
+			t.Fatalf("page %d: rec = %v, %v", i, rec, err)
+		}
+		// Let staging land so the scan is deterministic; overlap itself is
+		// exercised by the unsynchronized TCP test below.
+		pool.WaitReadahead()
+	}
+	snap := reg.Snapshot()
+	if hits := snap.Count(metrics.CtrReadaheadHit); hits < n/2 {
+		t.Errorf("readahead hits = %d over a %d-page sequential scan, want ≥ %d", hits, n, n/2)
+	}
+	if issued := snap.Count(metrics.CtrReadaheadIssued); issued == 0 {
+		t.Error("no readahead issued")
+	}
+	if staged := reg.GaugeValue(metrics.GaugeReadaheadStaged); staged < 0 {
+		t.Errorf("staged gauge went negative: %d", staged)
+	}
+}
+
+func TestReadaheadRandomAccessStaysOff(t *testing.T) {
+	pool, _, reg, pids := raSetup(t, 16, 20, 8)
+	order := []int{0, 5, 2, 9, 4, 12, 7, 1}
+	for _, i := range order {
+		if _, err := pool.Get(pids[i]); err != nil {
+			t.Fatal(err)
+		}
+		pool.WaitReadahead()
+	}
+	if issued := reg.Snapshot().Count(metrics.CtrReadaheadIssued); issued != 0 {
+		t.Errorf("random access issued %d readahead pages, want 0", issued)
+	}
+}
+
+// TestReadaheadWriteBackInvalidation is the staleness guard: a page whose
+// prefetch is still in flight gets written back with new content; the
+// arriving stale image must be discarded, and the next fault must see the
+// written data.
+func TestReadaheadWriteBackInvalidation(t *testing.T) {
+	pool, gs, reg, pids := raSetup(t, 12, 16, 4)
+
+	// Establish a sequential run with the gate open so detection warms up.
+	if _, err := pool.Get(pids[0]); err != nil {
+		t.Fatal(err)
+	}
+	gs.hold() // prefetches now block at the gate
+	if _, err := pool.Get(pids[1]); err != nil {
+		t.Fatal(err) // triggers an in-flight prefetch of pids[2..5]
+	}
+
+	// While the prefetch holds the stale images, modify page 2 through the
+	// pool and write it back.
+	f, err := pool.Get(pids[2]) // synchronous read (staging is empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Page.Insert([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	f.MarkDirty()
+	if err := pool.Flush(pids[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	gs.release()
+	pool.WaitReadahead()
+
+	// Drop and refault page 2: it must not come from the stale staging.
+	if err := pool.Evict(pids[2]); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := pool.Get(pids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := f2.Page.SlotCount()
+	if recs != 2 {
+		t.Errorf("refaulted page has %d records, want 2 (stale prefetched image served?)", recs)
+	}
+	if wasted := reg.Snapshot().Count(metrics.CtrReadaheadWasted); wasted == 0 {
+		t.Error("no readahead page counted as wasted despite the write-back bar")
+	}
+}
+
+// TestReadaheadOverTCPFewerRoundTrips is the ISSUE acceptance check: a
+// sequential pagewise scan over TCP with readahead must reach the server
+// with measurably fewer round-trips than pages scanned, proven by the
+// server-side RPC counters.
+func TestReadaheadOverTCPFewerRoundTrips(t *testing.T) {
+	const n = 32
+	mgr := storage.NewManager(1)
+	if err := mgr.CreateSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := mgr.Allocate(0, make([]byte, page.Size-64)); err != nil {
+			t.Fatal(err) // one fat record per page → n sequential pages
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.Serve(ln, mgr)
+	defer srv.Close()
+	sreg := metrics.New()
+	srv.SetMetrics(sreg)
+
+	cl, err := server.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	pool := New(cl, n+4, sim.NewMeter(sim.DefaultCosts()))
+	creg := metrics.New()
+	pool.SetMetrics(creg)
+	if !pool.EnableReadahead(8) {
+		t.Fatal("readahead unavailable over the pipelined client")
+	}
+
+	npages, err := cl.NumPages(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for no := 0; no < npages; no++ {
+		if _, err := pool.Get(page.NewPageID(0, uint64(no))); err != nil {
+			t.Fatal(err)
+		}
+		pool.WaitReadahead()
+	}
+
+	snap := sreg.Snapshot()
+	roundTrips := snap.RPC[metrics.RPCReadPage].Count + snap.RPC[metrics.RPCReadPages].Count
+	if roundTrips >= int64(npages) {
+		t.Errorf("scan of %d pages took %d page-shipping round-trips; want fewer (batching)", npages, roundTrips)
+	}
+	if hits := creg.Snapshot().Count(metrics.CtrReadaheadHit); hits == 0 {
+		t.Error("no readahead hits over TCP")
+	}
+	t.Logf("scan of %d pages: %d round-trips (%d ReadPage + %d ReadPages), %d readahead hits",
+		npages, roundTrips,
+		snap.RPC[metrics.RPCReadPage].Count, snap.RPC[metrics.RPCReadPages].Count,
+		creg.Snapshot().Count(metrics.CtrReadaheadHit))
+}

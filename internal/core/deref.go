@@ -10,6 +10,7 @@ import (
 	"gom/internal/oid"
 	"gom/internal/rot"
 	"gom/internal/sim"
+	"gom/internal/storage"
 	"gom/internal/swizzle"
 )
 
@@ -142,11 +143,40 @@ func (om *OM) objectFault(id oid.OID) (*object.MemObject, error) {
 		// The late-bound type-specific fetch procedure (§4.2.2, FC).
 		om.meter.Event(sim.CntFetchCall, om.meter.Costs().FetchCall)
 	}
-	addr, err := om.srv.Lookup(id)
+	addr, hinted := om.addrHints[id]
+	if hinted {
+		// A batched lookup already resolved this OID: no per-object
+		// round-trip. A stale hint (the object moved since) surfaces as a
+		// materialization failure and falls back to the authoritative
+		// lookup below.
+		delete(om.addrHints, id)
+	} else {
+		var err error
+		addr, err = om.srv.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		om.meter.Add(sim.CntServerRoundTrip, 1)
+	}
+	obj, err := om.materialize(id, addr)
+	if err != nil && hinted {
+		addr, err = om.srv.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		om.meter.Add(sim.CntServerRoundTrip, 1)
+		obj, err = om.materialize(id, addr)
+	}
 	if err != nil {
 		return nil, err
 	}
-	om.meter.Add(sim.CntServerRoundTrip, 1)
+	return om.registerFault(obj, addr)
+}
+
+// materialize faults addr's page and decodes the object record, without
+// registering any client state — a failure leaves nothing behind, so a
+// caller holding a possibly-stale address hint can retry safely.
+func (om *OM) materialize(id oid.OID, addr storage.PAddr) (*object.MemObject, error) {
 	frame, err := om.pool.Get(addr.Page)
 	if err != nil {
 		return nil, err
@@ -155,10 +185,14 @@ func (om *OM) objectFault(id oid.OID) (*object.MemObject, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: object %v at %v/%d: %w", id, addr.Page, addr.Slot, err)
 	}
-	obj, err := object.Decode(om.schema, id, rec)
-	if err != nil {
-		return nil, err
-	}
+	return object.Decode(om.schema, id, rec)
+}
+
+// registerFault installs a freshly materialized object in the client
+// run-time: ROT registration, cache/residency bookkeeping, descriptor
+// revalidation, and the eager swizzling scan.
+func (om *OM) registerFault(obj *object.MemObject, addr storage.PAddr) (*object.MemObject, error) {
+	id := obj.OID
 	entry := om.rot.Register(obj, addr)
 	if om.cache != nil {
 		if err := om.cache.Put(obj); err != nil {
@@ -199,6 +233,7 @@ func (om *OM) eagerScan(e *rot.Entry) error {
 	if len(slots) == 0 {
 		return nil
 	}
+	om.primeHints(slots)
 	om.pinEntry(e)
 	defer om.unpinEntry(e)
 	for _, s := range slots {
@@ -213,6 +248,46 @@ func (om *OM) eagerScan(e *rot.Entry) error {
 		}
 	}
 	return nil
+}
+
+// primeHints resolves the physical addresses of the slots' non-resident
+// targets in one batched round-trip (the server's BatchLookuper
+// capability), so the per-slot faults that follow skip their individual
+// Lookup RPCs — eager swizzling resolves a page's worth of references at
+// a time instead of one round-trip per reference.
+func (om *OM) primeHints(slots []object.Slot) {
+	if om.batcher == nil || len(slots) < 2 {
+		return
+	}
+	seen := make(map[oid.OID]struct{}, len(slots))
+	want := make([]oid.OID, 0, len(slots))
+	for _, s := range slots {
+		id := s.Ref().OID()
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if _, hinted := om.addrHints[id]; hinted {
+			continue
+		}
+		if om.rot.Lookup(id) != nil {
+			continue
+		}
+		want = append(want, id)
+	}
+	if len(want) < 2 {
+		return // a single lookup gains nothing from batching
+	}
+	addrs, found, err := om.batcher.LookupBatch(want)
+	if err != nil || len(addrs) != len(want) || len(found) != len(want) {
+		return // degrade to per-object lookups
+	}
+	om.meter.Add(sim.CntServerRoundTrip, 1)
+	for i, id := range want {
+		if found[i] {
+			om.addrHints[id] = addrs[i]
+		}
+	}
 }
 
 // pinEntry pins the object (copy architecture) or its page (page

@@ -27,6 +27,7 @@ import (
 	"gom/internal/rot"
 	"gom/internal/server"
 	"gom/internal/sim"
+	"gom/internal/storage"
 	"gom/internal/swizzle"
 )
 
@@ -83,6 +84,14 @@ type Options struct {
 	// cost of one nil check each — the paper-reproduction hot paths stay
 	// allocation-free either way.
 	Metrics *metrics.Registry
+	// ReadaheadPages, when > 0, enables sequential page readahead in the
+	// buffer pool with the given window: a run of consecutive page misses
+	// prefetches the next window of pages asynchronously through the
+	// server's PageRunReader capability (no-op when the server lacks it).
+	// Purely a transport optimization — strategy semantics and the
+	// simulated cost model are unchanged except for the overlapped
+	// round-trips.
+	ReadaheadPages int
 }
 
 // OM is the adaptable object manager for one client application stream.
@@ -98,6 +107,15 @@ type OM struct {
 	cache  *objcache.Cache // nil in the pure page-buffer architecture
 	rot    *rot.Table
 	spec   *swizzle.Spec
+
+	// batcher is the server's batch-lookup capability, or nil; used by
+	// eager scans to resolve a page's worth of references in one
+	// round-trip instead of one per reference.
+	batcher server.BatchLookuper
+	// addrHints caches physical addresses resolved by batched lookups for
+	// objects not yet resident; objectFault consumes them (falling back to
+	// an authoritative Lookup if one proves stale).
+	addrHints map[oid.OID]storage.PAddr
 
 	// descs is the descriptor table: OID → descriptor, for descriptors of
 	// resident and non-resident objects alike (§3.2.2).
@@ -159,9 +177,14 @@ func New(opt Options) (*OM, error) {
 		byPage:     make(map[page.PageID][]*object.MemObject),
 		vars:       make(map[*Var]struct{}),
 		displacing: make(map[oid.OID]bool),
+		addrHints:  make(map[oid.OID]storage.PAddr),
 
 		lazyUponDereference: opt.LazyUponDereference,
 		retainDescriptors:   opt.RetainDescriptors,
+	}
+	om.batcher, _ = opt.Server.(server.BatchLookuper)
+	if opt.ReadaheadPages > 0 {
+		om.pool.EnableReadahead(opt.ReadaheadPages)
 	}
 	om.pool.OnEvict(om.onPageEvict)
 	om.SetMetrics(opt.Metrics)
@@ -323,6 +346,7 @@ func (om *OM) Reset() error {
 	}
 	om.descs = make(map[oid.OID]*object.Descriptor)
 	om.byPage = make(map[page.PageID][]*object.MemObject)
+	om.addrHints = make(map[oid.OID]storage.PAddr)
 	if om.pagewise {
 		om.pageRRL = make(map[page.PageID]map[page.PageID]int)
 	}
@@ -344,6 +368,7 @@ func (om *OM) Discard() {
 	om.descs = make(map[oid.OID]*object.Descriptor)
 	om.byPage = make(map[page.PageID][]*object.MemObject)
 	om.displacing = make(map[oid.OID]bool)
+	om.addrHints = make(map[oid.OID]storage.PAddr)
 	om.swizzleTable = nil
 	if om.pagewise {
 		om.pageRRL = make(map[page.PageID]map[page.PageID]int)

@@ -60,6 +60,13 @@ const (
 	CtrWrite
 	CtrPagewiseScan
 	CtrRPCError
+	CtrBatchLookup
+	CtrBatchLookupOIDs
+	CtrReadRun
+	CtrReadRunPages
+	CtrReadaheadIssued
+	CtrReadaheadHit
+	CtrReadaheadWasted
 	NumCounters
 )
 
@@ -84,6 +91,13 @@ var counterNames = [NumCounters]string{
 	"write",
 	"pagewise_scan",
 	"server_rpc_error",
+	"batch_lookup",
+	"batch_lookup_oids",
+	"read_run",
+	"read_run_pages",
+	"readahead_issued",
+	"readahead_hit",
+	"readahead_wasted",
 }
 
 // String returns the counter's snake_case event name.
@@ -111,6 +125,9 @@ const (
 	RPCTxBegin
 	RPCTxCommit
 	RPCTxAbort
+	RPCHello
+	RPCLookupBatch
+	RPCReadPages
 	NumRPCOps
 )
 
@@ -125,6 +142,9 @@ var rpcNames = [NumRPCOps]string{
 	"tx_begin",
 	"tx_commit",
 	"tx_abort",
+	"hello",
+	"lookup_batch",
+	"read_pages",
 }
 
 // String returns the op's snake_case name.
@@ -133,6 +153,37 @@ func (op RPCOp) String() string {
 		return fmt.Sprintf("rpc(%d)", int(op))
 	}
 	return rpcNames[op]
+}
+
+// Gauge enumerates the instantaneous levels the observability layer
+// tracks (counters only go up; gauges go up and down). Keep gaugeNames in
+// sync.
+type Gauge int
+
+// The gauges.
+const (
+	// GaugeInFlightRPC is the number of RPCs currently being processed —
+	// dispatched but not yet answered. On the server it counts per-request
+	// work in flight across all connections; on a pipelined client it
+	// counts calls awaiting a response.
+	GaugeInFlightRPC Gauge = iota
+	// GaugeReadaheadStaged is the number of prefetched pages staged in the
+	// client readahead window, not yet consumed.
+	GaugeReadaheadStaged
+	NumGauges
+)
+
+var gaugeNames = [NumGauges]string{
+	"inflight_rpcs",
+	"readahead_staged",
+}
+
+// String returns the gauge's snake_case name.
+func (g Gauge) String() string {
+	if g < 0 || g >= NumGauges {
+		return fmt.Sprintf("gauge(%d)", int(g))
+	}
+	return gaugeNames[g]
 }
 
 // NumHistBuckets is the number of histogram buckets. Bucket i counts
@@ -234,8 +285,26 @@ func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
 type Registry struct {
 	start    time.Time
 	counters [NumCounters]atomic.Int64
+	gauges   [NumGauges]gauge
 	rpc      [NumRPCOps]Histogram
 	tracer   *Tracer
+}
+
+// gauge is an instantaneous level plus the high-water mark it reached.
+type gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// add moves the level and maintains the peak.
+func (g *gauge) add(delta int64) {
+	v := g.cur.Add(delta)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
 }
 
 // New returns a registry with a tracer of DefaultTraceDepth.
@@ -265,6 +334,31 @@ func (r *Registry) Count(c Counter) int64 {
 		return 0
 	}
 	return r.counters[c].Load()
+}
+
+// GaugeAdd moves a gauge by delta (negative to decrease), maintaining its
+// high-water mark.
+func (r *Registry) GaugeAdd(g Gauge, delta int64) {
+	if r == nil {
+		return
+	}
+	r.gauges[g].add(delta)
+}
+
+// GaugeValue returns a gauge's current level (0 on a nil registry).
+func (r *Registry) GaugeValue(g Gauge) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[g].cur.Load()
+}
+
+// GaugePeak returns the highest level a gauge has reached.
+func (r *Registry) GaugePeak(g Gauge) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[g].peak.Load()
 }
 
 // ObserveRPC records one server operation latency.
@@ -314,10 +408,14 @@ func (r *Registry) TraceEvents() []Event {
 	return r.tracer.Events()
 }
 
-// Snapshot captures every counter and histogram for later diffing.
+// Snapshot captures every counter and histogram for later diffing. Gauges
+// carry their instantaneous level and high-water mark (levels are not
+// differenced by Delta — a level at a point in time is not a rate).
 type Snapshot struct {
-	Counters [NumCounters]int64
-	RPC      [NumRPCOps]HistSnapshot
+	Counters   [NumCounters]int64
+	Gauges     [NumGauges]int64
+	GaugePeaks [NumGauges]int64
+	RPC        [NumRPCOps]HistSnapshot
 }
 
 // Snapshot returns the current state (zero value on a nil registry).
@@ -328,6 +426,10 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for i := range s.Counters {
 		s.Counters[i] = r.counters[i].Load()
+	}
+	for i := range s.Gauges {
+		s.Gauges[i] = r.gauges[i].cur.Load()
+		s.GaugePeaks[i] = r.gauges[i].peak.Load()
 	}
 	for i := range s.RPC {
 		s.RPC[i] = r.rpc[i].snapshot()
@@ -344,6 +446,8 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	for i := range d.Counters {
 		d.Counters[i] = s.Counters[i] - prev.Counters[i]
 	}
+	d.Gauges = s.Gauges
+	d.GaugePeaks = s.GaugePeaks
 	for i := range d.RPC {
 		d.RPC[i] = s.RPC[i].Delta(prev.RPC[i])
 	}
@@ -380,10 +484,16 @@ func (s Snapshot) String() string {
 
 // jsonSnapshot is the wire form of the expvar/HTTP dump.
 type jsonSnapshot struct {
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Counters      map[string]int64   `json:"counters"`
-	RPC           map[string]jsonRPC `json:"rpc"`
-	Trace         []jsonEvent        `json:"trace,omitempty"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Counters      map[string]int64     `json:"counters"`
+	Gauges        map[string]jsonGauge `json:"gauges,omitempty"`
+	RPC           map[string]jsonRPC   `json:"rpc"`
+	Trace         []jsonEvent          `json:"trace,omitempty"`
+}
+
+type jsonGauge struct {
+	Value int64 `json:"value"`
+	Peak  int64 `json:"peak"`
 }
 
 type jsonRPC struct {
@@ -413,6 +523,15 @@ func (r *Registry) jsonValue() jsonSnapshot {
 	}
 	for i, v := range s.Counters {
 		out.Counters[Counter(i).String()] = v
+	}
+	for i := range s.Gauges {
+		if s.Gauges[i] == 0 && s.GaugePeaks[i] == 0 {
+			continue
+		}
+		if out.Gauges == nil {
+			out.Gauges = make(map[string]jsonGauge, NumGauges)
+		}
+		out.Gauges[Gauge(i).String()] = jsonGauge{Value: s.Gauges[i], Peak: s.GaugePeaks[i]}
 	}
 	for i, h := range s.RPC {
 		if h.Count == 0 {
@@ -473,6 +592,12 @@ func (s Snapshot) Format() string {
 	var b strings.Builder
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-26s %12d\n", r.name, r.v)
+	}
+	for i := range s.Gauges {
+		if s.Gauges[i] == 0 && s.GaugePeaks[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  gauge{%-20s %12d   peak %d\n", Gauge(i).String()+"}", s.Gauges[i], s.GaugePeaks[i])
 	}
 	for i, h := range s.RPC {
 		if h.Count == 0 {

@@ -1,0 +1,602 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gom/internal/metrics"
+	"gom/internal/oid"
+	"gom/internal/page"
+	"gom/internal/storage"
+)
+
+// ErrClientClosed is returned by RPCs issued on (or in flight during) a
+// closed client.
+var ErrClientClosed = errors.New("server: client closed")
+
+// DialOptions tunes the TCP client.
+type DialOptions struct {
+	// Timeout bounds every RPC: connection establishment, the write of
+	// the request, and the wait for its response. Zero means no bound.
+	// Timeouts surface as errors matching ErrRPCTimeout (and implementing
+	// net.Error with Timeout() == true).
+	Timeout time.Duration
+	// DialTimeout bounds connection establishment separately; when zero,
+	// Timeout applies.
+	DialTimeout time.Duration
+	// Lockstep forces the legacy one-request-at-a-time framing even
+	// against a pipelined server (useful for comparison and for tests;
+	// old clients behave exactly like this).
+	Lockstep bool
+	// Metrics, when non-nil, records client-side gauges (in-flight RPCs).
+	Metrics *metrics.Registry
+}
+
+// rpcResult carries a matched response to its waiting caller.
+type rpcResult struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+// Client is a TCP client for TCPServer.
+//
+// After Dial it negotiates the pipelined (v2) protocol: requests carry
+// IDs, a writer goroutine streams frames without waiting for responses,
+// and a reader goroutine matches responses (possibly out of order) back
+// to callers. Any number of goroutines may issue RPCs concurrently over
+// the one connection; their requests overlap in the network and on the
+// server instead of queueing behind each other.
+//
+// Against an old server — or with DialOptions.Lockstep — the client falls
+// back to the original lock-step framing: one request in flight, calls
+// serialized by a mutex. Every method works identically in both modes;
+// batch RPCs degrade to per-item calls when the server lacks them.
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+	obs     *metrics.Registry
+
+	pipelined bool
+	features  uint32
+
+	// Lock-step state; also used for the hello exchange before the
+	// connection upgrades.
+	mu sync.Mutex
+	r  *bufio.Reader
+	w  *bufio.Writer
+
+	// Pipelined state.
+	nextID   atomic.Uint64
+	pendMu   sync.Mutex
+	pending  map[uint64]chan rpcResult
+	sendCh   chan *[]byte
+	done     chan struct{} // closed when the reader exits
+	failOnce sync.Once
+	failErr  atomic.Pointer[error]
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// Dial connects to a page server with default options: pipelined when the
+// server supports it, no timeouts.
+func Dial(addr string) (*Client, error) {
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects to a page server.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	dt := opts.DialTimeout
+	if dt == 0 {
+		dt = opts.Timeout
+	}
+	var (
+		conn net.Conn
+		err  error
+	)
+	if dt > 0 {
+		conn, err = net.DialTimeout("tcp", addr, dt)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		conn:    conn,
+		timeout: opts.Timeout,
+		obs:     opts.Metrics,
+		r:       bufio.NewReaderSize(conn, page.Size+1024),
+		w:       bufio.NewWriterSize(conn, page.Size+1024),
+	}
+	if !opts.Lockstep {
+		if err := c.hello(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	if c.pipelined {
+		c.pending = make(map[uint64]chan rpcResult)
+		c.sendCh = make(chan *[]byte, pipelineWorkers)
+		c.done = make(chan struct{})
+		c.wg.Add(2)
+		go c.writeLoop()
+		go c.readLoop()
+	}
+	return c, nil
+}
+
+// Pipelined reports whether the connection negotiated the multiplexed
+// protocol (false means lock-step, by choice or server fallback).
+func (c *Client) Pipelined() bool { return c.pipelined }
+
+// hasBatch reports whether the server offers the batch opcodes.
+func (c *Client) hasBatch() bool { return c.pipelined && c.features&featureBatch != 0 }
+
+// hello negotiates the v2 protocol in lock-step framing. An old server
+// rejects the unknown opcode with an error status; that downgrade is not
+// an error — the client just stays in lock-step mode. Only transport
+// failures propagate.
+func (c *Client) hello() error {
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint32(req, protocolV2)
+	binary.LittleEndian.PutUint32(req[4:], featureBatch)
+	status, resp, err := c.callLockstepRaw(opHello, req)
+	if err != nil {
+		return err
+	}
+	if status != statusOK || len(resp) < 8 {
+		return nil // old server: stay lock-step
+	}
+	if binary.LittleEndian.Uint32(resp) < protocolV2 {
+		return nil
+	}
+	c.pipelined = true
+	c.features = binary.LittleEndian.Uint32(resp[4:])
+	return nil
+}
+
+// Close tears the connection down. In-flight RPCs fail with
+// ErrClientClosed (or the transport error that preceded it).
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	err := c.conn.Close()
+	if c.pipelined {
+		c.wg.Wait()
+	}
+	return err
+}
+
+// fail records the first transport error and tears the connection down so
+// both loops exit; pending callers are failed by the reader on its way
+// out.
+func (c *Client) fail(err error) {
+	c.failOnce.Do(func() {
+		c.failErr.Store(&err)
+		c.conn.Close()
+	})
+}
+
+// errOr returns the recorded transport error, or fallback.
+func (c *Client) errOr(fallback error) error {
+	if p := c.failErr.Load(); p != nil {
+		if c.closed.Load() {
+			return ErrClientClosed
+		}
+		return *p
+	}
+	if c.closed.Load() {
+		return ErrClientClosed
+	}
+	return fallback
+}
+
+// writeLoop streams request frames, draining whatever callers have queued
+// before each flush so concurrent requests coalesce into fewer packets.
+func (c *Client) writeLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case frame := <-c.sendCh:
+			if c.timeout > 0 {
+				c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+			}
+			if err := c.writeBatch(frame); err != nil {
+				c.fail(err)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// writeBatch writes one frame plus everything else already queued, then
+// flushes once.
+func (c *Client) writeBatch(frame *[]byte) error {
+	if _, err := c.w.Write(*frame); err != nil {
+		putBuf(frame)
+		return err
+	}
+	putBuf(frame)
+	for {
+		select {
+		case next := <-c.sendCh:
+			if _, err := c.w.Write(*next); err != nil {
+				putBuf(next)
+				return err
+			}
+			putBuf(next)
+		default:
+			return c.w.Flush()
+		}
+	}
+}
+
+// readLoop matches responses to pending callers by request ID; on exit it
+// fails everything still pending.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	for {
+		status, payload, err := readMsg(c.r)
+		if err != nil {
+			c.fail(err)
+			break
+		}
+		if len(payload) < 8 {
+			c.fail(errProtocol)
+			break
+		}
+		id := binary.LittleEndian.Uint64(payload)
+		c.pendMu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.pendMu.Unlock()
+		if ch != nil {
+			ch <- rpcResult{status: status, payload: payload[8:]}
+		}
+		// An unknown ID is a caller that timed out and went away; the
+		// response is simply dropped.
+	}
+	close(c.done)
+	err := c.errOr(ErrClientClosed)
+	c.pendMu.Lock()
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- rpcResult{err: err}
+	}
+	c.pendMu.Unlock()
+}
+
+// call issues one RPC and waits for its response.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	if !c.pipelined {
+		return c.callLockstep(op, payload)
+	}
+	select {
+	case <-c.done:
+		return nil, c.errOr(ErrClientClosed)
+	default:
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan rpcResult, 1)
+	c.pendMu.Lock()
+	c.pending[id] = ch
+	c.pendMu.Unlock()
+	c.obs.GaugeAdd(metrics.GaugeInFlightRPC, 1)
+	defer c.obs.GaugeAdd(metrics.GaugeInFlightRPC, -1)
+
+	unregister := func() {
+		c.pendMu.Lock()
+		delete(c.pending, id)
+		c.pendMu.Unlock()
+	}
+
+	frame := encodeFrame(op, id, payload)
+	select {
+	case c.sendCh <- frame:
+	case <-c.done:
+		putBuf(frame)
+		unregister()
+		return nil, c.errOr(ErrClientClosed)
+	}
+
+	var timeoutCh <-chan time.Time
+	if c.timeout > 0 {
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case res := <-ch:
+		return c.finish(res)
+	case <-timeoutCh:
+		unregister()
+		return nil, &rpcTimeoutError{op: op, timeout: c.timeout}
+	case <-c.done:
+		// The reader may have delivered the result just before exiting.
+		select {
+		case res := <-ch:
+			return c.finish(res)
+		default:
+		}
+		unregister()
+		return nil, c.errOr(ErrClientClosed)
+	}
+}
+
+func (c *Client) finish(res rpcResult) ([]byte, error) {
+	if res.err != nil {
+		return nil, res.err
+	}
+	if res.status != statusOK {
+		return nil, errors.New(string(res.payload))
+	}
+	return res.payload, nil
+}
+
+// callLockstepRaw runs one request/response exchange in the legacy
+// framing, returning the raw status so hello can distinguish a remote
+// rejection from a transport failure.
+func (c *Client) callLockstepRaw(op byte, payload []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeMsg(c.w, op, payload); err != nil {
+		return 0, nil, c.mapNetErr(op, err)
+	}
+	status, resp, err := readMsg(c.r)
+	if err != nil {
+		return 0, nil, c.mapNetErr(op, err)
+	}
+	return status, resp, nil
+}
+
+func (c *Client) callLockstep(op byte, payload []byte) ([]byte, error) {
+	status, resp, err := c.callLockstepRaw(op, payload)
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		return nil, errors.New(string(resp))
+	}
+	return resp, nil
+}
+
+// mapNetErr wraps connection-deadline expiry in the client's canonical
+// timeout error so callers match it with errors.Is(err, ErrRPCTimeout).
+func (c *Client) mapNetErr(op byte, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &rpcTimeoutError{op: op, timeout: c.timeout}
+	}
+	return err
+}
+
+// Lookup implements Server.
+func (c *Client) Lookup(id oid.OID) (storage.PAddr, error) {
+	req := make([]byte, 8)
+	putOID(req, id)
+	resp, err := c.call(opLookup, req)
+	if err != nil {
+		return storage.PAddr{}, err
+	}
+	if len(resp) != 10 {
+		return storage.PAddr{}, errProtocol
+	}
+	return getPAddr(resp), nil
+}
+
+// ReadPage implements Server.
+func (c *Client) ReadPage(pid page.PageID) ([]byte, error) {
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint64(req, uint64(pid))
+	resp, err := c.call(opReadPage, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) != page.Size {
+		return nil, errProtocol
+	}
+	return resp, nil
+}
+
+// WritePage implements Server.
+func (c *Client) WritePage(pid page.PageID, img []byte) error {
+	req := make([]byte, 8+len(img))
+	binary.LittleEndian.PutUint64(req, uint64(pid))
+	copy(req[8:], img)
+	_, err := c.call(opWritePage, req)
+	return err
+}
+
+// Allocate implements Server.
+func (c *Client) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
+	req := make([]byte, 2+len(rec))
+	binary.LittleEndian.PutUint16(req, seg)
+	copy(req[2:], rec)
+	resp, err := c.call(opAllocate, req)
+	if err != nil {
+		return 0, storage.PAddr{}, err
+	}
+	if len(resp) != 18 {
+		return 0, storage.PAddr{}, errProtocol
+	}
+	return getOID(resp), getPAddr(resp[8:]), nil
+}
+
+// AllocateNear implements Server.
+func (c *Client) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
+	req := make([]byte, 10+len(rec))
+	binary.LittleEndian.PutUint16(req, seg)
+	putOID(req[2:], neighbor)
+	copy(req[10:], rec)
+	resp, err := c.call(opAllocateNear, req)
+	if err != nil {
+		return 0, storage.PAddr{}, err
+	}
+	if len(resp) != 18 {
+		return 0, storage.PAddr{}, errProtocol
+	}
+	return getOID(resp), getPAddr(resp[8:]), nil
+}
+
+// UpdateObject implements Server.
+func (c *Client) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
+	req := make([]byte, 8+len(rec))
+	putOID(req, id)
+	copy(req[8:], rec)
+	resp, err := c.call(opUpdateObject, req)
+	if err != nil {
+		return storage.PAddr{}, err
+	}
+	if len(resp) != 10 {
+		return storage.PAddr{}, errProtocol
+	}
+	return getPAddr(resp), nil
+}
+
+// NumPages implements Server.
+func (c *Client) NumPages(seg uint16) (int, error) {
+	req := make([]byte, 2)
+	binary.LittleEndian.PutUint16(req, seg)
+	resp, err := c.call(opNumPages, req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errProtocol
+	}
+	return int(binary.LittleEndian.Uint64(resp)), nil
+}
+
+// LookupBatch implements BatchLookuper. Against a server without the
+// batch opcodes it degrades to per-OID Lookup calls (still pipelined when
+// the connection is). Unknown OIDs clear ok[i] rather than failing the
+// batch.
+func (c *Client) LookupBatch(ids []oid.OID) ([]storage.PAddr, []bool, error) {
+	addrs := make([]storage.PAddr, len(ids))
+	ok := make([]bool, len(ids))
+	if len(ids) == 0 {
+		return addrs, ok, nil
+	}
+	if !c.hasBatch() {
+		for i, id := range ids {
+			a, err := c.Lookup(id)
+			if err == nil {
+				addrs[i], ok[i] = a, true
+			} else if errors.Is(err, ErrRPCTimeout) || errors.Is(err, ErrClientClosed) {
+				return nil, nil, err
+			}
+		}
+		return addrs, ok, nil
+	}
+	for off := 0; off < len(ids); off += maxBatchLookup {
+		end := off + maxBatchLookup
+		if end > len(ids) {
+			end = len(ids)
+		}
+		chunk := ids[off:end]
+		req := make([]byte, 4+len(chunk)*8)
+		binary.LittleEndian.PutUint32(req, uint32(len(chunk)))
+		for i, id := range chunk {
+			putOID(req[4+i*8:], id)
+		}
+		resp, err := c.call(opLookupBatch, req)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(resp) != len(chunk)*11 {
+			return nil, nil, errProtocol
+		}
+		for i := range chunk {
+			e := resp[i*11:]
+			if e[0] == 1 {
+				addrs[off+i] = getPAddr(e[1:])
+				ok[off+i] = true
+			}
+		}
+	}
+	return addrs, ok, nil
+}
+
+// ReadPages implements PageRunReader. Against a server without the batch
+// opcodes it degrades to a single ReadPage (a one-page run). The run may
+// be truncated server-side at the end of the segment.
+func (c *Client) ReadPages(pid page.PageID, n int) ([][]byte, error) {
+	if n < 1 {
+		return nil, errProtocol
+	}
+	if n > maxReadRun {
+		n = maxReadRun
+	}
+	if !c.hasBatch() {
+		img, err := c.ReadPage(pid)
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{img}, nil
+	}
+	req := make([]byte, 12)
+	binary.LittleEndian.PutUint64(req, uint64(pid))
+	binary.LittleEndian.PutUint32(req[8:], uint32(n))
+	resp, err := c.call(opReadPages, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 4 {
+		return nil, errProtocol
+	}
+	m := int(binary.LittleEndian.Uint32(resp))
+	if m < 1 || len(resp) != 4+m*page.Size {
+		return nil, errProtocol
+	}
+	imgs := make([][]byte, m)
+	for i := range imgs {
+		imgs[i] = resp[4+i*page.Size : 4+(i+1)*page.Size : 4+(i+1)*page.Size]
+	}
+	return imgs, nil
+}
+
+// BeginTx starts a transaction on this connection (the server must have
+// been started with ServeTx). In pipelined mode the server orders the
+// boundary after the connection's outstanding data RPCs.
+func (c *Client) BeginTx() (TxID, error) {
+	resp, err := c.call(opTxBegin, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 8 {
+		return 0, errProtocol
+	}
+	return TxID(binary.LittleEndian.Uint64(resp)), nil
+}
+
+// CommitTx commits this connection's transaction.
+func (c *Client) CommitTx() error {
+	_, err := c.call(opTxCommit, nil)
+	return err
+}
+
+// AbortTx aborts this connection's transaction.
+func (c *Client) AbortTx() error {
+	_, err := c.call(opTxAbort, nil)
+	return err
+}
+
+var (
+	_ Server        = (*Client)(nil)
+	_ BatchLookuper = (*Client)(nil)
+	_ PageRunReader = (*Client)(nil)
+)

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation defeats the allocation-free fast paths AllocsPerRun checks.
+const raceEnabled = true

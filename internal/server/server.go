@@ -39,6 +39,26 @@ type Server interface {
 	NumPages(seg uint16) (int, error)
 }
 
+// BatchLookuper is an optional Server extension: resolve many OIDs in one
+// round trip (one opLookupBatch frame over TCP instead of N opLookup
+// round-trips). The i-th address is valid only where ok[i] is true;
+// unknown OIDs are reported per entry, not as a call error, so a batched
+// eager-swizzling resolution can proceed with the hits. Callers must
+// type-assert: plain Servers (and old remote servers that predate the
+// batch opcodes) do not provide it.
+type BatchLookuper interface {
+	LookupBatch(ids []oid.OID) (addrs []storage.PAddr, ok []bool, err error)
+}
+
+// PageRunReader is an optional Server extension: ship up to n contiguous
+// pages starting at pid in one round trip, truncated at the end of the
+// segment (at least one page is returned, or an error). The client
+// readahead path type-asserts for it to overlap network/disk with
+// swizzling on sequential scans.
+type PageRunReader interface {
+	ReadPages(pid page.PageID, n int) ([][]byte, error)
+}
+
 // Local serves pages directly from a storage manager in the same process.
 type Local struct {
 	mgr *storage.Manager
@@ -102,3 +122,23 @@ func (l *Local) NumPages(seg uint16) (int, error) {
 	defer l.obs.RPCSince(metrics.RPCNumPages, l.obs.Now())
 	return l.mgr.Disk().NumPages(seg)
 }
+
+// LookupBatch implements BatchLookuper.
+func (l *Local) LookupBatch(ids []oid.OID) ([]storage.PAddr, []bool, error) {
+	defer l.obs.RPCSince(metrics.RPCLookupBatch, l.obs.Now())
+	l.obs.Inc(metrics.CtrBatchLookup)
+	l.obs.AddN(metrics.CtrBatchLookupOIDs, int64(len(ids)))
+	addrs, ok := l.mgr.LookupBatch(ids)
+	return addrs, ok, nil
+}
+
+// ReadPages implements PageRunReader.
+func (l *Local) ReadPages(pid page.PageID, n int) ([][]byte, error) {
+	defer l.obs.RPCSince(metrics.RPCReadPages, l.obs.Now())
+	return l.mgr.Disk().ReadRun(pid, n)
+}
+
+var (
+	_ BatchLookuper = (*Local)(nil)
+	_ PageRunReader = (*Local)(nil)
+)

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gom/internal/metrics"
 	"gom/internal/oid"
@@ -24,6 +25,22 @@ import (
 //
 // Integers are little endian. A status of 0 is success; 1 carries an error
 // string as payload.
+//
+// Two framings share this envelope:
+//
+//   - Lock-step (v1, the original protocol): one request in flight per
+//     connection; the next frame on the wire is always the response to the
+//     previous request. Old clients speak only this.
+//   - Pipelined (v2): negotiated by an opHello exchange. Afterwards every
+//     request and response payload begins with a uint64 request ID; any
+//     number of requests may be in flight, the server processes them
+//     concurrently per connection, and responses are matched to callers by
+//     ID (they may arrive out of order).
+//
+// A v2 server answers opHello with its version and feature bits; a v1
+// server answers it with a protocol-error status, which a v2 client takes
+// as the signal to fall back to lock-step framing. Both directions of
+// mixed deployment therefore keep working.
 const (
 	opLookup = iota + 1
 	opReadPage
@@ -39,6 +56,11 @@ const (
 	opTxBegin
 	opTxCommit
 	opTxAbort
+	// Protocol-negotiation and batch extension (v2). Opcode numbers above
+	// are frozen: v1 servers must keep rejecting these as unknown.
+	opHello
+	opLookupBatch
+	opReadPages
 )
 
 const (
@@ -46,11 +68,72 @@ const (
 	statusErr = 1
 )
 
-// maxMessage bounds a message (a page plus small headers is the largest
-// legitimate payload).
-const maxMessage = page.Size + 1024
+// protocolV2 is the pipelined protocol version carried in opHello.
+const protocolV2 = 2
+
+// featureBatch advertises the batch opcodes (opLookupBatch, opReadPages).
+const featureBatch = 1 << 0
+
+const (
+	// maxReadRun bounds the pages shipped by one opReadPages response.
+	maxReadRun = 16
+	// maxBatchLookup bounds the OIDs resolved by one opLookupBatch.
+	maxBatchLookup = 1024
+	// pipelineWorkers bounds the concurrently processed requests of one
+	// pipelined connection.
+	pipelineWorkers = 32
+)
+
+// maxMessage bounds a message (a full read-run of pages plus headers is
+// the largest legitimate payload).
+const maxMessage = maxReadRun*page.Size + 4096
 
 var errProtocol = errors.New("server: protocol error")
+
+// ErrRPCTimeout matches (via errors.Is) every timeout the client
+// surfaces, whether from a connection deadline or from waiting on a
+// pipelined response. The concrete errors also implement net.Error with
+// Timeout() == true, so existing net-style checks see them too.
+var ErrRPCTimeout = errors.New("server: rpc timeout")
+
+// rpcTimeoutError is an RPC that exceeded the client's Timeout.
+type rpcTimeoutError struct {
+	op      byte
+	timeout time.Duration
+}
+
+func (e *rpcTimeoutError) Error() string {
+	return fmt.Sprintf("server: rpc timeout: opcode %d exceeded %v", e.op, e.timeout)
+}
+func (e *rpcTimeoutError) Timeout() bool   { return true }
+func (e *rpcTimeoutError) Temporary() bool { return true }
+func (e *rpcTimeoutError) Is(target error) bool {
+	return target == ErrRPCTimeout
+}
+
+var _ net.Error = (*rpcTimeoutError)(nil)
+
+// msgBufPool recycles message bodies and encoded frames in the server and
+// client hot loops, so steady-state serving does not allocate per frame.
+var msgBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBuf returns a pooled buffer of length n.
+func getBuf(n int) *[]byte {
+	bp := msgBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	} else {
+		*bp = (*bp)[:n]
+	}
+	return bp
+}
+
+// putBuf recycles a buffer obtained from getBuf.
+func putBuf(bp *[]byte) {
+	if bp != nil && cap(*bp) <= maxMessage {
+		msgBufPool.Put(bp)
+	}
+}
 
 func writeMsg(w *bufio.Writer, code byte, payload []byte) error {
 	var hdr [5]byte
@@ -79,6 +162,45 @@ func readMsg(r *bufio.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	return body[0], body[1:], nil
+}
+
+// readMsgPooled is readMsg into a pooled buffer: it returns the whole body
+// (code at index 0, payload after it); the caller must putBuf it once the
+// payload is no longer referenced.
+func readMsgPooled(r *bufio.Reader) (byte, *[]byte, error) {
+	// Peek+Discard instead of ReadFull into a local array: the array would
+	// escape through the io.Reader interface and cost one allocation per
+	// message.
+	hdr, err := r.Peek(4)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if _, err := r.Discard(4); err != nil {
+		return 0, nil, err
+	}
+	if n < 1 || n > maxMessage {
+		return 0, nil, fmt.Errorf("%w: message length %d", errProtocol, n)
+	}
+	body := getBuf(int(n))
+	if _, err := io.ReadFull(r, *body); err != nil {
+		putBuf(body)
+		return 0, nil, err
+	}
+	return (*body)[0], body, nil
+}
+
+// encodeFrame builds a complete pipelined frame — header, code, request
+// ID, payload — in a pooled buffer; the writer releases it after the
+// bytes are on the wire.
+func encodeFrame(code byte, id uint64, payload []byte) *[]byte {
+	bp := getBuf(4 + 1 + 8 + len(payload))
+	b := *bp
+	binary.LittleEndian.PutUint32(b, uint32(1+8+len(payload)))
+	b[4] = code
+	binary.LittleEndian.PutUint64(b[5:], id)
+	copy(b[13:], payload)
+	return bp
 }
 
 func putOID(b []byte, id oid.OID) { binary.LittleEndian.PutUint64(b, uint64(id)) }
@@ -173,6 +295,12 @@ func rpcOpOf(op byte) metrics.RPCOp {
 		return metrics.RPCTxCommit
 	case opTxAbort:
 		return metrics.RPCTxAbort
+	case opHello:
+		return metrics.RPCHello
+	case opLookupBatch:
+		return metrics.RPCLookupBatch
+	case opReadPages:
+		return metrics.RPCReadPages
 	}
 	return -1
 }
@@ -216,10 +344,28 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
-// connState carries the per-connection transactional state.
+// connState carries the per-connection transactional state. It is only
+// touched by the connection's reader goroutine (in pipelined mode, data
+// operations receive their backend at dispatch time).
 type connState struct {
 	tx   TxID
 	sess Server // the transaction session, or nil outside a transaction
+}
+
+// helloResponse validates a client hello payload and returns the server's
+// reply: the agreed version and feature bits.
+func helloResponse(payload []byte) ([]byte, error) {
+	if len(payload) != 8 {
+		return nil, errProtocol
+	}
+	ver := binary.LittleEndian.Uint32(payload)
+	if ver < protocolV2 {
+		return nil, fmt.Errorf("%w: client protocol version %d", errProtocol, ver)
+	}
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint32(out, protocolV2)
+	binary.LittleEndian.PutUint32(out[4:], featureBatch)
+	return out, nil
 }
 
 func (s *TCPServer) serveConn(conn net.Conn) {
@@ -237,9 +383,31 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReaderSize(conn, page.Size+1024)
 	w := bufio.NewWriterSize(conn, page.Size+1024)
+	// Lock-step phase: the original one-request-at-a-time protocol, which
+	// is also where a v2 client's opHello arrives.
 	for {
-		op, payload, err := readMsg(r)
+		op, body, err := readMsgPooled(r)
 		if err != nil {
+			return
+		}
+		payload := (*body)[1:]
+		if op == opHello {
+			obs := s.obs.Load()
+			start := obs.Now()
+			resp, herr := helloResponse(payload)
+			putBuf(body)
+			obs.RPCSince(metrics.RPCHello, start)
+			if herr != nil {
+				if werr := writeMsg(w, statusErr, []byte(herr.Error())); werr != nil {
+					return
+				}
+				continue
+			}
+			if werr := writeMsg(w, statusOK, resp); werr != nil {
+				return
+			}
+			// The connection switches to pipelined framing from here on.
+			s.servePipelined(conn, r, w, cs)
 			return
 		}
 		obs := s.obs.Load()
@@ -251,15 +419,141 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			obs.Inc(metrics.CtrRPCError)
 			obs.Trace(metrics.CtrRPCError, uint64(op), 0)
+			putBuf(body)
 			if werr := writeMsg(w, statusErr, []byte(err.Error())); werr != nil {
 				return
 			}
 			continue
 		}
-		if err := writeMsg(w, statusOK, resp); err != nil {
+		werr := writeMsg(w, statusOK, resp)
+		putBuf(body)
+		if werr != nil {
 			return
 		}
 	}
+}
+
+// servePipelined runs the v2 framing on an upgraded connection: the reader
+// dispatches each data request to its own goroutine (bounded by
+// pipelineWorkers), a writer goroutine streams responses back as they
+// complete, coalescing flushes, and transaction boundaries wait for the
+// connection's outstanding data operations so 2PL session routing stays
+// well defined.
+func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writer, cs *connState) {
+	respCh := make(chan *[]byte, pipelineWorkers*2)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		var werr error
+		for frame := range respCh {
+			if werr != nil {
+				putBuf(frame) // drain so dispatchers never block
+				continue
+			}
+			if _, werr = w.Write(*frame); werr != nil {
+				putBuf(frame)
+				conn.Close() // unblocks the reader
+				continue
+			}
+			putBuf(frame)
+			// Coalesce: drain whatever is already queued before flushing,
+			// so a burst of pipelined responses costs one flush.
+		coalesce:
+			for {
+				select {
+				case next, ok := <-respCh:
+					if !ok {
+						break coalesce
+					}
+					if _, werr = w.Write(*next); werr != nil {
+						putBuf(next)
+						conn.Close()
+						break coalesce
+					}
+					putBuf(next)
+				default:
+					break coalesce
+				}
+			}
+			if werr == nil {
+				if werr = w.Flush(); werr != nil {
+					conn.Close()
+				}
+			}
+		}
+	}()
+
+	respond := func(id uint64, resp []byte, err error) {
+		if err != nil {
+			obs := s.obs.Load()
+			obs.Inc(metrics.CtrRPCError)
+			respCh <- encodeFrame(statusErr, id, []byte(err.Error()))
+			return
+		}
+		respCh <- encodeFrame(statusOK, id, resp)
+	}
+
+	sem := make(chan struct{}, pipelineWorkers)
+	var dataWG sync.WaitGroup
+	for {
+		op, body, err := readMsgPooled(r)
+		if err != nil {
+			break
+		}
+		payload := (*body)[1:]
+		if len(payload) < 8 {
+			putBuf(body)
+			break // pipelined frames always carry a request ID
+		}
+		id := binary.LittleEndian.Uint64(payload)
+		req := payload[8:]
+		switch op {
+		case opHello:
+			resp, herr := helloResponse(req)
+			putBuf(body)
+			respond(id, resp, herr)
+		case opTxBegin, opTxCommit, opTxAbort:
+			// Transaction boundaries order after the connection's
+			// outstanding data operations: a pipelined commit must not
+			// overtake the writes it is meant to commit.
+			dataWG.Wait()
+			obs := s.obs.Load()
+			start := obs.Now()
+			resp, herr := s.handle(cs, op, req)
+			if rpc := rpcOpOf(op); rpc >= 0 {
+				obs.RPCSince(rpc, start)
+			}
+			putBuf(body)
+			respond(id, resp, herr)
+		default:
+			// The backend is resolved at dispatch time on the reader
+			// goroutine, so a request pipelined inside a transaction uses
+			// that transaction's session even while other requests run.
+			backend := s.backend(cs)
+			sem <- struct{}{}
+			dataWG.Add(1)
+			obs := s.obs.Load()
+			obs.GaugeAdd(metrics.GaugeInFlightRPC, 1)
+			go func(op byte, id uint64, body *[]byte, req []byte) {
+				defer func() {
+					obs.GaugeAdd(metrics.GaugeInFlightRPC, -1)
+					dataWG.Done()
+					<-sem
+				}()
+				start := obs.Now()
+				resp, herr := s.handleData(backend, op, req)
+				if rpc := rpcOpOf(op); rpc >= 0 {
+					obs.RPCSince(rpc, start)
+				}
+				putBuf(body)
+				respond(id, resp, herr)
+			}(op, id, body, req)
+		}
+	}
+	dataWG.Wait()
+	close(respCh)
+	writerWG.Wait()
 }
 
 // backend selects the data-plane server for the connection: its live
@@ -376,183 +670,62 @@ func (s *TCPServer) handleData(backend Server, op byte, payload []byte) ([]byte,
 		out := make([]byte, 8)
 		binary.LittleEndian.PutUint64(out, uint64(n))
 		return out, nil
+	case opLookupBatch:
+		if len(payload) < 4 {
+			return nil, errProtocol
+		}
+		n := binary.LittleEndian.Uint32(payload)
+		if n == 0 || n > maxBatchLookup || len(payload) != 4+int(n)*8 {
+			return nil, errProtocol
+		}
+		bl, ok := backend.(BatchLookuper)
+		if !ok {
+			return nil, fmt.Errorf("%w: batch lookup unsupported", errProtocol)
+		}
+		ids := make([]oid.OID, n)
+		for i := range ids {
+			ids[i] = getOID(payload[4+i*8:])
+		}
+		addrs, found, err := bl.LookupBatch(ids)
+		if err != nil {
+			return nil, err
+		}
+		obs := s.obs.Load()
+		obs.Inc(metrics.CtrBatchLookup)
+		obs.AddN(metrics.CtrBatchLookupOIDs, int64(n))
+		out := make([]byte, int(n)*11)
+		for i := range ids {
+			e := out[i*11:]
+			if found[i] {
+				e[0] = 1
+				putPAddr(e[1:], addrs[i])
+			}
+		}
+		return out, nil
+	case opReadPages:
+		if len(payload) != 12 {
+			return nil, errProtocol
+		}
+		pid := page.PageID(binary.LittleEndian.Uint64(payload))
+		n := binary.LittleEndian.Uint32(payload[8:])
+		if n == 0 || n > maxReadRun {
+			return nil, errProtocol
+		}
+		pr, ok := backend.(PageRunReader)
+		if !ok {
+			return nil, fmt.Errorf("%w: page runs unsupported", errProtocol)
+		}
+		imgs, err := pr.ReadPages(pid, int(n))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, 4+len(imgs)*page.Size)
+		binary.LittleEndian.PutUint32(out, uint32(len(imgs)))
+		for i, img := range imgs {
+			copy(out[4+i*page.Size:], img)
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("%w: opcode %d", errProtocol, op)
 	}
 }
-
-// Client is a TCP client implementing Server. Requests are serialized over
-// one connection; it is safe for concurrent use.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-}
-
-// Dial connects to a TCP page server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, page.Size+1024),
-		w:    bufio.NewWriterSize(conn, page.Size+1024),
-	}, nil
-}
-
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) call(op byte, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeMsg(c.w, op, payload); err != nil {
-		return nil, err
-	}
-	status, resp, err := readMsg(c.r)
-	if err != nil {
-		return nil, err
-	}
-	if status == statusErr {
-		return nil, errors.New(string(resp))
-	}
-	if status != statusOK {
-		return nil, fmt.Errorf("%w: status %d", errProtocol, status)
-	}
-	return resp, nil
-}
-
-// Lookup implements Server.
-func (c *Client) Lookup(id oid.OID) (storage.PAddr, error) {
-	req := make([]byte, 8)
-	putOID(req, id)
-	resp, err := c.call(opLookup, req)
-	if err != nil {
-		return storage.PAddr{}, err
-	}
-	if len(resp) != 10 {
-		return storage.PAddr{}, errProtocol
-	}
-	return getPAddr(resp), nil
-}
-
-// ReadPage implements Server.
-func (c *Client) ReadPage(pid page.PageID) ([]byte, error) {
-	req := make([]byte, 8)
-	binary.LittleEndian.PutUint64(req, uint64(pid))
-	resp, err := c.call(opReadPage, req)
-	if err != nil {
-		return nil, err
-	}
-	if len(resp) != page.Size {
-		return nil, errProtocol
-	}
-	return resp, nil
-}
-
-// WritePage implements Server.
-func (c *Client) WritePage(pid page.PageID, img []byte) error {
-	if len(img) != page.Size {
-		return fmt.Errorf("server: image is %d bytes", len(img))
-	}
-	req := make([]byte, 8+page.Size)
-	binary.LittleEndian.PutUint64(req, uint64(pid))
-	copy(req[8:], img)
-	_, err := c.call(opWritePage, req)
-	return err
-}
-
-// Allocate implements Server.
-func (c *Client) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
-	req := make([]byte, 2+len(rec))
-	binary.LittleEndian.PutUint16(req, seg)
-	copy(req[2:], rec)
-	resp, err := c.call(opAllocate, req)
-	if err != nil {
-		return oid.Nil, storage.PAddr{}, err
-	}
-	if len(resp) != 18 {
-		return oid.Nil, storage.PAddr{}, errProtocol
-	}
-	return getOID(resp), getPAddr(resp[8:]), nil
-}
-
-// AllocateNear implements Server.
-func (c *Client) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
-	req := make([]byte, 10+len(rec))
-	binary.LittleEndian.PutUint16(req, seg)
-	putOID(req[2:], neighbor)
-	copy(req[10:], rec)
-	resp, err := c.call(opAllocateNear, req)
-	if err != nil {
-		return oid.Nil, storage.PAddr{}, err
-	}
-	if len(resp) != 18 {
-		return oid.Nil, storage.PAddr{}, errProtocol
-	}
-	return getOID(resp), getPAddr(resp[8:]), nil
-}
-
-// UpdateObject implements Server.
-func (c *Client) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
-	req := make([]byte, 8+len(rec))
-	putOID(req, id)
-	copy(req[8:], rec)
-	resp, err := c.call(opUpdateObject, req)
-	if err != nil {
-		return storage.PAddr{}, err
-	}
-	if len(resp) != 10 {
-		return storage.PAddr{}, errProtocol
-	}
-	return getPAddr(resp), nil
-}
-
-// BeginTx starts a transaction on the connection (the server must have
-// been started with ServeTx). All subsequent operations on this client run
-// inside it until CommitTx or AbortTx.
-func (c *Client) BeginTx() (TxID, error) {
-	resp, err := c.call(opTxBegin, nil)
-	if err != nil {
-		return 0, err
-	}
-	if len(resp) != 8 {
-		return 0, errProtocol
-	}
-	return TxID(binary.LittleEndian.Uint64(resp)), nil
-}
-
-// CommitTx commits the connection's transaction.
-func (c *Client) CommitTx() error {
-	_, err := c.call(opTxCommit, nil)
-	return err
-}
-
-// AbortTx aborts the connection's transaction; the client-side object
-// manager must Discard its buffers afterwards.
-func (c *Client) AbortTx() error {
-	_, err := c.call(opTxAbort, nil)
-	return err
-}
-
-// NumPages implements Server.
-func (c *Client) NumPages(seg uint16) (int, error) {
-	req := make([]byte, 2)
-	binary.LittleEndian.PutUint16(req, seg)
-	resp, err := c.call(opNumPages, req)
-	if err != nil {
-		return 0, err
-	}
-	if len(resp) != 8 {
-		return 0, errProtocol
-	}
-	return int(binary.LittleEndian.Uint64(resp)), nil
-}
-
-var (
-	_ Server = (*Local)(nil)
-	_ Server = (*Client)(nil)
-)

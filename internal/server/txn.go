@@ -403,4 +403,43 @@ func (c *txSession) NumPages(seg uint16) (int, error) {
 	return c.srv.mgr.Disk().NumPages(seg)
 }
 
-var _ Server = (*txSession)(nil)
+// LookupBatch implements BatchLookuper (like Lookup, the POT is consulted
+// without page locks; each address is protected by its page's lock once
+// the page is read).
+func (c *txSession) LookupBatch(ids []oid.OID) ([]storage.PAddr, []bool, error) {
+	addrs, ok := c.srv.mgr.LookupBatch(ids)
+	return addrs, ok, nil
+}
+
+// ReadPages implements PageRunReader under shared locks: every page of the
+// run is S-locked before the images ship, so the run is as consistent as
+// the equivalent sequence of ReadPage calls.
+func (c *txSession) ReadPages(pid page.PageID, n int) ([][]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("server: read run of %d pages", n)
+	}
+	// Truncate the run to the segment before locking, so the lock set
+	// matches the pages actually shipped.
+	total, err := c.srv.mgr.Disk().NumPages(pid.Segment())
+	if err != nil {
+		return nil, err
+	}
+	if pid.No() >= uint64(total) {
+		return nil, fmt.Errorf("%w: %v", storage.ErrNoPage, pid)
+	}
+	if rest := uint64(total) - pid.No(); uint64(n) > rest {
+		n = int(rest)
+	}
+	for i := 0; i < n; i++ {
+		if err := c.srv.acquire(c.tx, page.NewPageID(pid.Segment(), pid.No()+uint64(i)), lockS); err != nil {
+			return nil, err
+		}
+	}
+	return c.srv.mgr.Disk().ReadRun(pid, n)
+}
+
+var (
+	_ Server        = (*txSession)(nil)
+	_ BatchLookuper = (*txSession)(nil)
+	_ PageRunReader = (*txSession)(nil)
+)

@@ -114,6 +114,39 @@ func (d *Disk) ReadPage(id page.PageID) ([]byte, error) {
 	return out, nil
 }
 
+// ReadRun returns copies of up to n contiguous pages starting at id,
+// truncated at the end of the segment, under a single lock acquisition —
+// the server-side half of a batched page fetch (one round trip ships a
+// clustered run, cf. the sequential page runs clustering produces).
+func (d *Disk) ReadRun(id page.PageID, n int) ([][]byte, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("storage: read run of %d pages", n)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	pages, ok := d.segs[id.Segment()]
+	if !ok {
+		return nil, fmt.Errorf("%w: segment %d", ErrNoSegment, id.Segment())
+	}
+	no := id.No()
+	if no >= uint64(len(pages)) {
+		return nil, fmt.Errorf("%w: %v", ErrNoPage, id)
+	}
+	if rest := uint64(len(pages)) - no; uint64(n) > rest {
+		n = int(rest)
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		img := make([]byte, page.Size)
+		copy(img, pages[no+uint64(i)])
+		out[i] = img
+	}
+	d.obs.AddN(metrics.CtrDiskPageRead, int64(n))
+	d.obs.Inc(metrics.CtrReadRun)
+	d.obs.AddN(metrics.CtrReadRunPages, int64(n))
+	return out, nil
+}
+
 // WritePage replaces the page image.
 func (d *Disk) WritePage(id page.PageID, img []byte) error {
 	if len(img) != page.Size {

@@ -18,22 +18,41 @@ import (
 // then achieved by giving each type its own segment) or pass a neighbor
 // object so the new object is co-located on the neighbor's page
 // (Part-to-Connection clustering).
+//
+// Locking is sharded so concurrent server connections actually run in
+// parallel: the POT shards its own buckets, the disk has its own lock, and
+// allocation/update/delete serialize per segment (placement mutates the
+// segment's fill page and the pages it probes, never pages of another
+// segment — except for a cross-segment clustering hint, which takes both
+// segment locks in segment order). A whole-manager operation (Save) takes
+// the quiesce lock exclusively; every data operation holds it shared.
 type Manager struct {
-	mu       sync.Mutex
-	disk     *Disk
-	pot      *POT
-	gen      *oid.Generator
-	fillPage map[uint16]page.PageID // per-segment current allocation target
+	quiesce sync.RWMutex
+
+	disk *Disk
+	pot  *POT
+	gen  *oid.Generator
+
+	// segMu guards the allocator table; each segment allocator then has
+	// its own lock.
+	segMu  sync.Mutex
+	allocs map[uint16]*segAlloc
+}
+
+// segAlloc is one segment's allocation state.
+type segAlloc struct {
+	mu   sync.Mutex
+	fill page.PageID // current allocation target, NilPage when none
 }
 
 // NewManager returns a manager allocating OIDs on the given volume over a
 // fresh disk.
 func NewManager(volume uint16) *Manager {
 	return &Manager{
-		disk:     NewDisk(),
-		pot:      NewPOT(),
-		gen:      oid.NewGenerator(volume),
-		fillPage: make(map[uint16]page.PageID),
+		disk:   NewDisk(),
+		pot:    NewPOT(),
+		gen:    oid.NewGenerator(volume),
+		allocs: make(map[uint16]*segAlloc),
 	}
 }
 
@@ -48,14 +67,50 @@ func (m *Manager) CreateSegment(seg uint16) error {
 	return m.disk.CreateSegment(seg)
 }
 
+// alloc returns the segment's allocator, creating it on first use.
+func (m *Manager) alloc(seg uint16) *segAlloc {
+	m.segMu.Lock()
+	defer m.segMu.Unlock()
+	sa := m.allocs[seg]
+	if sa == nil {
+		sa = &segAlloc{fill: page.NilPage}
+		m.allocs[seg] = sa
+	}
+	return sa
+}
+
+// lockSegs locks the allocators of one or two segments in ascending
+// segment order (deadlock-free) and returns the target segment's allocator
+// plus an unlock function.
+func (m *Manager) lockSegs(seg uint16, hintSeg uint16, hasHint bool) (*segAlloc, func()) {
+	sa := m.alloc(seg)
+	if !hasHint || hintSeg == seg {
+		sa.mu.Lock()
+		return sa, sa.mu.Unlock
+	}
+	other := m.alloc(hintSeg)
+	first, second := sa, other
+	if hintSeg < seg {
+		first, second = other, sa
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	return sa, func() {
+		second.mu.Unlock()
+		first.mu.Unlock()
+	}
+}
+
 // Allocate stores a new object in the segment and returns its OID and
 // physical address. The record is placed on the segment's current fill page
 // if it has room, otherwise on a fresh page.
 func (m *Manager) Allocate(seg uint16, rec []byte) (oid.OID, PAddr, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.quiesce.RLock()
+	defer m.quiesce.RUnlock()
+	sa, unlock := m.lockSegs(seg, 0, false)
+	defer unlock()
 	id := m.gen.Next()
-	addr, err := m.placeLocked(seg, page.NilPage, rec)
+	addr, err := m.place(sa, seg, page.NilPage, rec)
 	if err != nil {
 		return oid.Nil, PAddr{}, err
 	}
@@ -67,14 +122,16 @@ func (m *Manager) Allocate(seg uint16, rec []byte) (oid.OID, PAddr, error) {
 // page as the neighbor object (clustering hint). It falls back to normal
 // placement when the neighbor's page is full or the neighbor is unknown.
 func (m *Manager) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, PAddr, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.quiesce.RLock()
+	defer m.quiesce.RUnlock()
 	hint := page.NilPage
 	if naddr, ok := m.pot.Get(neighbor); ok {
 		hint = naddr.Page
 	}
+	sa, unlock := m.lockSegs(seg, hint.Segment(), hint != page.NilPage)
+	defer unlock()
 	id := m.gen.Next()
-	addr, err := m.placeLocked(seg, hint, rec)
+	addr, err := m.place(sa, seg, hint, rec)
 	if err != nil {
 		return oid.Nil, PAddr{}, err
 	}
@@ -82,15 +139,17 @@ func (m *Manager) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OI
 	return id, addr, nil
 }
 
-// placeLocked stores rec in the segment, honoring the page hint when given.
-func (m *Manager) placeLocked(seg uint16, hint page.PageID, rec []byte) (PAddr, error) {
+// place stores rec in the segment, honoring the page hint when given. The
+// caller holds the segment's allocation lock (and the hint segment's, if
+// different).
+func (m *Manager) place(sa *segAlloc, seg uint16, hint page.PageID, rec []byte) (PAddr, error) {
 	if hint != page.NilPage {
 		if addr, ok := m.tryInsert(hint, rec); ok {
 			return addr, nil
 		}
 	}
-	if fill, ok := m.fillPage[seg]; ok {
-		if addr, ok := m.tryInsert(fill, rec); ok {
+	if sa.fill != page.NilPage {
+		if addr, ok := m.tryInsert(sa.fill, rec); ok {
 			return addr, nil
 		}
 	}
@@ -98,7 +157,7 @@ func (m *Manager) placeLocked(seg uint16, hint page.PageID, rec []byte) (PAddr, 
 	if err != nil {
 		return PAddr{}, err
 	}
-	m.fillPage[seg] = pid
+	sa.fill = pid
 	addr, ok := m.tryInsert(pid, rec)
 	if !ok {
 		return PAddr{}, fmt.Errorf("storage: record of %d bytes does not fit a fresh page", len(rec))
@@ -128,11 +187,27 @@ func (m *Manager) tryInsert(pid page.PageID, rec []byte) (PAddr, bool) {
 
 // Lookup resolves an OID to its physical address.
 func (m *Manager) Lookup(id oid.OID) (PAddr, error) {
+	m.quiesce.RLock()
+	defer m.quiesce.RUnlock()
 	addr, ok := m.pot.Get(id)
 	if !ok {
 		return PAddr{}, fmt.Errorf("%w: %v", ErrNoObject, id)
 	}
 	return addr, nil
+}
+
+// LookupBatch resolves many OIDs in one call. The i-th result is valid
+// only where ok[i] is true; unknown OIDs are not an error (the caller —
+// typically a batched swizzling resolution — decides per entry).
+func (m *Manager) LookupBatch(ids []oid.OID) ([]PAddr, []bool) {
+	m.quiesce.RLock()
+	defer m.quiesce.RUnlock()
+	addrs := make([]PAddr, len(ids))
+	ok := make([]bool, len(ids))
+	for i, id := range ids {
+		addrs[i], ok[i] = m.pot.Get(id)
+	}
+	return addrs, ok
 }
 
 // Read returns a copy of an object's persistent record and its address.
@@ -161,12 +236,21 @@ func (m *Manager) Read(id oid.OID) ([]byte, PAddr, error) {
 // Update replaces an object's persistent record. If the new record no
 // longer fits its page, the object is relocated to another page of the same
 // segment and the POT is updated (this is what logical OIDs buy: the move is
-// invisible to references, paper §3.3).
+// invisible to references, paper §3.3). Relocation never crosses segments,
+// so the object's segment lock serializes all updates of its page.
 func (m *Manager) Update(id oid.OID, rec []byte) (PAddr, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.quiesce.RLock()
+	defer m.quiesce.RUnlock()
 	addr, ok := m.pot.Get(id)
 	if !ok {
+		return PAddr{}, fmt.Errorf("%w: %v", ErrNoObject, id)
+	}
+	sa, unlock := m.lockSegs(addr.Page.Segment(), 0, false)
+	defer unlock()
+	// Re-resolve under the segment lock: a concurrent update may have
+	// relocated the object (within the segment) between the lookup above
+	// and the lock acquisition.
+	if addr, ok = m.pot.Get(id); !ok {
 		return PAddr{}, fmt.Errorf("%w: %v", ErrNoObject, id)
 	}
 	img, err := m.disk.ReadPage(addr.Page)
@@ -190,7 +274,7 @@ func (m *Manager) Update(id oid.OID, rec []byte) (PAddr, error) {
 	if err := m.disk.WritePage(addr.Page, p.Image()); err != nil {
 		return PAddr{}, err
 	}
-	naddr, err := m.placeLocked(addr.Page.Segment(), page.NilPage, rec)
+	naddr, err := m.place(sa, addr.Page.Segment(), page.NilPage, rec)
 	if err != nil {
 		return PAddr{}, err
 	}
@@ -203,8 +287,8 @@ func (m *Manager) Update(id oid.OID, rec []byte) (PAddr, error) {
 // Format: the disk image (see Disk.Save), then "GOMMGR01", the generator
 // volume and next serial, the POT entry count, and the entries.
 func (m *Manager) Save(w io.Writer) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.quiesce.Lock()
+	defer m.quiesce.Unlock()
 	if err := m.disk.Save(w); err != nil {
 		return err
 	}
@@ -266,10 +350,10 @@ func LoadManager(r io.Reader) (*Manager, error) {
 		return nil, err
 	}
 	m := &Manager{
-		disk:     disk,
-		pot:      NewPOT(),
-		gen:      oid.NewGeneratorAt(volume, nextSerial),
-		fillPage: make(map[uint16]page.PageID),
+		disk:   disk,
+		pot:    NewPOT(),
+		gen:    oid.NewGeneratorAt(volume, nextSerial),
+		allocs: make(map[uint16]*segAlloc),
 	}
 	for i := uint64(0); i < n; i++ {
 		var id, pid uint64
@@ -290,10 +374,15 @@ func LoadManager(r io.Reader) (*Manager, error) {
 
 // Delete removes an object from its page and from the POT.
 func (m *Manager) Delete(id oid.OID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.quiesce.RLock()
+	defer m.quiesce.RUnlock()
 	addr, ok := m.pot.Get(id)
 	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoObject, id)
+	}
+	_, unlock := m.lockSegs(addr.Page.Segment(), 0, false)
+	defer unlock()
+	if addr, ok = m.pot.Get(id); !ok {
 		return fmt.Errorf("%w: %v", ErrNoObject, id)
 	}
 	img, err := m.disk.ReadPage(addr.Page)

@@ -21,8 +21,19 @@ type PAddr struct {
 // table. The mapping semantics reproduced here are those of classic linear
 // hashing: a split pointer, doubling rounds, and overflow chains).
 //
+// The table is partitioned into potShards independently locked shards
+// (selected by the top bits of the hash, so shard choice never collides
+// with the in-shard bucket index, which uses the low bits). Lookups from
+// concurrent server connections only contend when they land on the same
+// shard; each shard is its own little linear hash table with its own split
+// pointer and rounds.
+//
 // POT is safe for concurrent use.
 type POT struct {
+	shards [potShards]potShard
+}
+
+type potShard struct {
 	mu      sync.RWMutex
 	buckets []potBucket
 	split   int // next bucket to split in this round
@@ -31,6 +42,8 @@ type POT struct {
 }
 
 const (
+	potShards         = 16
+	potShardBits      = 4 // log2(potShards)
 	potInitialBuckets = 8
 	potBucketCap      = 16
 	// potMaxLoad is the load factor that triggers a split.
@@ -49,7 +62,11 @@ type potBucket struct {
 
 // NewPOT returns an empty persistent object table.
 func NewPOT() *POT {
-	return &POT{buckets: make([]potBucket, potInitialBuckets)}
+	t := &POT{}
+	for i := range t.shards {
+		t.shards[i].buckets = make([]potBucket, potInitialBuckets)
+	}
+	return t
 }
 
 // potHash mixes the OID so that sequentially allocated serials spread over
@@ -58,13 +75,18 @@ func potHash(id oid.OID) uint64 {
 	return uint64(id) * 0x9E3779B97F4A7C15
 }
 
-// bucketFor returns the bucket index for a key under the current level and
-// split pointer.
-func (t *POT) bucketFor(id oid.OID) int {
+// shardFor selects the shard by the hash's top bits.
+func (t *POT) shardFor(id oid.OID) *potShard {
+	return &t.shards[potHash(id)>>(64-potShardBits)]
+}
+
+// bucketFor returns the bucket index for a key under the shard's current
+// level and split pointer.
+func (s *potShard) bucketFor(id oid.OID) int {
 	h := potHash(id)
-	mask := uint64(potInitialBuckets)<<t.level - 1
+	mask := uint64(potInitialBuckets)<<s.level - 1
 	b := int(h & mask)
-	if b < t.split {
+	if b < s.split {
 		b = int(h & (mask<<1 | 1))
 	}
 	return b
@@ -72,16 +94,22 @@ func (t *POT) bucketFor(id oid.OID) int {
 
 // Len returns the number of entries.
 func (t *POT) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.n
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += s.n
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // Get returns the physical address of an OID.
 func (t *POT) Get(id oid.OID) (PAddr, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for b := &t.buckets[t.bucketFor(id)]; b != nil; b = b.overflow {
+	s := t.shardFor(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for b := &s.buckets[s.bucketFor(id)]; b != nil; b = b.overflow {
 		for i := range b.entries {
 			if b.entries[i].key == id {
 				return b.entries[i].val, true
@@ -93,9 +121,10 @@ func (t *POT) Get(id oid.OID) (PAddr, bool) {
 
 // Put inserts or replaces the mapping for an OID.
 func (t *POT) Put(id oid.OID, addr PAddr) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	b := &t.buckets[t.bucketFor(id)]
+	s := t.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := &s.buckets[s.bucketFor(id)]
 	for cur := b; cur != nil; cur = cur.overflow {
 		for i := range cur.entries {
 			if cur.entries[i].key == id {
@@ -104,13 +133,13 @@ func (t *POT) Put(id oid.OID, addr PAddr) {
 			}
 		}
 	}
-	t.insertInto(b, potEntry{id, addr})
-	t.n++
-	t.maybeSplit()
+	s.insertInto(b, potEntry{id, addr})
+	s.n++
+	s.maybeSplit()
 }
 
 // insertInto appends an entry to the first chain bucket with room.
-func (t *POT) insertInto(b *potBucket, e potEntry) {
+func (s *potShard) insertInto(b *potBucket, e potEntry) {
 	for {
 		if len(b.entries) < potBucketCap {
 			b.entries = append(b.entries, e)
@@ -125,15 +154,16 @@ func (t *POT) insertInto(b *potBucket, e potEntry) {
 
 // Delete removes the mapping for an OID; it reports whether it existed.
 func (t *POT) Delete(id oid.OID) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for b := &t.buckets[t.bucketFor(id)]; b != nil; b = b.overflow {
+	s := t.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for b := &s.buckets[s.bucketFor(id)]; b != nil; b = b.overflow {
 		for i := range b.entries {
 			if b.entries[i].key == id {
 				last := len(b.entries) - 1
 				b.entries[i] = b.entries[last]
 				b.entries = b.entries[:last]
-				t.n--
+				s.n--
 				return true
 			}
 		}
@@ -144,19 +174,19 @@ func (t *POT) Delete(id oid.OID) bool {
 // maybeSplit splits the bucket under the split pointer when the load factor
 // exceeds potMaxLoad, advancing the pointer and, at the end of a round,
 // doubling the level.
-func (t *POT) maybeSplit() {
-	if float64(t.n)/float64(len(t.buckets)*potBucketCap) <= potMaxLoad {
+func (s *potShard) maybeSplit() {
+	if float64(s.n)/float64(len(s.buckets)*potBucketCap) <= potMaxLoad {
 		return
 	}
-	level := t.level
-	old := t.buckets[t.split]
-	t.buckets[t.split] = potBucket{}
-	t.buckets = append(t.buckets, potBucket{})
+	level := s.level
+	old := s.buckets[s.split]
+	s.buckets[s.split] = potBucket{}
+	s.buckets = append(s.buckets, potBucket{})
 
-	t.split++
-	if t.split == potInitialBuckets<<level {
-		t.split = 0
-		t.level++
+	s.split++
+	if s.split == potInitialBuckets<<level {
+		s.split = 0
+		s.level++
 	}
 
 	// Rehash the old chain with one more address bit: every key lands
@@ -164,30 +194,46 @@ func (t *POT) maybeSplit() {
 	mask := uint64(potInitialBuckets)<<(level+1) - 1
 	for b := &old; b != nil; b = b.overflow {
 		for _, e := range b.entries {
-			t.insertInto(&t.buckets[potHash(e.key)&mask], e)
+			s.insertInto(&s.buckets[potHash(e.key)&mask], e)
 		}
 	}
 }
 
-// Range calls fn for every entry until fn returns false. The table is
-// locked for reading during the iteration.
+// Range calls fn for every entry until fn returns false. Each shard is
+// locked for reading while it is iterated; the iteration sees a consistent
+// view of each shard, not of the whole table.
 func (t *POT) Range(fn func(oid.OID, PAddr) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for i := range t.buckets {
-		for b := &t.buckets[i]; b != nil; b = b.overflow {
+	for i := range t.shards {
+		if !t.shards[i].rangeShard(fn) {
+			return
+		}
+	}
+}
+
+func (s *potShard) rangeShard(fn func(oid.OID, PAddr) bool) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.buckets {
+		for b := &s.buckets[i]; b != nil; b = b.overflow {
 			for _, e := range b.entries {
 				if !fn(e.key, e.val) {
-					return
+					return false
 				}
 			}
 		}
 	}
+	return true
 }
 
-// Buckets returns the number of primary buckets (for tests and stats).
+// Buckets returns the number of primary buckets over all shards (for tests
+// and stats).
 func (t *POT) Buckets() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.buckets)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.buckets)
+		s.mu.RUnlock()
+	}
+	return n
 }

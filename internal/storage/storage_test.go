@@ -294,7 +294,7 @@ func TestManagerAllocateNearClusters(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		m.Allocate(0, make([]byte, 1200))
 	}
-	if fill := m.fillPage[0]; fill == aaddr.Page {
+	if fill := m.alloc(0).fill; fill == aaddr.Page {
 		t.Fatal("test setup: fill page still the anchor's page")
 	}
 	_, naddr, err := m.AllocateNear(0, anchor, make([]byte, 32))
