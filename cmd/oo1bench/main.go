@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,6 +28,8 @@ import (
 type jsonReport struct {
 	Quick       bool             `json:"quick"`
 	Seed        int64            `json:"seed"`
+	Workers     int              `json:"workers"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
 	GeneratedAt string           `json:"generated_at"`
 	Experiments []jsonExperiment `json:"experiments"`
 }
@@ -46,6 +49,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		quick    = flag.Bool("quick", false, "run with shrunken object bases")
 		seed     = flag.Int64("seed", 42, "generator and workload seed")
+		workers  = flag.Int("workers", 0, "goroutine count for the workers experiment (0 = sweep 1..16)")
 		jsonPath = flag.String("json", "", "also write results as JSON to this file")
 	)
 	flag.Parse()
@@ -71,10 +75,12 @@ func main() {
 		}
 	}
 
-	opts := bench.Opts{Quick: *quick, Seed: *seed}
+	opts := bench.Opts{Quick: *quick, Seed: *seed, Workers: *workers}
 	report := jsonReport{
 		Quick:       *quick,
 		Seed:        *seed,
+		Workers:     *workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, e := range todo {

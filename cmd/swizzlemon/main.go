@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"gom/internal/core"
 	"gom/internal/costmodel"
@@ -143,13 +144,11 @@ func run(workload string, parts, depth, repeat, ops, pages int, seed int64, stat
 	fmt.Printf("recommendation: %v granularity\n", rec.Granularity)
 	spec := monitor.ReconsiderEDS(model, rec, graph, trace, res, pages, fanIn)
 	fmt.Printf("specification after greedy EDS pass: %v\n", spec)
-	if len(spec.Types) > 0 {
-		for tname, st := range spec.Types {
-			fmt.Printf("  type %-24s -> %v\n", tname, st)
-		}
+	for _, tname := range sortedKeys(spec.Types) {
+		fmt.Printf("  type %-24s -> %v\n", tname, spec.Types[tname])
 	}
-	for ctx, st := range spec.Contexts {
-		fmt.Printf("  context %-21s -> %v\n", ctx, st)
+	for _, ctx := range sortedKeys(spec.Contexts) {
+		fmt.Printf("  context %-21s -> %v\n", ctx, spec.Contexts[ctx])
 	}
 
 	// Validation: re-run the identical workload under the recommendation,
@@ -211,13 +210,24 @@ func runStatic(db *oo1.DB, workload string, depth, repeat, ops, pages int, seed 
 	fmt.Printf("modeled costs (µs): application %.0f · type %.0f · context %.0f\n",
 		rec.CostApplication, rec.CostType, rec.CostContext)
 	fmt.Printf("recommendation: %v granularity, %v\n", rec.Granularity, rec.Spec)
-	for ctx, st := range rec.Spec.Contexts {
-		fmt.Printf("  context %-24s -> %v\n", ctx, st)
+	for _, ctx := range sortedKeys(rec.Spec.Contexts) {
+		fmt.Printf("  context %-24s -> %v\n", ctx, rec.Spec.Contexts[ctx])
 	}
-	for tname, st := range rec.Spec.Types {
-		fmt.Printf("  type    %-24s -> %v\n", tname, st)
+	for _, tname := range sortedKeys(rec.Spec.Types) {
+		fmt.Printf("  type    %-24s -> %v\n", tname, rec.Spec.Types[tname])
 	}
 	_ = pages
 	_ = seed
 	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order, so reports are
+// stable run to run.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -22,6 +22,9 @@ type Opts struct {
 	Quick bool
 	// Seed drives generators and operation streams.
 	Seed int64
+	// Workers, when positive, restricts the worker-scaling experiment to
+	// that single goroutine count (the default sweeps 1..16).
+	Workers int
 }
 
 // Result is a regenerated table or figure.

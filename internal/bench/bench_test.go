@@ -51,6 +51,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig19", "fig20", "table9", "storage",
 		"ablation-discovery", "ablation-snowball", "ablation-rrl-blocks",
 		"ablation-desc-reclaim", "ablation-pagewise-rrl", "ablation-swizzle-table",
+		"workers",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -392,5 +393,31 @@ func TestAblations(t *testing.T) {
 	}
 	if occ, cap := num(t, res.Rows[1][3]), 16.0; occ > cap {
 		t.Errorf("table occupancy %f over capacity %f", occ, cap)
+	}
+}
+
+func TestWorkersShape(t *testing.T) {
+	e, ok := Find("workers")
+	if !ok {
+		t.Fatal("workers experiment not registered")
+	}
+	res, err := e.Run(Opts{Quick: true, Seed: 42, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Workers=2 should pin one row, got %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[0] != "2" {
+		t.Errorf("workers column = %q, want 2", row[0])
+	}
+	// Quick mode: depth 3 → (3^4−1)/2 = 40 visits per traversal, 40
+	// traversals per worker, 2 workers.
+	if visits := num(t, row[2]); visits != 2*40*40 {
+		t.Errorf("visits = %f, want %d", visits, 2*40*40)
+	}
+	if agg := num(t, row[4]); agg <= 0 {
+		t.Errorf("aggregate throughput %f not positive", agg)
 	}
 }

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gom/internal/core"
+	"gom/internal/oo1"
+	"gom/internal/swizzle"
+)
+
+// Worker scaling: hot OO1 traversals executed by N goroutines sharing one
+// Concurrent object manager. Unlike the paper's experiments this measures
+// wall clock, not the simulated meter — the point is the concurrency of
+// the object manager itself (sharded ROT, striped buffer pool, lock-free
+// swizzled dereferences), which the single-client cost model cannot see.
+
+func init() {
+	register("workers", "Hot traversal throughput vs. worker goroutines", runWorkers)
+}
+
+func runWorkers(o Opts) (*Result, error) {
+	cfg := stdConfig(o, 20000, 1000)
+	db, err := cachedDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	depth, trav := 7, 32
+	if o.Quick {
+		depth, trav = 3, 40
+	}
+	counts := []int{1, 2, 4, 8, 16}
+	if o.Workers > 0 {
+		counts = []int{o.Workers}
+	}
+
+	res := &Result{
+		ID:     "workers",
+		Title:  "Hot traversal throughput vs. worker goroutines",
+		Header: []string{"workers", "traversals", "visits", "elapsed ms", "agg trav/s", "per-worker trav/s", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("EDS, hot protocol, depth %d, %d traversals per worker; wall clock, GOMAXPROCS=%d",
+				depth, trav, runtime.GOMAXPROCS(0)),
+			"speedup is aggregate throughput relative to the 1-worker row",
+		},
+	}
+
+	var base float64
+	for _, n := range counts {
+		agg, visits, elapsed, err := hotParallelTraversals(db, o.Seed, n, depth, trav)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = agg
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", n*trav),
+			fmt.Sprintf("%d", visits),
+			fmt.Sprintf("%d", elapsed.Milliseconds()),
+			cell(agg),
+			cell(agg / float64(n)),
+			fmt.Sprintf("%.2fx", agg/base),
+		})
+	}
+	return res, nil
+}
+
+// hotParallelTraversals runs the hot protocol with n workers: every
+// worker's operation stream is executed once single-threaded to swizzle
+// and buffer its working set, then the identical streams are re-run in
+// parallel under the wall clock. It returns the aggregate traversal
+// throughput, the total part visits of the measured phase, and the
+// measured elapsed time.
+func hotParallelTraversals(db *oo1.DB, seed int64, n, depth, trav int) (aggTravPerSec float64, visits int64, elapsed time.Duration, err error) {
+	c, err := oo1.NewClient(db, core.Options{Concurrent: true}, seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c.Begin(specFor(swizzle.EDS))
+	forks := make([]*oo1.Client, n)
+	for i := range forks {
+		forks[i] = c.Fork(seed + int64(i)*101)
+	}
+	for _, f := range forks {
+		for r := 0; r < trav; r++ {
+			if _, err := f.Traversal(depth); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+	}
+	for i, f := range forks {
+		f.Reseed(seed + int64(i)*101)
+	}
+	// Settle the heap grown by generation and warm-up so the first row is
+	// not the one paying for the collector.
+	runtime.GC()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	perWorker := make([]int64, n)
+	start := time.Now()
+	for i, f := range forks {
+		wg.Add(1)
+		go func(i int, f *oo1.Client) {
+			defer wg.Done()
+			for r := 0; r < trav; r++ {
+				v, err := f.Traversal(depth)
+				if err != nil {
+					errs <- err
+					return
+				}
+				perWorker[i] += int64(v)
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	close(errs)
+	for err := range errs {
+		return 0, 0, 0, err
+	}
+	for _, v := range perWorker {
+		visits += v
+	}
+	if err := c.OM.Commit(); err != nil {
+		return 0, 0, 0, err
+	}
+	return float64(n*trav) / elapsed.Seconds(), visits, elapsed, nil
+}

@@ -1,17 +1,32 @@
 // Package buffer implements the client-side page buffer pool (paper §2,
 // Fig. 1, CLIENT 1). Pages are faulted from the server on demand, held in a
-// bounded set of frames, replaced LRU, and written back when dirty.
+// bounded set of frames, replaced by a CLOCK (second-chance) sweep, and
+// written back when dirty.
 //
 // The pool itself knows nothing about swizzling: before a victim frame is
 // dropped, an eviction hook fires so the object manager can write modified
 // objects back into the page image and unswizzle or invalidate references
 // into the page (the "precautions" of §3.2.2).
+//
+// Concurrency: the pool is safe for concurrent use by many goroutines.
+// Presence lookups go through 64 frame shards (per-shard RWMutex), pin
+// counts and dirty/reference bits are atomic, and replacement is a CLOCK
+// ring under its own mutex — Get on a buffered page never takes a global
+// lock. Concurrent faults of the same page are coalesced: one goroutine
+// becomes the fault leader and issues the ReadPage RPC, the rest wait on
+// the in-flight call and retry the (now hitting) lookup. Evictions are
+// serialized by an eviction mutex so the hook — which reaches back into the
+// object manager — never runs twice for one frame. Page *content* is not
+// guarded here: the object layer owns image bytes and serializes its own
+// structural operations.
 package buffer
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gom/internal/metrics"
 	"gom/internal/page"
@@ -23,41 +38,102 @@ import (
 var (
 	ErrNoFrames = errors.New("buffer: all frames pinned")
 	ErrNotHeld  = errors.New("buffer: page not in pool")
+
+	errEvictPinned = errors.New("evicting pinned page")
 )
 
 // Frame is a buffered page.
 type Frame struct {
-	Page  *page.Page
-	pins  int
-	dirty bool
-	elem  *list.Element // position in the LRU list; front = most recent
+	Page *page.Page
+
+	pid   page.PageID
+	pins  atomic.Int32
+	dirty atomic.Bool
+	// ref is the CLOCK reference bit: set on every hit, cleared (second
+	// chance) by the sweep. Frames are installed with the bit clear, which
+	// reproduces LRU order for the no-rehit case.
+	ref atomic.Uint32
+	// prefetched marks a frame installed by readahead promotion that no
+	// demand access has claimed yet. The first Get clears it and accounts
+	// the access as a (cheap) page fault; the victim scan prefers such
+	// frames so prefetch can never starve demand faults.
+	prefetched atomic.Bool
+	// evicting and gone are guarded by the owning shard's mutex: while a
+	// frame is being evicted it stays visible to Peek (the eviction hook
+	// needs it) but Get waits on gone and retries.
+	evicting bool
+	gone     chan struct{}
+	// seq is the installation order (recency tiebreak); slot is the frame's
+	// position in the CLOCK ring. Both guarded by clockMu.
+	seq  uint64
+	slot int
 }
 
 // Dirty reports whether the frame has been marked dirty.
-func (f *Frame) Dirty() bool { return f.dirty }
+func (f *Frame) Dirty() bool { return f.dirty.Load() }
 
 // MarkDirty marks the frame to be written back on eviction or flush.
-func (f *Frame) MarkDirty() { f.dirty = true }
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 
 // Pinned reports whether the frame is pinned.
-func (f *Frame) Pinned() bool { return f.pins > 0 }
+func (f *Frame) Pinned() bool { return f.pins.Load() > 0 }
 
 // EvictFn is called with a victim frame before it is written back and
 // dropped. The hook may mutate the page image and mark the frame dirty.
 type EvictFn func(pid page.PageID, f *Frame)
 
-// Pool is an LRU page buffer pool. It is not safe for concurrent use: one
-// pool belongs to one client application (the paper's conflicting
-// applications run in isolated buffers, §4.1.1).
+// frameShards is the number of presence-map shards. Power of two.
+const frameShards = 64
+
+type frameShard struct {
+	mu sync.RWMutex
+	m  map[page.PageID]*Frame
+	_  [40]byte
+}
+
+// faultCall is one in-flight page fault; followers wait on done and then
+// either propagate err or retry their lookup.
+type faultCall struct {
+	done chan struct{}
+	err  error
+}
+
+// Pool is a page buffer pool, safe for concurrent use (see the package
+// comment for the locking design). One pool belongs to one client
+// application (the paper's conflicting applications run in isolated
+// buffers, §4.1.1).
 type Pool struct {
 	srv      server.Server
 	meter    *sim.Meter
 	obs      *metrics.Registry // nil unless observability is installed
 	capacity int
-	frames   map[page.PageID]*Frame
-	lru      *list.List // of page.PageID
 	onEvict  EvictFn
 	ra       *readahead // nil unless EnableReadahead succeeded
+
+	shards [frameShards]frameShard
+	count  atomic.Int64 // installed frames
+
+	// clockMu guards the replacement state: the ring of frames, the sweep
+	// hand, the free-slot list, and the installation sequence.
+	clockMu sync.Mutex
+	ring    []*Frame
+	hand    int
+	free    []int
+	nextSeq uint64
+
+	// resMu guards reserved: capacity claimed by in-flight faults and
+	// promotions whose frames are not installed yet, so concurrent faults
+	// cannot collectively overshoot the pool size.
+	resMu    sync.Mutex
+	reserved int
+
+	// evictMu serializes victim selection, the eviction hook, and
+	// write-back, so each frame's hook fires exactly once.
+	evictMu sync.Mutex
+
+	// faultMu guards the per-page singleflight table.
+	faultMu  sync.Mutex
+	inflight map[page.PageID]*faultCall
 }
 
 // New returns a pool of the given capacity (in frames) served by srv,
@@ -66,13 +142,20 @@ func New(srv server.Server, capacity int, meter *sim.Meter) *Pool {
 	if capacity < 1 {
 		panic(fmt.Sprintf("buffer: capacity %d", capacity))
 	}
-	return &Pool{
+	p := &Pool{
 		srv:      srv,
 		meter:    meter,
 		capacity: capacity,
-		frames:   make(map[page.PageID]*Frame, capacity),
-		lru:      list.New(),
+		inflight: make(map[page.PageID]*faultCall),
 	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[page.PageID]*Frame)
+	}
+	return p
+}
+
+func (p *Pool) shard(pid page.PageID) *frameShard {
+	return &p.shards[uint64(pid)&(frameShards-1)]
 }
 
 // OnEvict installs the eviction hook.
@@ -86,113 +169,319 @@ func (p *Pool) SetMetrics(r *metrics.Registry) { p.obs = r }
 func (p *Pool) Capacity() int { return p.capacity }
 
 // Len returns the number of buffered pages.
-func (p *Pool) Len() int { return len(p.frames) }
+func (p *Pool) Len() int { return int(p.count.Load()) }
 
-// Contains reports whether the page is buffered, without touching LRU
-// state.
-func (p *Pool) Contains(pid page.PageID) bool {
-	_, ok := p.frames[pid]
-	return ok
+// Contains reports whether the page is buffered, without touching
+// replacement state.
+func (p *Pool) Contains(pid page.PageID) bool { return p.Peek(pid) != nil }
+
+// Peek returns the frame without touching replacement state, or nil. A
+// frame mid-eviction is still returned: the eviction hook relies on that to
+// write displaced objects into the outgoing image.
+func (p *Pool) Peek(pid page.PageID) *Frame {
+	sh := p.shard(pid)
+	sh.mu.RLock()
+	f := sh.m[pid]
+	sh.mu.RUnlock()
+	return f
 }
 
-// Peek returns the frame without touching LRU state, or nil.
-func (p *Pool) Peek(pid page.PageID) *Frame { return p.frames[pid] }
-
 // Get returns the frame holding the page, faulting it from the server if
-// necessary. The frame is moved to the front of the LRU list.
+// necessary and setting the frame's reference bit.
 func (p *Pool) Get(pid page.PageID) (*Frame, error) {
-	if f, ok := p.frames[pid]; ok {
-		p.obs.Inc(metrics.CtrBufferHit)
-		p.lru.MoveToFront(f.elem)
+	for {
+		sh := p.shard(pid)
+		sh.mu.RLock()
+		f := sh.m[pid]
+		var gone chan struct{}
+		if f != nil && f.evicting {
+			gone = f.gone
+		}
+		sh.mu.RUnlock()
+		if f == nil {
+			f, err, retry := p.fault(pid)
+			if retry {
+				continue
+			}
+			return f, err
+		}
+		if gone != nil {
+			// The frame is on its way out; wait for the eviction to finish
+			// (or fail) and look again.
+			<-gone
+			continue
+		}
+		if f.prefetched.CompareAndSwap(true, false) {
+			// First demand access of a promoted prefetch: account it like a
+			// staged-readahead fault — the page I/O happened in the
+			// background, no synchronous round-trip.
+			p.obs.Inc(metrics.CtrBufferMiss)
+			p.obs.Inc(metrics.CtrReadaheadHit)
+			p.obs.Inc(metrics.CtrPageFault)
+			h := int(pid)
+			p.meter.SharedEvent(h, sim.CntPageFault, p.meter.Costs().PageIO)
+			p.meter.SharedAdd(h, sim.CntPageRead, 1)
+			if p.ra != nil {
+				p.noteMiss(pid)
+			}
+		} else {
+			p.obs.Inc(metrics.CtrBufferHit)
+		}
+		f.ref.Store(1)
 		return f, nil
 	}
+}
+
+// fault coalesces concurrent faults of one page: the first goroutine
+// becomes the leader and issues the read; followers wait and retry the
+// lookup (retry=true) or propagate the leader's error.
+func (p *Pool) fault(pid page.PageID) (f *Frame, err error, retry bool) {
+	p.faultMu.Lock()
+	if c, ok := p.inflight[pid]; ok {
+		p.faultMu.Unlock()
+		p.obs.Inc(metrics.CtrFaultCoalesced)
+		<-c.done
+		if c.err != nil {
+			return nil, c.err, false
+		}
+		return nil, nil, true
+	}
+	c := &faultCall{done: make(chan struct{})}
+	p.inflight[pid] = c
+	p.faultMu.Unlock()
+
+	f, err = p.faultLeader(pid)
+	c.err = err
+
+	p.faultMu.Lock()
+	delete(p.inflight, pid)
+	p.faultMu.Unlock()
+	close(c.done)
+	if err != nil {
+		return nil, err, false
+	}
+	if f == nil {
+		// A readahead promotion installed the page between our miss and our
+		// leadership; go claim it as a hit.
+		return nil, nil, true
+	}
+	return f, nil, false
+}
+
+// faultLeader performs the actual page fault: reserve a frame (evicting if
+// needed), read the image — from the readahead staging area when possible —
+// and install it.
+func (p *Pool) faultLeader(pid page.PageID) (*Frame, error) {
+	if p.Peek(pid) != nil {
+		return nil, nil // promoted while we acquired leadership
+	}
 	p.obs.Inc(metrics.CtrBufferMiss)
-	if err := p.makeRoom(); err != nil {
+	if err := p.reserve(); err != nil {
 		return nil, err
 	}
 	var img []byte
 	if p.ra != nil {
 		img = p.ra.take(pid, p.obs)
 	}
+	h := int(pid)
 	if img != nil {
 		// Prefetched by readahead: no synchronous round-trip; the page I/O
 		// happened in the background, overlapped with client work.
 		p.obs.Inc(metrics.CtrReadaheadHit)
 		p.obs.Inc(metrics.CtrPageFault)
-		p.meter.Event(sim.CntPageFault, p.meter.Costs().PageIO)
-		p.meter.Add(sim.CntPageRead, 1)
+		p.meter.SharedEvent(h, sim.CntPageFault, p.meter.Costs().PageIO)
+		p.meter.SharedAdd(h, sim.CntPageRead, 1)
 	} else {
 		var err error
 		img, err = p.srv.ReadPage(pid)
 		if err != nil {
+			p.unreserve()
 			return nil, err
 		}
 		p.obs.Inc(metrics.CtrPageFault)
-		p.meter.Event(sim.CntPageFault, p.meter.Costs().PageIO)
-		p.meter.Add(sim.CntPageRead, 1)
-		p.meter.Add(sim.CntServerRoundTrip, 1)
+		p.meter.SharedEvent(h, sim.CntPageFault, p.meter.Costs().PageIO)
+		p.meter.SharedAdd(h, sim.CntPageRead, 1)
+		p.meter.SharedAdd(h, sim.CntServerRoundTrip, 1)
 	}
 	pg, err := page.FromImage(img)
 	if err != nil {
+		p.unreserve()
 		return nil, err
 	}
-	f := &Frame{Page: pg}
-	f.elem = p.lru.PushFront(pid)
-	p.frames[pid] = f
+	f := p.install(pid, pg, false)
 	if p.ra != nil {
 		p.noteMiss(pid)
 	}
 	return f, nil
 }
 
-// makeRoom evicts LRU victims until a free frame exists.
-func (p *Pool) makeRoom() error {
-	for len(p.frames) >= p.capacity {
-		victim := p.victim()
-		if victim == page.NilPage {
-			return ErrNoFrames
-		}
-		if err := p.Evict(victim); err != nil {
+// reserve claims one frame of capacity, evicting victims until it fits.
+func (p *Pool) reserve() error {
+	p.resMu.Lock()
+	for int(p.count.Load())+p.reserved >= p.capacity {
+		p.resMu.Unlock()
+		if err := p.evictOne(); err != nil {
 			return err
 		}
+		p.resMu.Lock()
 	}
+	p.reserved++
+	p.resMu.Unlock()
 	return nil
 }
 
-// victim returns the least recently used unpinned page, or NilPage.
-func (p *Pool) victim() page.PageID {
-	for e := p.lru.Back(); e != nil; e = e.Prev() {
-		pid := e.Value.(page.PageID)
-		if !p.frames[pid].Pinned() {
-			return pid
+func (p *Pool) unreserve() {
+	p.resMu.Lock()
+	p.reserved--
+	p.resMu.Unlock()
+}
+
+// install publishes a new frame, consuming one reservation.
+func (p *Pool) install(pid page.PageID, pg *page.Page, prefetched bool) *Frame {
+	f := &Frame{Page: pg, pid: pid, gone: make(chan struct{})}
+	f.prefetched.Store(prefetched)
+	p.clockMu.Lock()
+	f.seq = p.nextSeq
+	p.nextSeq++
+	if n := len(p.free); n > 0 {
+		f.slot = p.free[n-1]
+		p.free = p.free[:n-1]
+		p.ring[f.slot] = f
+	} else {
+		f.slot = len(p.ring)
+		p.ring = append(p.ring, f)
+	}
+	p.clockMu.Unlock()
+	sh := p.shard(pid)
+	sh.mu.Lock()
+	sh.m[pid] = f
+	sh.mu.Unlock()
+	p.count.Add(1)
+	p.unreserve()
+	return f
+}
+
+// evictOne evicts one victim frame to make room, retrying if a victim gets
+// pinned between selection and eviction.
+func (p *Pool) evictOne() error {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	for {
+		// Someone may have freed capacity while we waited for evictMu.
+		p.resMu.Lock()
+		roomy := int(p.count.Load())+p.reserved < p.capacity
+		p.resMu.Unlock()
+		if roomy {
+			return nil
+		}
+		f := p.victim()
+		if f == nil {
+			return ErrNoFrames
+		}
+		err := p.evictFrame(f)
+		if errors.Is(err, errEvictPinned) {
+			continue
+		}
+		return err
+	}
+}
+
+// victim selects the next replacement victim. Unclaimed prefetched frames
+// go first (oldest first) — prefetch must never starve demand faults — then
+// a CLOCK second-chance sweep over the ring. Returns nil if every frame is
+// pinned. Caller holds evictMu.
+func (p *Pool) victim() *Frame {
+	p.clockMu.Lock()
+	defer p.clockMu.Unlock()
+	n := len(p.ring)
+	if n == 0 {
+		return nil
+	}
+	var pf *Frame
+	for _, f := range p.ring {
+		if f != nil && f.prefetched.Load() && f.pins.Load() == 0 &&
+			(pf == nil || f.seq < pf.seq) {
+			pf = f
 		}
 	}
-	return page.NilPage
+	if pf != nil {
+		return pf
+	}
+	for i := 0; i < 2*n; i++ {
+		f := p.ring[p.hand%n]
+		p.hand = (p.hand + 1) % n
+		if f == nil || f.pins.Load() > 0 {
+			continue
+		}
+		if f.ref.Swap(0) == 1 {
+			continue // second chance
+		}
+		return f
+	}
+	return nil
 }
 
 // Evict removes one page from the pool, firing the eviction hook and
 // writing the page back if dirty. Pinned pages cannot be evicted.
 func (p *Pool) Evict(pid page.PageID) error {
-	f, ok := p.frames[pid]
-	if !ok {
+	f := p.Peek(pid)
+	if f == nil {
 		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
 	}
-	if f.Pinned() {
-		return fmt.Errorf("buffer: evicting pinned page %v", pid)
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	return p.evictFrame(f)
+}
+
+// evictFrame evicts one frame: hook, write-back if dirty, removal. Caller
+// holds evictMu. A frame that is pinned (or already gone) when we get the
+// shard lock is reported via errEvictPinned / nil so callers can retry or
+// ignore.
+func (p *Pool) evictFrame(f *Frame) error {
+	sh := p.shard(f.pid)
+	sh.mu.Lock()
+	if sh.m[f.pid] != f {
+		sh.mu.Unlock()
+		return nil // already evicted
+	}
+	if f.pins.Load() > 0 {
+		sh.mu.Unlock()
+		return fmt.Errorf("buffer: %w %v", errEvictPinned, f.pid)
+	}
+	f.evicting = true
+	sh.mu.Unlock()
+
+	if f.prefetched.Load() {
+		// Promoted but never demanded: the prefetch was wasted.
+		p.obs.Inc(metrics.CtrReadaheadWasted)
 	}
 	if p.onEvict != nil {
-		p.onEvict(pid, f)
+		p.onEvict(f.pid, f)
 	}
-	if f.dirty {
-		if err := p.writeBack(pid, f); err != nil {
+	if f.dirty.Load() {
+		if err := p.writeBack(f.pid, f); err != nil {
+			// The frame stays in the pool; wake waiters so they re-find it.
+			sh.mu.Lock()
+			f.evicting = false
+			old := f.gone
+			f.gone = make(chan struct{})
+			sh.mu.Unlock()
+			close(old)
 			return err
 		}
 	}
-	p.lru.Remove(f.elem)
-	delete(p.frames, pid)
-	p.meter.Add(sim.CntPageEvict, 1)
+	p.clockMu.Lock()
+	p.ring[f.slot] = nil
+	p.free = append(p.free, f.slot)
+	p.clockMu.Unlock()
+	sh.mu.Lock()
+	delete(sh.m, f.pid)
+	sh.mu.Unlock()
+	p.count.Add(-1)
+	p.meter.SharedAdd(int(f.pid), sim.CntPageEvict, 1)
 	p.obs.Inc(metrics.CtrBufferEvict)
-	p.obs.Trace(metrics.CtrBufferEvict, uint64(pid), 0)
+	p.obs.Trace(metrics.CtrBufferEvict, uint64(f.pid), 0)
+	close(f.gone)
 	return nil
 }
 
@@ -204,52 +493,65 @@ func (p *Pool) writeBack(pid page.PageID, f *Frame) error {
 	if err := p.srv.WritePage(pid, f.Page.Image()); err != nil {
 		return err
 	}
-	f.dirty = false
-	p.meter.Event(sim.CntPageWrite, p.meter.Costs().PageIO)
-	p.meter.Add(sim.CntServerRoundTrip, 1)
+	f.dirty.Store(false)
+	h := int(pid)
+	p.meter.SharedEvent(h, sim.CntPageWrite, p.meter.Costs().PageIO)
+	p.meter.SharedAdd(h, sim.CntServerRoundTrip, 1)
 	return nil
 }
 
 // Pin pins a buffered page against eviction.
 func (p *Pool) Pin(pid page.PageID) error {
-	f, ok := p.frames[pid]
+	sh := p.shard(pid)
+	sh.mu.RLock()
+	f := sh.m[pid]
+	ok := f != nil && !f.evicting
+	if ok {
+		f.pins.Add(1)
+	}
+	sh.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
 	}
-	f.pins++
 	return nil
 }
 
 // Unpin releases one pin.
 func (p *Pool) Unpin(pid page.PageID) error {
-	f, ok := p.frames[pid]
-	if !ok {
+	f := p.Peek(pid)
+	if f == nil {
 		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
 	}
-	if f.pins == 0 {
-		return fmt.Errorf("buffer: unpin of unpinned page %v", pid)
+	for {
+		n := f.pins.Load()
+		if n == 0 {
+			return fmt.Errorf("buffer: unpin of unpinned page %v", pid)
+		}
+		if f.pins.CompareAndSwap(n, n-1) {
+			return nil
+		}
 	}
-	f.pins--
-	return nil
 }
 
 // MarkDirty marks a buffered page dirty.
 func (p *Pool) MarkDirty(pid page.PageID) error {
-	f, ok := p.frames[pid]
-	if !ok {
+	f := p.Peek(pid)
+	if f == nil {
 		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
 	}
-	f.dirty = true
+	f.dirty.Store(true)
 	return nil
 }
 
 // Flush writes one page back to the server if dirty, keeping it buffered.
 func (p *Pool) Flush(pid page.PageID) error {
-	f, ok := p.frames[pid]
-	if !ok {
+	f := p.Peek(pid)
+	if f == nil {
 		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
 	}
-	if !f.dirty {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	if !f.dirty.Load() {
 		return nil
 	}
 	return p.writeBack(pid, f)
@@ -260,11 +562,13 @@ func (p *Pool) Flush(pid page.PageID) error {
 // lost. Used after a server-side object relocation invalidated the
 // buffered copy.
 func (p *Pool) Refresh(pid page.PageID) error {
-	f, ok := p.frames[pid]
-	if !ok {
+	f := p.Peek(pid)
+	if f == nil {
 		return fmt.Errorf("%w: %v", ErrNotHeld, pid)
 	}
-	if f.dirty {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	if f.dirty.Load() {
 		if err := p.writeBack(pid, f); err != nil {
 			return err
 		}
@@ -282,19 +586,41 @@ func (p *Pool) Refresh(pid page.PageID) error {
 	if err != nil {
 		return err
 	}
+	sh := p.shard(pid)
+	sh.mu.Lock()
 	f.Page = pg
-	p.meter.Add(sim.CntPageRead, 1)
-	p.meter.Add(sim.CntServerRoundTrip, 1)
-	p.meter.Charge(p.meter.Costs().PageIO)
+	sh.mu.Unlock()
+	h := int(pid)
+	p.meter.SharedAdd(h, sim.CntPageRead, 1)
+	p.meter.SharedAdd(h, sim.CntServerRoundTrip, 1)
+	p.meter.SharedCharge(h, p.meter.Costs().PageIO)
 	return nil
 }
 
+// allFrames snapshots the installed frames, oldest first.
+func (p *Pool) allFrames() []*Frame {
+	out := make([]*Frame, 0, p.Len())
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.RLock()
+		for _, f := range sh.m {
+			out = append(out, f)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
 // FlushAll writes every dirty page back to the server, keeping all pages
-// buffered (commit leaves pages hot, §4.1.2).
+// buffered (commit leaves pages hot, §4.1.2). Pages are written in
+// installation order so the server-side write sequence is deterministic.
 func (p *Pool) FlushAll() error {
-	for pid, f := range p.frames {
-		if f.dirty {
-			if err := p.writeBack(pid, f); err != nil {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	for _, f := range p.allFrames() {
+		if f.dirty.Load() {
+			if err := p.writeBack(f.pid, f); err != nil {
 				return err
 			}
 		}
@@ -302,15 +628,18 @@ func (p *Pool) FlushAll() error {
 	return nil
 }
 
-// DropAll evicts every page (hook + write-back included). Used to cool the
-// buffer between benchmark runs. Fails if any page is pinned.
+// DropAll evicts every page (hook + write-back included), oldest first.
+// Used to cool the buffer between benchmark runs. Fails if any page is
+// pinned.
 func (p *Pool) DropAll() error {
-	for p.lru.Len() > 0 {
-		e := p.lru.Back()
-		if err := p.Evict(e.Value.(page.PageID)); err != nil {
+	p.evictMu.Lock()
+	for _, f := range p.allFrames() {
+		if err := p.evictFrame(f); err != nil {
+			p.evictMu.Unlock()
 			return err
 		}
 	}
+	p.evictMu.Unlock()
 	// Cooling the buffer must also cool the readahead staging area, or a
 	// "cold" run would consume pages prefetched by the previous one.
 	if p.ra != nil {
@@ -321,20 +650,40 @@ func (p *Pool) DropAll() error {
 
 // Discard drops every frame without firing hooks or writing anything back
 // — the client-side step of a transaction abort, whose buffered images
-// are invalid by definition.
+// are invalid by definition. Not safe to call concurrently with faults.
 func (p *Pool) Discard() {
-	p.frames = make(map[page.PageID]*Frame, p.capacity)
-	p.lru.Init()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[page.PageID]*Frame)
+		sh.mu.Unlock()
+	}
+	p.count.Store(0)
+	p.clockMu.Lock()
+	p.ring = nil
+	p.free = nil
+	p.hand = 0
+	p.clockMu.Unlock()
 	if p.ra != nil {
 		p.ra.discardAll(p.obs)
 	}
 }
 
-// Pages returns the ids of all buffered pages, most recently used first.
+// Pages returns the ids of all buffered pages, approximately most recently
+// used first: frames whose reference bit is set (touched since the last
+// sweep) before cold ones, newest installation first within each class.
 func (p *Pool) Pages() []page.PageID {
-	out := make([]page.PageID, 0, p.lru.Len())
-	for e := p.lru.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Value.(page.PageID))
+	fs := p.allFrames()
+	sort.SliceStable(fs, func(i, j int) bool {
+		ri, rj := fs[i].ref.Load(), fs[j].ref.Load()
+		if ri != rj {
+			return ri > rj
+		}
+		return fs[i].seq > fs[j].seq
+	})
+	out := make([]page.PageID, len(fs))
+	for i, f := range fs {
+		out[i] = f.pid
 	}
 	return out
 }

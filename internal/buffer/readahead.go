@@ -12,16 +12,20 @@ import (
 // prefetches the next window of the run asynchronously through the
 // server's PageRunReader capability, so a sequential scan overlaps the
 // network/disk latency of page N+1..N+w with the client's processing of
-// page N. Prefetched images are parked in a staging area (they do not
-// occupy pool frames and never displace objects); a later miss consumes
-// the staged image without a server round-trip.
+// page N.
 //
-// The pool itself stays single-threaded: only the fetch runs on a
-// goroutine, and it touches nothing but the staging area, which has its
-// own lock. Staged images are invalidated whenever the client writes a
-// newer version of the page back (write-back or refresh), including while
-// a fetch for that page is still in flight — the returning fetch then
-// discards its stale copy instead of staging it.
+// A fetched image is promoted straight into a free pool frame when spare
+// capacity exists (marked prefetched; the first demand Get claims it, and
+// the victim scan evicts unclaimed ones first so prefetch never starves
+// demand faults). When the pool is full, images are parked in a bounded
+// staging area instead — staged pages do not occupy frames and never
+// displace objects; a later miss consumes the staged image without a
+// server round-trip.
+//
+// Staged and promoted-but-unclaimed images are invalidated whenever the
+// client writes a newer version of the page back (write-back or refresh),
+// including while a fetch for that page is still in flight — the returning
+// fetch then discards its stale copy instead of staging it.
 
 // raStagedCap bounds the staging area, in multiples of the window.
 const raStagedCap = 4
@@ -38,6 +42,7 @@ type readahead struct {
 	barred map[page.PageID]struct{}
 	wg     sync.WaitGroup
 
+	// Sequential-run detector state, guarded by mu.
 	lastMiss page.PageID
 	haveLast bool
 }
@@ -117,26 +122,57 @@ func (ra *readahead) discardAll(obs *metrics.Registry) {
 	for pid := range ra.inflight {
 		ra.barred[pid] = struct{}{}
 	}
+	ra.haveLast = false
 	ra.mu.Unlock()
 	if n > 0 {
 		obs.AddN(metrics.CtrReadaheadWasted, int64(n))
 		obs.GaugeAdd(metrics.GaugeReadaheadStaged, -int64(n))
 	}
-	ra.haveLast = false
+}
+
+// tryPromote installs a prefetched image into a free pool frame, if spare
+// capacity exists (promotion never evicts) and no demand fault for the
+// page is in flight. Reports whether the image was installed.
+func (p *Pool) tryPromote(pid page.PageID, img []byte) bool {
+	p.resMu.Lock()
+	if int(p.count.Load())+p.reserved >= p.capacity {
+		p.resMu.Unlock()
+		return false
+	}
+	p.reserved++
+	p.resMu.Unlock()
+	pg, err := page.FromImage(img)
+	if err != nil {
+		p.unreserve()
+		return false
+	}
+	// Holding faultMu across the install means a demand-fault leader either
+	// sees our frame when it re-checks presence, or registers in inflight
+	// first and we back off — never a double install.
+	p.faultMu.Lock()
+	if _, faulting := p.inflight[pid]; faulting || p.Peek(pid) != nil {
+		p.faultMu.Unlock()
+		p.unreserve()
+		return false
+	}
+	p.install(pid, pg, true)
+	p.faultMu.Unlock()
+	return true
 }
 
 // noteMiss records a pool miss at pid and, when it extends a sequential
 // run, prefetches the next window of pages that are neither buffered nor
-// already staged or in flight. Runs on the client thread; only the fetch
-// itself is asynchronous.
+// already staged or in flight.
 func (p *Pool) noteMiss(pid page.PageID) {
 	ra := p.ra
+	ra.mu.Lock()
 	sequential := ra.haveLast &&
 		pid.Segment() == ra.lastMiss.Segment() &&
 		pid.No() == ra.lastMiss.No()+1
 	ra.lastMiss = pid
 	ra.haveLast = true
 	if !sequential {
+		ra.mu.Unlock()
 		return
 	}
 	seg, no := pid.Segment(), pid.No()
@@ -145,7 +181,6 @@ func (p *Pool) noteMiss(pid page.PageID) {
 		_, fetching := ra.inflight[cand]
 		return staged || fetching || p.Contains(cand)
 	}
-	ra.mu.Lock()
 	// Hysteresis: refill only when the contiguous run of pages already
 	// available ahead of the scan drops below half the window, and then
 	// fetch a full window — one batched round-trip per ~window pages,
@@ -178,14 +213,14 @@ func (p *Pool) noteMiss(pid page.PageID) {
 	go func() {
 		defer ra.wg.Done()
 		imgs, err := ra.reader.ReadPages(start, n)
-		ra.mu.Lock()
-		defer ra.mu.Unlock()
-		staged := 0
+		issued, staged := 0, 0
 		for i := 0; i < n; i++ {
 			cand := page.NewPageID(seg, start.No()+uint64(i))
+			ra.mu.Lock()
 			delete(ra.inflight, cand)
 			_, bad := ra.barred[cand]
 			delete(ra.barred, cand)
+			ra.mu.Unlock()
 			if err != nil || i >= len(imgs) {
 				continue // short run (segment end) or failed fetch
 			}
@@ -193,15 +228,25 @@ func (p *Pool) noteMiss(pid page.PageID) {
 				obs.Inc(metrics.CtrReadaheadWasted)
 				continue
 			}
+			if p.tryPromote(cand, imgs[i]) {
+				issued++
+				continue
+			}
+			ra.mu.Lock()
 			if len(ra.staged) >= raStagedCap*ra.window {
+				ra.mu.Unlock()
 				obs.Inc(metrics.CtrReadaheadWasted)
 				continue
 			}
 			ra.staged[cand] = imgs[i]
+			ra.mu.Unlock()
+			issued++
 			staged++
 		}
+		if issued > 0 {
+			obs.AddN(metrics.CtrReadaheadIssued, int64(issued))
+		}
 		if staged > 0 {
-			obs.AddN(metrics.CtrReadaheadIssued, int64(staged))
 			obs.GaugeAdd(metrics.GaugeReadaheadStaged, int64(staged))
 		}
 	}()

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gom/internal/buffer"
+	"gom/internal/metrics"
+	"gom/internal/objcache"
+	"gom/internal/sim"
+	"gom/internal/swizzle"
+)
+
+// hotWorkload runs a deterministic single-threaded mix of hot operations:
+// load, dereference, int read/write, set reads, ref reads, assigns,
+// OID/Same translations. It is used to prove that a Concurrent OM charges
+// exactly what a sequential OM charges for the same calls.
+func hotWorkload(t *testing.T, b *testBase, om *OM) {
+	t.Helper()
+	for round := 0; round < 3; round++ {
+		for i := range b.parts {
+			p := om.NewVar("p", b.part)
+			if err := om.Load(p, b.parts[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := om.Deref(p); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := om.ReadInt(p, "x"); err != nil {
+				t.Fatal(err)
+			}
+			if err := om.WriteInt(p, "built", int64(2000+round)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := om.ReadStr(p, "type"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := om.TypeOf(p); err != nil {
+				t.Fatal(err)
+			}
+			n, err := om.Card(p, "connTo")
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := om.NewVar("q", b.part)
+			if err := om.Assign(q, p); err != nil {
+				t.Fatal(err)
+			}
+			if same, err := om.Same(p, q); err != nil || !same {
+				t.Fatalf("Same = %v, %v", same, err)
+			}
+			if _, err := om.OID(q); err != nil {
+				t.Fatal(err)
+			}
+			c := om.NewVar("c", b.conn)
+			to := om.NewVar("to", b.part)
+			for j := 0; j < n; j++ {
+				if err := om.ReadElem(p, "connTo", j, c); err != nil {
+					t.Fatal(err)
+				}
+				if err := om.ReadRef(c, "to", to); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := om.ReadInt(to, "part-id"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			om.FreeVar(to)
+			om.FreeVar(c)
+			om.FreeVar(q)
+			om.FreeVar(p)
+		}
+	}
+}
+
+// TestConcurrentMatchesSequentialAccounting runs the same single-threaded
+// workload on a sequential and a Concurrent object manager and requires
+// bit-identical simulated costs and counters: the fast paths must charge
+// exactly what the sequential code would, including after a commit marks
+// everything stale (first access bails to the slow path).
+func TestConcurrentMatchesSequentialAccounting(t *testing.T) {
+	for _, strat := range []swizzle.Strategy{swizzle.NOS, swizzle.EDS, swizzle.EIS, swizzle.LDS, swizzle.LIS} {
+		for _, cached := range []bool{false, true} {
+			name := fmt.Sprintf("%v/cache=%v", strat, cached)
+			t.Run(name, func(t *testing.T) {
+				var meters [2]*sim.Meter
+				for k, conc := range []bool{false, true} {
+					b := buildBase(t, 24)
+					om := b.om(t, Options{
+						Concurrent:       conc,
+						ObjectCache:      cached,
+						ObjectCacheBytes: 1 << 20,
+						Metrics:          metrics.New(),
+					})
+					om.BeginApplication(appSpec(strat))
+					hotWorkload(t, b, om)
+					if err := om.Commit(); err != nil {
+						t.Fatal(err)
+					}
+					// Second application: objects are hot but freshly
+					// invalid variables and (same-spec) non-stale objects.
+					om.BeginApplication(appSpec(strat))
+					hotWorkload(t, b, om)
+					if err := om.Verify(); err != nil {
+						t.Fatal(err)
+					}
+					meters[k] = om.Meter()
+				}
+				if seqM, concM := meters[0].Micros(), meters[1].Micros(); seqM != concM {
+					t.Errorf("micros diverge: sequential %f, concurrent %f", seqM, concM)
+				}
+				for c := sim.Counter(0); int(c) < sim.NumCounters; c++ {
+					if s, p := meters[0].Count(c), meters[1].Count(c); s != p {
+						t.Errorf("counter %v diverges: sequential %d, concurrent %d", c, s, p)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentHotTraversalStress hammers one Concurrent OM from many
+// goroutines over a fully resident working set: every operation must take
+// the fast path, nothing may fail, and the aggregate operation counts must
+// equal the sum of the per-worker workloads.
+func TestConcurrentHotTraversalStress(t *testing.T) {
+	const nParts = 60
+	const workers = 8
+	const rounds = 30
+	b := buildBase(t, nParts)
+	om := b.om(t, Options{Concurrent: true, Metrics: metrics.New()})
+	om.BeginApplication(appSpec(swizzle.EDS))
+
+	// Warm the working set single-threaded so the stress phase is all hot.
+	warm := om.NewVar("warm", b.part)
+	for _, id := range b.parts {
+		if err := om.Load(warm, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := om.Deref(warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	om.FreeVar(warm)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	derefsPerWorker := int64(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < nParts; i++ {
+					pi := (w*7 + i) % nParts
+					p := om.NewVar("p", b.part)
+					if err := om.Load(p, b.parts[pi]); err != nil {
+						errs <- err
+						return
+					}
+					if err := om.Deref(p); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := om.ReadInt(p, "x"); err != nil {
+						errs <- err
+						return
+					}
+					if err := om.WriteInt(p, "built", int64(w)); err != nil {
+						errs <- err
+						return
+					}
+					c := om.NewVar("c", b.conn)
+					to := om.NewVar("to", b.part)
+					for j := 0; j < 3; j++ {
+						if err := om.ReadElem(p, "connTo", j, c); err != nil {
+							errs <- err
+							return
+						}
+						if err := om.ReadRef(c, "to", to); err != nil {
+							errs <- err
+							return
+						}
+						if _, err := om.ReadInt(to, "part-id"); err != nil {
+							errs <- err
+							return
+						}
+					}
+					om.FreeVar(to)
+					om.FreeVar(c)
+					om.FreeVar(p)
+				}
+			}
+		}(w)
+	}
+	derefsPerWorker = int64(rounds * nParts)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Warm loads: nParts Derefs; stress: workers × rounds × nParts.
+	wantDerefs := int64(nParts) + int64(workers)*derefsPerWorker
+	if got := om.Meter().Count(sim.CntDeref); got != wantDerefs {
+		t.Errorf("CntDeref = %d, want %d", got, wantDerefs)
+	}
+	wantRefReads := int64(workers) * derefsPerWorker * 6 // 3×(ReadElem+ReadRef)
+	if got := om.Meter().Count(sim.CntLookupRef); got != wantRefReads {
+		t.Errorf("CntLookupRef = %d, want %d", got, wantRefReads)
+	}
+	if err := om.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := om.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentEvictionStress runs many goroutines against a Concurrent OM
+// whose page pool is far too small for the working set, so demand faults,
+// evictions, and displacement storms run continuously under the writer lock
+// while other workers race through fast paths. Capacity errors are
+// tolerated; corruption and unexpected errors are not, and the structure
+// must verify cleanly afterwards.
+func TestConcurrentEvictionStress(t *testing.T) {
+	for _, arch := range []string{"page", "copy"} {
+		t.Run(arch, func(t *testing.T) {
+			const workers = 10
+			const rounds = 15
+			b := buildBase(t, 40)
+			opt := Options{
+				Concurrent:      true,
+				PageBufferPages: 3,
+				Metrics:         metrics.New(),
+			}
+			if arch == "copy" {
+				opt.PageBufferPages = 2
+				opt.ObjectCache = true
+				opt.ObjectCacheBytes = 2048
+			}
+			om := b.om(t, opt)
+			om.BeginApplication(appSpec(swizzle.EDS))
+
+			soft := func(err error) bool {
+				return errors.Is(err, ErrNoCapacity) ||
+					errors.Is(err, ErrNilRef) ||
+					errors.Is(err, buffer.ErrNoFrames) ||
+					errors.Is(err, objcache.ErrAllPinned)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, workers+1)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					p := om.NewVar("p", b.part)
+					c := om.NewVar("c", b.conn)
+					to := om.NewVar("to", b.part)
+					defer func() {
+						om.FreeVar(to)
+						om.FreeVar(c)
+						om.FreeVar(p)
+					}()
+					for r := 0; r < rounds; r++ {
+						for i := range b.parts {
+							pi := (w*11 + i) % len(b.parts)
+							if err := om.Load(p, b.parts[pi]); err != nil {
+								if soft(err) {
+									continue
+								}
+								errs <- err
+								return
+							}
+							if err := om.Deref(p); err != nil {
+								if soft(err) {
+									continue
+								}
+								errs <- err
+								return
+							}
+							if _, err := om.ReadInt(p, "x"); err != nil && !soft(err) {
+								errs <- err
+								return
+							}
+							if err := om.WriteInt(p, "built", int64(r)); err != nil && !soft(err) {
+								errs <- err
+								return
+							}
+							if err := om.ReadElem(p, "connTo", i%3, c); err != nil {
+								if soft(err) {
+									continue
+								}
+								errs <- err
+								return
+							}
+							if err := om.ReadRef(c, "to", to); err != nil && !soft(err) {
+								errs <- err
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			// One goroutine displaces resident objects while the workers run,
+			// exercising the writer path against the fast paths.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					for _, id := range om.ResidentOIDs() {
+						if err := om.DisplaceObject(id); err != nil && !soft(err) {
+							// "not resident" races are expected; anything
+							// else is not.
+							if !errors.Is(err, ErrClosedVar) &&
+								!isNotResident(err) {
+								errs <- err
+								return
+							}
+						}
+					}
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := om.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			if err := om.Commit(); err != nil && !soft(err) {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func isNotResident(err error) bool {
+	return err != nil && strings.HasSuffix(err.Error(), "not resident")
+}

@@ -13,12 +13,20 @@ import (
 // in creating an object" — the subsequent initialization writes are
 // ordinary Updates).
 func (om *OM) Create(typ *object.Type, seg uint16, v *Var) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	return om.create(typ, seg, v, nil)
 }
 
 // CreateNear is Create with a clustering hint: the new object is placed on
 // the neighbor's page when possible (§6.6.3).
 func (om *OM) CreateNear(typ *object.Type, seg uint16, v, neighbor *Var) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	return om.create(typ, seg, v, neighbor)
 }
 

@@ -29,6 +29,7 @@ func (om *OM) onPageEvict(pid page.PageID, _ *buffer.Frame) {
 			// surfaced through the hook; record them for the next API
 			// call to report.
 			om.deferredErr = errors.Join(om.deferredErr, err)
+			om.hasDeferred.Store(true)
 		}
 	}
 }
@@ -37,13 +38,20 @@ func (om *OM) onPageEvict(pid page.PageID, _ *buffer.Frame) {
 func (om *OM) onCacheEvict(obj *object.MemObject) {
 	if err := om.displace(obj, true); err != nil {
 		om.deferredErr = errors.Join(om.deferredErr, err)
+		om.hasDeferred.Store(true)
 	}
 }
 
 // takeDeferredErr surfaces errors that occurred inside eviction hooks.
+// The atomic mirror is only touched when there was something to clear —
+// this runs at the top of every sequential operation, and an unconditional
+// atomic store would tax the hot path for nothing.
 func (om *OM) takeDeferredErr() error {
 	err := om.deferredErr
-	om.deferredErr = nil
+	if err != nil {
+		om.deferredErr = nil
+		om.hasDeferred.Store(false)
+	}
 	return err
 }
 
@@ -291,6 +299,10 @@ func (om *OM) relocateResident(e *rot.Entry, addr storage.PAddr) {
 // the long design transactions of §1 that periodically adjust their
 // working set).
 func (om *OM) DisplaceObject(id oid.OID) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	if err := om.takeDeferredErr(); err != nil {
 		return err
 	}

@@ -17,8 +17,11 @@ package core
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"gom/internal/buffer"
+	"gom/internal/latch"
 	"gom/internal/metrics"
 	"gom/internal/objcache"
 	"gom/internal/object"
@@ -92,6 +95,15 @@ type Options struct {
 	// simulated cost model are unchanged except for the overlapped
 	// round-trips.
 	ReadaheadPages int
+	// Concurrent makes the object manager safe for concurrent use by many
+	// goroutines (see concurrent.go and DESIGN.md "Concurrency
+	// architecture"). Hot dereference/read operations run under a
+	// distributed read lock and scale across cores; structural operations
+	// (faults, commits, displacement) serialize behind a writer lock. The
+	// simulated cost accounting stays exact: concurrent runs charge the
+	// same totals the same operations would charge sequentially. Off by
+	// default — a single-goroutine client pays nothing.
+	Concurrent bool
 }
 
 // OM is the adaptable object manager for one client application stream.
@@ -125,8 +137,9 @@ type OM struct {
 	// them.
 	byPage map[page.PageID][]*object.MemObject
 	// vars is the registry of live program variables (the "run-time
-	// stack" the displacement logic must reach, §5.3).
-	vars map[*Var]struct{}
+	// stack" the displacement logic must reach, §5.3), sharded so
+	// concurrent NewVar/FreeVar don't contend on one lock.
+	vars *varSet
 	// displacing guards displacement cascades against cycles.
 	displacing map[oid.OID]bool
 	// pagewise selects page-level reverse references (§5.3); pageRRL maps
@@ -150,6 +163,20 @@ type OM struct {
 	// deferredErr accumulates failures raised inside buffer eviction
 	// hooks, surfaced by the next API call.
 	deferredErr error
+
+	// Concurrent-mode state (see concurrent.go; all zero-cost when conc is
+	// false). mu is the distributed reader-writer lock: fast read paths
+	// take one reader slot, structural operations take all of them.
+	// latches serialize fast-path mutations per object (RRL entries, int
+	// writes); descMu guards the descriptor table against concurrent fast
+	// swizzles; hasDeferred mirrors deferredErr != nil so fast paths can
+	// bail without reading the unsynchronized error field.
+	conc        bool
+	mu          latch.DRW
+	latches     latch.OIDLatches
+	descMu      sync.Mutex
+	hasDeferred atomic.Bool
+	slotCtr     latch.Counter
 }
 
 // New constructs an object manager.
@@ -175,12 +202,13 @@ func New(opt Options) (*OM, error) {
 		spec:       swizzle.NewSpec("default", swizzle.NOS),
 		descs:      make(map[oid.OID]*object.Descriptor),
 		byPage:     make(map[page.PageID][]*object.MemObject),
-		vars:       make(map[*Var]struct{}),
+		vars:       newVarSet(),
 		displacing: make(map[oid.OID]bool),
 		addrHints:  make(map[oid.OID]storage.PAddr),
 
 		lazyUponDereference: opt.LazyUponDereference,
 		retainDescriptors:   opt.RetainDescriptors,
+		conc:                opt.Concurrent,
 	}
 	om.batcher, _ = opt.Server.(server.BatchLookuper)
 	if opt.ReadaheadPages > 0 {
@@ -239,7 +267,13 @@ func (om *OM) Cache() *objcache.Cache { return om.cache }
 func (om *OM) Resident() int { return om.rot.Len() }
 
 // SetTracer installs (or removes, with nil) the monitoring hook.
-func (om *OM) SetTracer(t Tracer) { om.tracer = t }
+func (om *OM) SetTracer(t Tracer) {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
+	om.tracer = t
+}
 
 func (om *OM) trace(id oid.OID, attr string, write bool) {
 	if om.tracer != nil {
@@ -253,6 +287,10 @@ func (om *OM) trace(id oid.OID, attr string, write bool) {
 // marked stale and their representation is fixed lazily on first access
 // (§4.1.2) — pages and objects stay buffered hot across commits.
 func (om *OM) BeginApplication(spec *swizzle.Spec) {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	om.releaseVars()
 	if spec == nil {
 		spec = swizzle.NewSpec("default", swizzle.NOS)
@@ -274,12 +312,12 @@ func (om *OM) BeginApplication(spec *swizzle.Spec) {
 // invalidates the variables (transient state does not survive the
 // application, §3.2.2).
 func (om *OM) releaseVars() {
-	for v := range om.vars {
+	for _, v := range om.vars.snapshot() {
 		om.unregisterSlot(object.VarSlot(&v.ref))
 		v.ref = object.NilRef
 		v.om = nil
 	}
-	om.vars = make(map[*Var]struct{})
+	om.vars.clear()
 }
 
 // Commit ends the current application: all dirty objects are written back
@@ -287,6 +325,10 @@ func (om *OM) releaseVars() {
 // buffered page and cached object remains resident for subsequent
 // applications (§4.1.2).
 func (om *OM) Commit() error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	om.releaseVars()
 	var err error
 	var relocated []*object.MemObject
@@ -326,6 +368,10 @@ func (om *OM) Commit() error {
 // holding swizzled references (call Commit first, or accept that the
 // variables are released).
 func (om *OM) Reset() error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	om.releaseVars()
 	if om.cache != nil {
 		if err := om.cache.DropAll(); err != nil {
@@ -359,11 +405,15 @@ func (om *OM) Reset() error {
 // (server.TxServer.Abort restores the durable state; the client's
 // buffered images are then invalid and must not be flushed).
 func (om *OM) Discard() {
-	for v := range om.vars {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
+	for _, v := range om.vars.snapshot() {
 		v.ref = object.NilRef
 		v.om = nil
 	}
-	om.vars = make(map[*Var]struct{})
+	om.vars.clear()
 	om.rot = rot.New()
 	om.descs = make(map[oid.OID]*object.Descriptor)
 	om.byPage = make(map[page.PageID][]*object.MemObject)
@@ -374,6 +424,7 @@ func (om *OM) Discard() {
 		om.pageRRL = make(map[page.PageID]map[page.PageID]int)
 	}
 	om.deferredErr = nil
+	om.hasDeferred.Store(false)
 	om.pool.Discard()
 	if om.cache != nil {
 		om.cache.Discard()
@@ -389,13 +440,22 @@ type Var struct {
 	typ      *object.Type // declared type of the referenced objects
 	strategy swizzle.Strategy
 	ref      object.Ref
+	// slot is a round-robin index assigned at creation; concurrent mode
+	// uses it to pick DRW reader slots and meter stripes so independent
+	// goroutines' variables spread across locks and cache lines.
+	slot uint32
 }
 
 // NewVar declares a program variable with a name and a declared target
 // type. Its strategy is resolved once, statically, from the active spec.
 func (om *OM) NewVar(name string, typ *object.Type) *Var {
-	v := &Var{om: om, name: name, typ: typ, strategy: om.spec.ForVar(name, typ.Name)}
-	om.vars[v] = struct{}{}
+	v := &Var{om: om, name: name, typ: typ, slot: om.slotCtr.Next()}
+	if om.conc {
+		rs := om.mu.RLock(int(v.slot))
+		defer om.mu.RUnlock(rs)
+	}
+	v.strategy = om.spec.ForVar(name, typ.Name)
+	om.vars.add(v)
 	return v
 }
 
@@ -405,10 +465,17 @@ func (om *OM) FreeVar(v *Var) {
 	if v.om != om {
 		return
 	}
+	if om.conc {
+		if om.fastFreeVar(v) {
+			return
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	om.unregisterSlot(object.VarSlot(&v.ref))
 	v.ref = object.NilRef
 	v.om = nil
-	delete(om.vars, v)
+	om.vars.del(v)
 }
 
 // Name returns the variable's name.
@@ -438,6 +505,9 @@ func (v *Var) valid(om *OM) error {
 // key or an external handle, §3.4.2). The translation cost is charged when
 // the reference is swizzled (Table 8).
 func (om *OM) OID(v *Var) (oid.OID, error) {
+	if om.conc {
+		return om.fastOID(v)
+	}
 	if err := v.valid(om); err != nil {
 		return oid.Nil, err
 	}
@@ -450,6 +520,9 @@ func (om *OM) OID(v *Var) (oid.OID, error) {
 // Same evaluates the Boolean expression a == b over the referenced
 // objects, translating layouts as needed (§4.2.3).
 func (om *OM) Same(a, b *Var) (bool, error) {
+	if om.conc {
+		return om.fastSame(a, b)
+	}
 	if err := a.valid(om); err != nil {
 		return false, err
 	}

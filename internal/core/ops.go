@@ -41,6 +41,10 @@ func (om *OM) home(v *Var) (*object.MemObject, error) {
 // swizzling strategy, loading is a discovery: the variable's reference is
 // swizzled immediately (except in the upon-dereference ablation mode).
 func (om *OM) Load(v *Var, id oid.OID) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	if err := v.valid(om); err != nil {
 		return err
 	}
@@ -64,6 +68,13 @@ func (om *OM) Load(v *Var, id oid.OID) error {
 // Deref ensures the variable's target is resident and correctly
 // represented, swizzling the variable if its strategy calls for it.
 func (om *OM) Deref(v *Var) error {
+	if om.conc {
+		if err, ok := om.fastDeref(v); ok {
+			return err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	_, err := om.home(v)
 	om.meter.Add(sim.CntDeref, 1)
 	return err
@@ -72,6 +83,13 @@ func (om *OM) Deref(v *Var) error {
 // ReadInt reads an int field of the object the variable references (one
 // Lookup in the paper's cost model; Table 5, "int" row).
 func (om *OM) ReadInt(v *Var, field string) (int64, error) {
+	if om.conc {
+		if val, err, ok := om.fastReadInt(v, field); ok {
+			return val, err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return 0, err
@@ -88,6 +106,13 @@ func (om *OM) ReadInt(v *Var, field string) (int64, error) {
 
 // ReadStr reads a string field.
 func (om *OM) ReadStr(v *Var, field string) (string, error) {
+	if om.conc {
+		if val, err, ok := om.fastReadStr(v, field); ok {
+			return val, err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return "", err
@@ -107,6 +132,13 @@ func (om *OM) ReadStr(v *Var, field string) (string, error) {
 // (§3.2.1): the field's reference is swizzled per its granule before it is
 // copied, unless the manager runs in the upon-dereference ablation mode.
 func (om *OM) ReadRef(v *Var, field string, dst *Var) error {
+	if om.conc {
+		if err, ok := om.fastReadRef(v, field, dst); ok {
+			return err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return err
@@ -133,6 +165,13 @@ func (om *OM) ReadRef(v *Var, field string, dst *Var) error {
 
 // ReadElem reads the i-th element of a set-valued field into a variable.
 func (om *OM) ReadElem(v *Var, field string, i int, dst *Var) error {
+	if om.conc {
+		if err, ok := om.fastReadElem(v, field, i, dst); ok {
+			return err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return err
@@ -176,6 +215,13 @@ func (om *OM) discover(slot object.Slot) error {
 
 // Card returns the cardinality of a set-valued field.
 func (om *OM) Card(v *Var, field string) (int, error) {
+	if om.conc {
+		if n, err, ok := om.fastCard(v, field); ok {
+			return n, err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return 0, err
@@ -192,6 +238,13 @@ func (om *OM) Card(v *Var, field string) (int, error) {
 
 // WriteInt updates an int field (one Update; Fig. 11b).
 func (om *OM) WriteInt(v *Var, field string, val int64) error {
+	if om.conc {
+		if err, ok := om.fastWriteInt(v, field, val); ok {
+			return err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return err
@@ -211,6 +264,10 @@ func (om *OM) WriteInt(v *Var, field string, val int64) error {
 
 // WriteStr updates a string field.
 func (om *OM) WriteStr(v *Var, field string, val string) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return err
@@ -233,6 +290,10 @@ func (om *OM) WriteStr(v *Var, field string, val string) error {
 // target's and the new target's — which is what makes the cost grow with
 // fan-in).
 func (om *OM) WriteRef(v *Var, field string, src *Var) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return err
@@ -261,6 +322,13 @@ func (om *OM) WriteRef(v *Var, field string, src *Var) error {
 // Assign copies one variable's reference into another (reference copies
 // between local variables).
 func (om *OM) Assign(dst, src *Var) error {
+	if om.conc {
+		if err, ok := om.fastAssign(dst, src); ok {
+			return err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	if err := dst.valid(om); err != nil {
 		return err
 	}
@@ -276,6 +344,10 @@ func (om *OM) Assign(dst, src *Var) error {
 
 // AppendElem adds the object referenced by src to a set-valued field.
 func (om *OM) AppendElem(v *Var, field string, src *Var) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return err
@@ -305,6 +377,10 @@ func (om *OM) AppendElem(v *Var, field string, src *Var) error {
 // WriteElem overwrites the i-th element of a set-valued field with the
 // reference held by src, maintaining all swizzling bookkeeping.
 func (om *OM) WriteElem(v *Var, field string, i int, src *Var) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return err
@@ -336,6 +412,10 @@ func (om *OM) WriteElem(v *Var, field string, i int, src *Var) error {
 // RemoveElem removes the i-th element of a set-valued field, maintaining
 // the RRL registrations of the element that is swapped into its place.
 func (om *OM) RemoveElem(v *Var, field string, i int) error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return err
@@ -380,6 +460,13 @@ func (om *OM) reaccount(obj *object.MemObject) error {
 // TypeOf returns the dynamic type of the referenced object, dereferencing
 // it if needed.
 func (om *OM) TypeOf(v *Var) (*object.Type, error) {
+	if om.conc {
+		if t, err, ok := om.fastTypeOf(v); ok {
+			return t, err
+		}
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	obj, err := om.home(v)
 	if err != nil {
 		return nil, err

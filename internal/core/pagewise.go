@@ -125,7 +125,7 @@ func (om *OM) pageIncomingSlots(obj *object.MemObject) []object.Slot {
 			}
 		}
 	}
-	for v := range om.vars {
+	for _, v := range om.vars.snapshot() {
 		scanned++
 		if v.ref.State == object.RefDirect && v.ref.Ptr() == obj {
 			out = append(out, object.VarSlot(&v.ref))

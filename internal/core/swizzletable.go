@@ -73,12 +73,14 @@ func (om *OM) tableIncomingSlots(obj *object.MemObject) []object.Slot {
 			out = append(out, s)
 		}
 	}
-	for v := range om.vars {
+	nvars := 0
+	for _, v := range om.vars.snapshot() {
+		nvars++
 		if v.ref.State == object.RefDirect && v.ref.Ptr() == obj {
 			out = append(out, object.VarSlot(&v.ref))
 		}
 	}
-	om.meter.Charge(float64(len(om.swizzleTable)+len(om.vars)) * om.meter.Costs().FieldAccess / 8)
+	om.meter.Charge(float64(len(om.swizzleTable)+nvars) * om.meter.Costs().FieldAccess / 8)
 	return out
 }
 

@@ -25,6 +25,10 @@ import (
 // after a pinned home survived a displacement cascade; deref repairs them.
 // Verify therefore does not require eager slots to be swizzled.
 func (om *OM) Verify() error {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	var errs []error
 	report := func(format string, args ...any) {
 		errs = append(errs, fmt.Errorf(format, args...))
@@ -43,7 +47,7 @@ func (om *OM) Verify() error {
 		})
 		return true
 	})
-	for v := range om.vars {
+	for _, v := range om.vars.snapshot() {
 		slots = append(slots, slotInfo{object.VarSlot(&v.ref), &v.ref})
 	}
 
@@ -254,11 +258,21 @@ func (om *OM) IsResident(id oid.OID) bool { return om.rot.Lookup(id) != nil }
 
 // DescriptorCount returns the number of live descriptors (storage-overhead
 // accounting, §5.3).
-func (om *OM) DescriptorCount() int { return len(om.descs) }
+func (om *OM) DescriptorCount() int {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
+	return len(om.descs)
+}
 
 // RRLStats returns the total number of RRL entries and allocated blocks
 // over all resident objects (storage-overhead accounting, §5.3).
 func (om *OM) RRLStats() (entries, blocks int) {
+	if om.conc {
+		om.mu.Lock()
+		defer om.mu.Unlock()
+	}
 	om.rot.Range(func(e *rot.Entry) bool {
 		entries += e.Obj.RRL.Len()
 		blocks += e.Obj.RRL.Blocks()

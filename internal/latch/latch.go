@@ -1,0 +1,89 @@
+// Package latch provides the client-side synchronization primitives for the
+// concurrent object manager: a distributed reader-writer lock that lets hot
+// read paths scale across cores, and a fixed array of per-OID latches that
+// serialize mutations of individual object slots against displacement.
+//
+// Lock ordering (documented in DESIGN.md "Concurrency architecture"): a
+// goroutine acquires at most one DRW read token, then at most one OID
+// latch, then package-internal locks (descriptor mutex, ROT shard, buffer
+// shard). A DRW writer excludes all readers, so structural operations never
+// take OID latches at all — they own everything.
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gom/internal/oid"
+)
+
+// paddedRW spaces locks a cache line apart so read-lock traffic on
+// neighbouring slots does not false-share.
+type paddedRW struct {
+	sync.RWMutex
+	_ [40]byte
+}
+
+// DRWSlots is the number of reader slots in a DRW. A power of two so
+// callers can reduce any hint with a mask.
+const DRWSlots = 32
+
+// DRW is a distributed ("big-reader") reader-writer lock. Readers lock one
+// of DRWSlots slots chosen by a caller-supplied hint, so concurrent readers
+// on different slots never touch the same cache line; writers lock every
+// slot in order, excluding all readers. Reads are as cheap as a plain
+// RWMutex.RLock but scale with cores; writes cost DRWSlots lock
+// acquisitions, acceptable because the object manager's structural
+// operations (faults, commits, displacement) are orders of magnitude more
+// expensive than the locking.
+type DRW struct {
+	slots [DRWSlots]paddedRW
+}
+
+// RLock read-locks the slot selected by hint and returns the slot index to
+// pass to RUnlock.
+func (d *DRW) RLock(hint int) int {
+	i := hint & (DRWSlots - 1)
+	d.slots[i].RLock()
+	return i
+}
+
+// RUnlock releases the read lock taken on slot i.
+func (d *DRW) RUnlock(i int) { d.slots[i].RUnlock() }
+
+// Lock write-locks the DRW, excluding all readers.
+func (d *DRW) Lock() {
+	for i := range d.slots {
+		d.slots[i].Lock()
+	}
+}
+
+// Unlock releases the write lock.
+func (d *DRW) Unlock() {
+	for i := len(d.slots) - 1; i >= 0; i-- {
+		d.slots[i].Unlock()
+	}
+}
+
+// OIDShards is the number of per-OID latch shards.
+const OIDShards = 256
+
+// OIDLatches maps each OID to one of OIDShards reader-writer latches. Two
+// objects may share a latch (hash collision); that is a performance
+// artifact, never a correctness one, because latches are leaf locks — a
+// holder never acquires a second OID latch.
+type OIDLatches struct {
+	shards [OIDShards]paddedRW
+}
+
+// For returns the latch guarding the given OID.
+func (l *OIDLatches) For(id oid.OID) *sync.RWMutex {
+	return &l.shards[uint64(id)&(OIDShards-1)].RWMutex
+}
+
+// Counter hands out monotonically increasing values for round-robin slot
+// assignment (e.g. one DRW reader slot per Var).
+type Counter struct{ n atomic.Uint32 }
+
+// Next returns the next value.
+func (c *Counter) Next() uint32 { return c.n.Add(1) - 1 }

@@ -1,0 +1,117 @@
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gom/internal/oid"
+)
+
+// TestDRWExcludesReaders: a writer must observe no reader in its critical
+// section, and readers on every slot must see the writer's updates whole.
+func TestDRWExcludesReaders(t *testing.T) {
+	var d DRW
+	var readers atomic.Int32 // concurrent readers don't exclude each other
+	var val int
+	const writers = 4
+	const perWriter = 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				d.Lock()
+				if n := readers.Load(); n != 0 {
+					t.Errorf("writer saw %d readers inside critical section", n)
+				}
+				val++
+				d.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < 2*DRWSlots; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := d.RLock(r + i)
+				readers.Add(1)
+				_ = val
+				readers.Add(-1)
+				d.RUnlock(s)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if val != writers*perWriter {
+		t.Errorf("val = %d, want %d", val, writers*perWriter)
+	}
+}
+
+// TestOIDLatchSharding: the same OID always maps to the same latch, and
+// latches serialize increments per shard.
+func TestOIDLatchSharding(t *testing.T) {
+	var l OIDLatches
+	if l.For(oid.OID(7)) != l.For(oid.OID(7)) {
+		t.Fatal("same OID mapped to different latches")
+	}
+	if l.For(oid.OID(1)) == l.For(oid.OID(2)) {
+		t.Fatal("adjacent OIDs share a latch slot")
+	}
+
+	counts := make([]int, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 512; i++ {
+				id := oid.OID(i % len(counts))
+				mu := l.For(id)
+				mu.Lock()
+				counts[id]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for id, n := range counts {
+		if n != 8*512/len(counts) {
+			t.Errorf("oid %d: count %d, want %d", id, n, 8*512/len(counts))
+		}
+	}
+}
+
+// TestCounterUnique: concurrent Next calls never hand out a duplicate.
+func TestCounterUnique(t *testing.T) {
+	var c Counter
+	const workers = 8
+	const per = 1000
+	got := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[w] = append(got[w], c.Next())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint32]bool, workers*per)
+	for _, vals := range got {
+		for _, v := range vals {
+			if seen[v] {
+				t.Fatalf("value %d handed out twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Errorf("got %d distinct values, want %d", len(seen), workers*per)
+	}
+}

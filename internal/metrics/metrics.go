@@ -67,6 +67,7 @@ const (
 	CtrReadaheadIssued
 	CtrReadaheadHit
 	CtrReadaheadWasted
+	CtrFaultCoalesced
 	NumCounters
 )
 
@@ -98,6 +99,7 @@ var counterNames = [NumCounters]string{
 	"readahead_issued",
 	"readahead_hit",
 	"readahead_wasted",
+	"fault_coalesced",
 }
 
 // String returns the counter's snake_case event name.

@@ -93,8 +93,21 @@ func (t *Type) Fields() []Field { return t.fields }
 // NumFields returns the number of fields.
 func (t *Type) NumFields() int { return len(t.fields) }
 
+// smallTypeFields bounds the linear field-name scan: below it, comparing a
+// handful of names (length check first, so most reject for free) beats
+// hashing the name on every single field access.
+const smallTypeFields = 8
+
 // FieldIndex resolves a field name to its index, or -1.
 func (t *Type) FieldIndex(name string) int {
+	if len(t.fields) <= smallTypeFields {
+		for i := range t.fields {
+			if t.fields[i].Name == name {
+				return i
+			}
+		}
+		return -1
+	}
 	i, ok := t.byName[name]
 	if !ok {
 		return -1

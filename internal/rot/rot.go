@@ -7,6 +7,9 @@
 package rot
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"gom/internal/object"
 	"gom/internal/oid"
 	"gom/internal/storage"
@@ -19,15 +22,38 @@ type Entry struct {
 	Addr storage.PAddr
 }
 
-// Table is the resident object table. It belongs to one client and is not
-// safe for concurrent use.
+// numShards is the number of lock shards. OIDs are allocated sequentially
+// per volume, so the low serial bits spread hot working sets evenly; 64
+// shards keep contention negligible for any plausible worker count while
+// the per-shard maps stay large enough to amortize their headers.
+const numShards = 64
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[oid.OID]*Entry
+	// Pad to a cache line so neighbouring shard locks do not false-share.
+	_ [40]byte
+}
+
+// Table is the resident object table. It is sharded by OID so concurrent
+// clients of one object manager contend only per shard: lookups take a
+// shard read lock, registration and displacement a shard write lock.
 type Table struct {
-	m map[oid.OID]*Entry
+	shards [numShards]shard
+	count  atomic.Int64
 }
 
 // New returns an empty table.
 func New() *Table {
-	return &Table{m: make(map[oid.OID]*Entry)}
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[oid.OID]*Entry)
+	}
+	return t
+}
+
+func (t *Table) shard(id oid.OID) *shard {
+	return &t.shards[uint64(id)&(numShards-1)]
 }
 
 // Register records a resident object. Registering an already-registered
@@ -35,27 +61,59 @@ func New() *Table {
 // the old representation).
 func (t *Table) Register(obj *object.MemObject, addr storage.PAddr) *Entry {
 	e := &Entry{Obj: obj, Addr: addr}
-	t.m[obj.OID] = e
+	s := t.shard(obj.OID)
+	s.mu.Lock()
+	if _, present := s.m[obj.OID]; !present {
+		t.count.Add(1)
+	}
+	s.m[obj.OID] = e
+	s.mu.Unlock()
 	return e
 }
 
 // Lookup returns the entry for an OID, or nil (an object fault, §3.2.1 —
 // note the object's page may still be buffered; residency here means
 // "registered in the ROT").
-func (t *Table) Lookup(id oid.OID) *Entry { return t.m[id] }
+func (t *Table) Lookup(id oid.OID) *Entry {
+	s := t.shard(id)
+	s.mu.RLock()
+	e := s.m[id]
+	s.mu.RUnlock()
+	return e
+}
 
 // Unregister removes an object.
-func (t *Table) Unregister(id oid.OID) { delete(t.m, id) }
+func (t *Table) Unregister(id oid.OID) {
+	s := t.shard(id)
+	s.mu.Lock()
+	if _, present := s.m[id]; present {
+		t.count.Add(-1)
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+}
 
 // Len returns the number of resident objects.
-func (t *Table) Len() int { return len(t.m) }
+func (t *Table) Len() int { return int(t.count.Load()) }
 
-// Range calls fn for every entry until fn returns false. fn must not
-// mutate the table; collect OIDs first when displacing.
+// Range calls fn for every entry until fn returns false. Entries are
+// snapshotted per shard before fn runs, so fn may mutate the table
+// (register, unregister, displace); it observes the table as of the
+// moment its shard was visited.
 func (t *Table) Range(fn func(*Entry) bool) {
-	for _, e := range t.m {
-		if !fn(e) {
-			return
+	var batch []*Entry
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		batch = batch[:0]
+		for _, e := range s.m {
+			batch = append(batch, e)
+		}
+		s.mu.RUnlock()
+		for _, e := range batch {
+			if !fn(e) {
+				return
+			}
 		}
 	}
 }
@@ -63,9 +121,14 @@ func (t *Table) Range(fn func(*Entry) bool) {
 // OIDs returns all resident OIDs (safe to displace while iterating the
 // returned slice).
 func (t *Table) OIDs() []oid.OID {
-	out := make([]oid.OID, 0, len(t.m))
-	for id := range t.m {
-		out = append(out, id)
+	out := make([]oid.OID, 0, t.Len())
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for id := range s.m {
+			out = append(out, id)
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }

@@ -13,7 +13,10 @@
 // time from testing.B benches (shape check on real hardware).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Counter enumerates the events the object manager records.
 type Counter int
@@ -177,12 +180,50 @@ func DefaultCosts() CostTable {
 	}
 }
 
-// Meter accumulates simulated time and event counts for one client /
-// application run. It is not safe for concurrent use; each client owns one.
-type Meter struct {
-	costs  CostTable
-	micros float64
+// MeterStripes is the number of contention-avoidance stripes behind the
+// Shared* methods. A power of two so callers can derive a stripe with a
+// cheap mask.
+const MeterStripes = 8
+
+// picosPerMicro converts the public microsecond interface to the internal
+// integer picosecond representation. Integer accumulation is associative,
+// so a concurrent run charges exactly the same simulated total as the same
+// operations performed sequentially — float64 summation would not.
+const picosPerMicro = 1e6
+
+func toPicos(us float64) int64 {
+	if us < 0 {
+		return -int64(-us*picosPerMicro + 0.5)
+	}
+	return int64(us*picosPerMicro + 0.5)
+}
+
+// meterStripe is one concurrency stripe. The leading pad keeps stripes on
+// distinct cache lines so goroutines charging different stripes do not
+// false-share.
+type meterStripe struct {
+	_      [64]byte
+	picos  int64
 	counts [NumCounters]int64
+}
+
+// Meter accumulates simulated time and event counts for one client /
+// application run.
+//
+// Concurrency: the plain methods (Charge, Add, Event, Reset) are for
+// single-threaded use, or for callers that hold an exclusive lock (the
+// object manager's structural operations). Goroutines running concurrently
+// must use the Shared* variants, which accumulate atomically into one of
+// MeterStripes stripes chosen by the caller-supplied hint; Micros, Count,
+// Snapshot and Since always merge the stripes into the base totals. Because
+// the internal unit is integer picoseconds, the merged result of a
+// concurrent run is bit-identical to the sequential sum of the same
+// charges.
+type Meter struct {
+	costs   CostTable
+	picos   int64
+	counts  [NumCounters]int64
+	stripes [MeterStripes]meterStripe
 }
 
 // NewMeter returns a meter charging against the given cost table.
@@ -194,27 +235,63 @@ func NewMeter(costs CostTable) *Meter {
 func (m *Meter) Costs() *CostTable { return &m.costs }
 
 // Micros returns the simulated time accumulated so far, in microseconds.
-func (m *Meter) Micros() float64 { return m.micros }
+func (m *Meter) Micros() float64 {
+	p := m.picos
+	for i := range m.stripes {
+		p += atomic.LoadInt64(&m.stripes[i].picos)
+	}
+	return float64(p) / picosPerMicro
+}
 
 // Count returns the current value of one counter.
-func (m *Meter) Count(c Counter) int64 { return m.counts[c] }
+func (m *Meter) Count(c Counter) int64 {
+	n := m.counts[c]
+	for i := range m.stripes {
+		n += atomic.LoadInt64(&m.stripes[i].counts[c])
+	}
+	return n
+}
 
 // Add records n occurrences of the counter without charging time.
 func (m *Meter) Add(c Counter, n int64) { m.counts[c] += n }
 
 // Charge adds simulated microseconds without touching counters.
-func (m *Meter) Charge(us float64) { m.micros += us }
+func (m *Meter) Charge(us float64) { m.picos += toPicos(us) }
 
 // Event records one occurrence of c and charges us microseconds.
 func (m *Meter) Event(c Counter, us float64) {
 	m.counts[c]++
-	m.micros += us
+	m.picos += toPicos(us)
 }
 
-// Reset zeroes the meter.
+// SharedAdd is the concurrency-safe Add: it accumulates into the stripe
+// selected by hint (any value; reduced modulo MeterStripes).
+func (m *Meter) SharedAdd(hint int, c Counter, n int64) {
+	atomic.AddInt64(&m.stripes[hint&(MeterStripes-1)].counts[c], n)
+}
+
+// SharedCharge is the concurrency-safe Charge.
+func (m *Meter) SharedCharge(hint int, us float64) {
+	atomic.AddInt64(&m.stripes[hint&(MeterStripes-1)].picos, toPicos(us))
+}
+
+// SharedEvent is the concurrency-safe Event.
+func (m *Meter) SharedEvent(hint int, c Counter, us float64) {
+	s := &m.stripes[hint&(MeterStripes-1)]
+	atomic.AddInt64(&s.counts[c], 1)
+	atomic.AddInt64(&s.picos, toPicos(us))
+}
+
+// Reset zeroes the meter. Not safe to call concurrently with charges.
 func (m *Meter) Reset() {
-	m.micros = 0
+	m.picos = 0
 	m.counts = [NumCounters]int64{}
+	for i := range m.stripes {
+		atomic.StoreInt64(&m.stripes[i].picos, 0)
+		for c := range m.stripes[i].counts {
+			atomic.StoreInt64(&m.stripes[i].counts[c], 0)
+		}
+	}
 }
 
 // Snapshot captures the meter state for later diffing.
@@ -223,16 +300,21 @@ type Snapshot struct {
 	Counts [NumCounters]int64
 }
 
-// Snapshot returns the current state.
+// Snapshot returns the current state (stripes merged in).
 func (m *Meter) Snapshot() Snapshot {
-	return Snapshot{Micros: m.micros, Counts: m.counts}
+	s := Snapshot{Micros: m.Micros()}
+	for c := range s.Counts {
+		s.Counts[c] = m.Count(Counter(c))
+	}
+	return s
 }
 
 // Since returns the delta between the current state and an earlier snapshot.
 func (m *Meter) Since(s Snapshot) Snapshot {
-	d := Snapshot{Micros: m.micros - s.Micros}
+	cur := m.Snapshot()
+	d := Snapshot{Micros: cur.Micros - s.Micros}
 	for i := range d.Counts {
-		d.Counts[i] = m.counts[i] - s.Counts[i]
+		d.Counts[i] = cur.Counts[i] - s.Counts[i]
 	}
 	return d
 }
