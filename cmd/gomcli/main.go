@@ -12,6 +12,7 @@
 //	gomcli traverse -depth 5 -strategy LIS base.gom
 //	gomcli stats -addr 127.0.0.1:7071         # live stats of a running server
 //	gomcli stats -workload traversal base.gom # run locally, dump the registry
+//	gomcli trace dump -addr 127.0.0.1:7071    # retained server spans as Chrome trace JSON
 package main
 
 import (
@@ -36,6 +37,7 @@ import (
 	"gom/internal/server"
 	"gom/internal/sim"
 	"gom/internal/swizzle"
+	"gom/internal/trace"
 )
 
 func main() {
@@ -56,6 +58,8 @@ func main() {
 		err = cmdTraverse(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	default:
 		usage()
 	}
@@ -66,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gomcli gen|info|lookup|serve|traverse|stats [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: gomcli gen|info|lookup|serve|traverse|stats|trace [flags] [file]")
 	os.Exit(2)
 }
 
@@ -238,12 +242,16 @@ func cmdServe(args []string) error {
 	}
 	if *debug != "" {
 		srv.SetMetrics(metrics.New())
+		// Server-side span ring for /debug/trace. Spans record only for
+		// requests whose (v2, featureTrace) client shipped a sampled
+		// context, so this is free for untraced traffic.
+		srv.SetTracer(trace.New(1, trace.DefaultDepth))
 		dbgAddr, err := srv.StartDebug(*debug)
 		if err != nil {
 			srv.Close()
 			return err
 		}
-		fmt.Printf("debug endpoint on http://%v/debug/metrics (also /debug/vars, /debug/pprof)\n", dbgAddr)
+		fmt.Printf("debug endpoint on http://%v/debug/metrics (also /metrics, /debug/trace, /debug/vars, /debug/pprof)\n", dbgAddr)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -338,6 +346,44 @@ func cmdStats(args []string) error {
 	fmt.Printf("%s workload under %v:\n", *workload, st)
 	fmt.Print(reg.Snapshot().Format())
 	return nil
+}
+
+// cmdTrace exports request traces. `dump` scrapes the retained span
+// rings of a running `gomcli serve -debug` server as Chrome trace_event
+// JSON (load the file in chrome://tracing or Perfetto).
+func cmdTrace(args []string) error {
+	if len(args) < 1 || args[0] != "dump" {
+		return fmt.Errorf("trace: usage: gomcli trace dump -addr HOST:PORT [-out FILE]")
+	}
+	fs := flag.NewFlagSet("trace dump", flag.ExitOnError)
+	addr := fs.String("addr", "", "debug address of a running server (host:port)")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args[1:])
+	if *addr == "" {
+		return fmt.Errorf("trace dump: need -addr")
+	}
+	url := "http://" + *addr + "/debug/trace"
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace dump: %s returned %s", url, resp.Status)
+	}
+	if !json.Valid(body) {
+		return fmt.Errorf("trace dump: %s returned invalid JSON", url)
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	return os.WriteFile(*out, body, 0o644)
 }
 
 // statsRemote fetches the JSON registry snapshot from a serve -debug

@@ -11,6 +11,13 @@
 //	swizzlemon -workload updates -ops 500
 //	swizzlemon -workload mix -ops 1000
 //	swizzlemon -workload traversal -static    # decapsulation (§7.3.2): no training run
+//
+// The advise subcommand is the online counterpart: run a workload under
+// a deliberately installed strategy and let the always-on scoreboard +
+// advisor (no trace, no training run) report whether the cost model
+// would now choose differently:
+//
+//	swizzlemon advise -workload traversal -strategy NOS
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"sort"
 
+	"gom/internal/advisor"
 	"gom/internal/core"
 	"gom/internal/costmodel"
 	"gom/internal/metrics"
@@ -28,6 +36,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "advise" {
+		if err := runAdvise(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "swizzlemon:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		workload = flag.String("workload", "traversal", "traversal|lookups|updates|mix")
 		parts    = flag.Int("parts", 2000, "OO1 parts")
@@ -58,50 +73,20 @@ func run(workload string, parts, depth, repeat, ops, pages int, seed int64, stat
 		return runStatic(db, workload, depth, repeat, ops, pages, seed)
 	}
 
-	// drive runs the workload, printing live observability counts after
+	// drive runs the workload, printing live observability deltas after
 	// every repetition (the always-on metrics layer, not the §7 monitor).
 	drive := func(c *oo1.Client, reg *metrics.Registry) error {
 		prev := reg.Snapshot()
 		for r := 0; r < repeat; r++ {
 			c.Reseed(seed)
-			switch workload {
-			case "traversal":
-				if _, err := c.Traversal(depth); err != nil {
-					return err
-				}
-			case "lookups":
-				if err := c.LookupN(ops); err != nil {
-					return err
-				}
-			case "updates":
-				for i := 0; i < ops; i++ {
-					if err := c.UpdateOp(); err != nil {
-						return err
-					}
-				}
-			case "mix":
-				if err := c.UpdateLookupMix(ops, ops/5); err != nil {
-					return err
-				}
-			default:
-				return fmt.Errorf("unknown workload %q", workload)
+			if err := runWorkload(c, workload, depth, ops); err != nil {
+				return err
 			}
-			cur := reg.Snapshot()
-			fmt.Printf("  rep %d: %s\n", r+1, cur.Delta(prev))
+			cur, d := reg.DeltaSince(prev)
+			fmt.Printf("  rep %d: %s\n", r+1, d)
 			prev = cur
 		}
 		return nil
-	}
-	printObs := func(label string, s metrics.Snapshot) {
-		fmt.Printf("observability (%s): object_faults=%d page_faults=%d rot_lookups=%d "+
-			"swizzles{EDS/EIS/LDS/LIS}=%d/%d/%d/%d buffer hit/miss/evict=%d/%d/%d displacements=%d\n",
-			label,
-			s.Count(metrics.CtrObjectFault), s.Count(metrics.CtrPageFault),
-			s.Count(metrics.CtrROTLookup),
-			s.Count(metrics.CtrSwizzleEDS), s.Count(metrics.CtrSwizzleEIS),
-			s.Count(metrics.CtrSwizzleLDS), s.Count(metrics.CtrSwizzleLIS),
-			s.Count(metrics.CtrBufferHit), s.Count(metrics.CtrBufferMiss),
-			s.Count(metrics.CtrBufferEvict), s.Count(metrics.CtrDisplacement))
 	}
 
 	// Training run under NOS with the monitor attached (§7.1).
@@ -119,7 +104,7 @@ func run(workload string, parts, depth, repeat, ops, pages int, seed int64, stat
 	}
 	trainCost := c.OM.Meter().Micros()
 	fmt.Printf("training (NOS): %.1f ms simulated, %d trace records\n", trainCost/1000, trace.Len())
-	printObs("training", reg.Snapshot())
+	printObsSnapshot("training", reg.Snapshot())
 
 	// Analysis: swizzling graph + cost-model decision + greedy EDS pass.
 	res := monitor.NewStorageResolver(db.Srv, db.Schema)
@@ -166,7 +151,7 @@ func run(workload string, parts, depth, repeat, ops, pages int, seed int64, stat
 	tuned := c2.OM.Meter().Micros()
 	fmt.Printf("\ntuned run: %.1f ms simulated (training %.1f ms) — savings %.1f%%\n",
 		tuned/1000, trainCost/1000, (trainCost-tuned)/trainCost*100)
-	printObs("tuned", reg2.Snapshot())
+	printObsSnapshot("tuned", reg2.Snapshot())
 	return nil
 }
 
@@ -219,6 +204,123 @@ func runStatic(db *oo1.DB, workload string, depth, repeat, ops, pages int, seed 
 	_ = pages
 	_ = seed
 	return nil
+}
+
+// runWorkload executes one repetition of the named workload.
+func runWorkload(c *oo1.Client, workload string, depth, ops int) error {
+	switch workload {
+	case "traversal":
+		_, err := c.Traversal(depth)
+		return err
+	case "lookups":
+		return c.LookupN(ops)
+	case "updates":
+		for i := 0; i < ops; i++ {
+			if err := c.UpdateOp(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "mix":
+		return c.UpdateLookupMix(ops, ops/5)
+	default:
+		return fmt.Errorf("unknown workload %q", workload)
+	}
+}
+
+// printObsSnapshot prints the always-on observability counters, plus the
+// derived readahead/coalescing effectiveness ratios when those
+// subsystems saw any traffic.
+func printObsSnapshot(label string, s metrics.Snapshot) {
+	fmt.Printf("observability (%s): object_faults=%d page_faults=%d rot_lookups=%d "+
+		"swizzles{EDS/EIS/LDS/LIS}=%d/%d/%d/%d buffer hit/miss/evict=%d/%d/%d displacements=%d\n",
+		label,
+		s.Count(metrics.CtrObjectFault), s.Count(metrics.CtrPageFault),
+		s.Count(metrics.CtrROTLookup),
+		s.Count(metrics.CtrSwizzleEDS), s.Count(metrics.CtrSwizzleEIS),
+		s.Count(metrics.CtrSwizzleLDS), s.Count(metrics.CtrSwizzleLIS),
+		s.Count(metrics.CtrBufferHit), s.Count(metrics.CtrBufferMiss),
+		s.Count(metrics.CtrBufferEvict), s.Count(metrics.CtrDisplacement))
+	if issued := s.Count(metrics.CtrReadaheadIssued); issued > 0 {
+		fmt.Printf("  readahead (%s): issued=%d hit_ratio=%.2f waste_ratio=%.2f\n",
+			label, issued, s.ReadaheadHitRatio(), s.ReadaheadWasteRatio())
+	}
+	if merged := s.Count(metrics.CtrFaultCoalesced); merged > 0 {
+		fmt.Printf("  fault coalescing (%s): merged=%d ratio=%.2f\n",
+			label, merged, s.CoalesceRatio())
+	}
+}
+
+// runAdvise is the online pipeline: no monitor, no training run. The
+// workload executes under a deliberately installed strategy while the
+// always-on scoreboard counts per-context events; the advisor then folds
+// those counters through the cost model and reports any drift between
+// the installed strategy and what the observed workload would choose.
+func runAdvise(argv []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	var (
+		workload = fs.String("workload", "traversal", "traversal|lookups|updates|mix")
+		parts    = fs.Int("parts", 2000, "OO1 parts")
+		depth    = fs.Int("depth", 4, "traversal depth")
+		repeat   = fs.Int("repeat", 3, "workload repetitions (hot profiles)")
+		ops      = fs.Int("ops", 1000, "operation count for lookups/updates/mix")
+		pages    = fs.Int("pages", 1000, "page buffer frames")
+		seed     = fs.Int64("seed", 7, "seed")
+		strategy = fs.String("strategy", "NOS", "deliberately installed strategy (NOS|LIS|EIS|LDS|EDS)")
+		minRatio = fs.Float64("min-ratio", 0, "smallest installed/best cost ratio worth reporting (0 = default)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	st, ok := strategyNamed(*strategy)
+	if !ok {
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	cfg := oo1.DefaultConfig().Scaled(*parts)
+	cfg.Seed = *seed
+	fmt.Printf("generating %v ...\n", cfg)
+	db, err := oo1.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	reg := metrics.New()
+	c, err := oo1.NewClient(db, core.Options{PageBufferPages: *pages, Metrics: reg}, *seed)
+	if err != nil {
+		return err
+	}
+	db.Srv.SetMetrics(reg)
+	c.Begin(swizzle.NewSpec("advise", st))
+	for r := 0; r < *repeat; r++ {
+		c.Reseed(*seed)
+		if err := runWorkload(c, *workload, *depth, *ops); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("ran %q x%d under %v: %.1f ms simulated\n",
+		*workload, *repeat, st, c.OM.Meter().Micros()/1000)
+	printObsSnapshot("advise", reg.Snapshot())
+
+	fmt.Println("\nscoreboard (per-context, always-on):")
+	for _, row := range reg.ScoreRows() {
+		fmt.Printf("  %-24s %-12s %-4s %v\n", row.Context, row.Type, row.Strategy, row.Events)
+	}
+
+	adv := advisor.New(reg, advisor.Config{MinRatio: *minRatio})
+	adv.Install() // publish through /debug/metrics and /metrics too
+	fmt.Println()
+	fmt.Print(advisor.Report(adv.Analyze()))
+	return nil
+}
+
+// strategyNamed resolves a strategy abbreviation (NOS, EDS, ...).
+func strategyNamed(name string) (swizzle.Strategy, bool) {
+	for _, st := range swizzle.Strategies {
+		if st.String() == name {
+			return st, true
+		}
+	}
+	return swizzle.NOS, false
 }
 
 // sortedKeys returns the map's keys in sorted order, so reports are

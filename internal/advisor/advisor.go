@@ -1,0 +1,218 @@
+// Package advisor turns the always-on swizzle scoreboard into online
+// strategy advice. Where the paper's §7 monitor records a full access
+// trace offline and derives a specification from it, the advisor folds
+// the scoreboard's cheap per-context counters (derefs, faults,
+// swizzles, re-swizzles, displacements-in-use) through the §5 cost
+// model *while the application runs*, and reports contexts whose
+// installed strategy has drifted away from what the observed workload
+// would choose — e.g. an EDS context whose targets keep getting
+// displaced under memory pressure, where LIS would be cheaper.
+//
+// The advice is asymmetric by construction: the scoreboard observes the
+// workload through the installed strategy, so the reconstructed session
+// is an estimate. Mis-installed *direct* strategies are the easiest to
+// catch (displacement-in-use and re-swizzle events are counted
+// directly); a mis-installed NOS context is estimated from its fault
+// and deref counts alone.
+package advisor
+
+import (
+	"fmt"
+	"strings"
+
+	"gom/internal/costmodel"
+	"gom/internal/metrics"
+	"gom/internal/swizzle"
+)
+
+// Config tunes the analysis.
+type Config struct {
+	// Model is the cost model to fold observations through; nil selects
+	// the paper-calibrated default.
+	Model *costmodel.Model
+	// MinDerefs gates contexts: fewer observed dereferences than this
+	// and the context is skipped (too little signal to re-plan). Zero
+	// selects DefaultMinDerefs.
+	MinDerefs int64
+	// MinRatio is the smallest installed/best cost ratio worth
+	// reporting. Zero selects DefaultMinRatio.
+	MinRatio float64
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultMinDerefs = 64
+	DefaultMinRatio  = 1.1
+)
+
+// Advisor analyzes one registry's scoreboard.
+type Advisor struct {
+	cfg Config
+	reg *metrics.Registry
+}
+
+// New returns an advisor over the registry's scoreboard.
+func New(reg *metrics.Registry, cfg Config) *Advisor {
+	if cfg.Model == nil {
+		cfg.Model = costmodel.Default()
+	}
+	if cfg.MinDerefs == 0 {
+		cfg.MinDerefs = DefaultMinDerefs
+	}
+	if cfg.MinRatio == 0 {
+		cfg.MinRatio = DefaultMinRatio
+	}
+	return &Advisor{cfg: cfg, reg: reg}
+}
+
+// Install publishes the advisor as the registry's drift source, so
+// /debug/metrics JSON and the /metrics gauges carry its findings.
+func (a *Advisor) Install() { a.reg.SetDriftSource(a.Analyze) }
+
+// Analyze folds the current scoreboard through the cost model and
+// returns the contexts whose installed strategy looks mis-chosen,
+// most-drifted first.
+func (a *Advisor) Analyze() []metrics.Drift {
+	return a.AnalyzeRows(a.reg.ScoreRows())
+}
+
+// AnalyzeRows is Analyze over an explicit snapshot (swizzlemon uses it
+// on rows scraped from a remote /debug/metrics endpoint).
+func (a *Advisor) AnalyzeRows(rows []metrics.ScoreRow) []metrics.Drift {
+	var out []metrics.Drift
+	for _, row := range rows {
+		if d, ok := a.analyzeRow(row); ok {
+			out = append(out, d)
+		}
+	}
+	// Most-drifted first; rows arrive (context, type)-sorted, which
+	// stays the tiebreak.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Ratio > out[j-1].Ratio; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (a *Advisor) analyzeRow(row metrics.ScoreRow) (metrics.Drift, bool) {
+	derefs := row.Count(metrics.ScoreDeref)
+	faults := row.Count(metrics.ScoreFault)
+	swizzles := row.Count(metrics.ScoreSwizzle)
+	reswizzles := row.Count(metrics.ScoreReswizzle)
+	displaced := row.Count(metrics.ScoreDisplacedInUse)
+	// Gate on signal: enough dereferences to price the context, or —
+	// even with none — enough swizzle traffic, which is the eager-waste
+	// shape (an eager strategy converting references nobody follows).
+	if derefs < a.cfg.MinDerefs && swizzles < a.cfg.MinDerefs {
+		return metrics.Drift{}, false
+	}
+	installed, ok := strategyByName(row.Strategy)
+	if !ok {
+		return metrics.Drift{}, false
+	}
+
+	// Reconstruct the session variables of Table 3. first estimates the
+	// distinct references the context would swizzle once; under a
+	// swizzling strategy that is the swizzle count net of repeat
+	// conversions, under NOS it is bounded by the faults actually seen.
+	first := swizzles - reswizzles
+	if swizzles == 0 {
+		first = min64(derefs, faults)
+	}
+	if first < 0 {
+		first = swizzles
+	}
+	// redo is the extra conversion traffic a direct strategy pays when
+	// its targets are displaced while referenced: each displacement
+	// unswizzles in-use references that the next dereference converts
+	// again.
+	redo := reswizzles
+	if displaced > redo {
+		redo = displaced
+	}
+
+	cost := func(st swizzle.Strategy) float64 {
+		m := float64(0)
+		switch {
+		case !st.Swizzles():
+			m = 0
+		case st.Direct():
+			m = float64(first + redo)
+		default:
+			m = float64(first)
+		}
+		return a.cfg.Model.ApplicationCost(st, costmodel.Session{
+			LRef:   float64(derefs),
+			MEager: m,
+			MLazy:  m,
+			FanIn:  1,
+		})
+	}
+
+	installedCost := cost(installed)
+	best, bestCost := installed, installedCost
+	for _, st := range swizzle.Strategies {
+		if c := cost(st); c < bestCost {
+			best, bestCost = st, c
+		}
+	}
+	if best == installed {
+		return metrics.Drift{}, false
+	}
+	// A never-dereferenced context costs nothing under NOS; clamp the
+	// denominator so the ratio stays finite (and JSON-encodable).
+	den := bestCost
+	if den < 1 {
+		den = 1
+	}
+	ratio := installedCost / den
+	if ratio < a.cfg.MinRatio {
+		return metrics.Drift{}, false
+	}
+	dr := float64(0)
+	if derefs > 0 {
+		dr = float64(displaced) / float64(derefs)
+	}
+	return metrics.Drift{
+		Context:       row.Context,
+		Type:          row.Type,
+		Installed:     installed.String(),
+		Best:          best.String(),
+		InstalledCost: installedCost,
+		BestCost:      bestCost,
+		Ratio:         ratio,
+		DisplacedRate: dr,
+	}, true
+}
+
+// Report renders drift findings as one human-readable line each.
+func Report(drifts []metrics.Drift) string {
+	if len(drifts) == 0 {
+		return "advisor: no strategy drift detected\n"
+	}
+	var b strings.Builder
+	for _, d := range drifts {
+		fmt.Fprintf(&b,
+			"context %s (→%s): installed %s, observed displacement-in-use rate %.2f, %s predicted %.1fx cheaper (%.0fµs vs %.0fµs)\n",
+			d.Context, d.Type, d.Installed, d.DisplacedRate, d.Best, d.Ratio,
+			d.InstalledCost, d.BestCost)
+	}
+	return b.String()
+}
+
+func strategyByName(name string) (swizzle.Strategy, bool) {
+	for _, st := range swizzle.Strategies {
+		if st.String() == name {
+			return st, true
+		}
+	}
+	return swizzle.NOS, false
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"gom/internal/metrics"
+)
+
+// A context doing hot repeated dereferences under NOS pays the ROT
+// lookup on every access; the advisor must prefer a swizzling strategy.
+func TestAdvisorFlagsHotNOS(t *testing.T) {
+	reg := metrics.New()
+	s := reg.Score("Part", "Part.partOf")
+	s.SetStrategy("NOS")
+	s.Add(metrics.ScoreDeref, 10000)
+	s.Add(metrics.ScoreFault, 20)
+
+	a := New(reg, Config{})
+	drifts := a.Analyze()
+	if len(drifts) != 1 {
+		t.Fatalf("got %d drifts, want 1: %+v", len(drifts), drifts)
+	}
+	d := drifts[0]
+	if d.Installed != "NOS" || d.Best == "NOS" {
+		t.Fatalf("drift = %+v", d)
+	}
+	if d.Ratio <= 1 {
+		t.Fatalf("ratio %v not > 1", d.Ratio)
+	}
+}
+
+// A direct-swizzling context whose targets are constantly displaced
+// while in use re-pays the swizzle round trip over and over; a cheaper
+// (indirect or unswizzled) strategy must win.
+func TestAdvisorFlagsThrashingDirect(t *testing.T) {
+	reg := metrics.New()
+	s := reg.Score("Part", "Part.to")
+	s.SetStrategy("EDS")
+	s.Add(metrics.ScoreDeref, 1000)
+	s.Add(metrics.ScoreFault, 900)
+	s.Add(metrics.ScoreSwizzle, 900)
+	s.Add(metrics.ScoreReswizzle, 600)
+	s.Add(metrics.ScoreDisplacedInUse, 800)
+
+	a := New(reg, Config{})
+	drifts := a.Analyze()
+	if len(drifts) != 1 {
+		t.Fatalf("got %d drifts: %+v", len(drifts), drifts)
+	}
+	d := drifts[0]
+	if d.Installed != "EDS" {
+		t.Fatalf("installed %q", d.Installed)
+	}
+	if d.Best == "EDS" || d.Best == "LDS" {
+		t.Fatalf("best %q is still direct", d.Best)
+	}
+	if d.DisplacedRate != 0.8 {
+		t.Fatalf("displaced rate %v", d.DisplacedRate)
+	}
+	if !strings.Contains(Report(drifts), "installed EDS") {
+		t.Fatalf("report:\n%s", Report(drifts))
+	}
+}
+
+// An eager context that swizzles thousands of references nobody ever
+// follows is pure waste; the advisor must flag it even though it has no
+// dereferences at all (the swizzle count passes the gate).
+func TestAdvisorFlagsEagerWaste(t *testing.T) {
+	reg := metrics.New()
+	s := reg.Score("Part", "Connection.from")
+	s.SetStrategy("EDS")
+	s.Add(metrics.ScoreSwizzle, 6000)
+	s.Add(metrics.ScoreFault, 1500)
+
+	a := New(reg, Config{})
+	drifts := a.Analyze()
+	if len(drifts) != 1 {
+		t.Fatalf("got %d drifts: %+v", len(drifts), drifts)
+	}
+	d := drifts[0]
+	if d.Installed != "EDS" || d.Best != "NOS" {
+		t.Fatalf("drift = %+v", d)
+	}
+	if d.Ratio < 1 {
+		t.Fatalf("ratio %v", d.Ratio)
+	}
+}
+
+// Contexts below the deref gate, or whose installed strategy is already
+// best, stay silent.
+func TestAdvisorGates(t *testing.T) {
+	reg := metrics.New()
+	cold := reg.Score("Part", "Part.cold")
+	cold.SetStrategy("NOS")
+	cold.Add(metrics.ScoreDeref, 3)
+
+	good := reg.Score("Part", "Part.good")
+	good.SetStrategy("EDS")
+	good.Add(metrics.ScoreDeref, 10000)
+	good.Add(metrics.ScoreFault, 10)
+	good.Add(metrics.ScoreSwizzle, 10)
+
+	a := New(reg, Config{})
+	if drifts := a.Analyze(); len(drifts) != 0 {
+		t.Fatalf("unexpected drifts: %+v", drifts)
+	}
+
+	// Install publishes through the registry's drift hook.
+	a.Install()
+	if got := reg.Drifts(); len(got) != 0 {
+		t.Fatalf("installed source returned %+v", got)
+	}
+	if !strings.Contains(Report(nil), "no strategy drift") {
+		t.Fatal("empty report wrong")
+	}
+}

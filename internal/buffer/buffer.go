@@ -32,6 +32,7 @@ import (
 	"gom/internal/page"
 	"gom/internal/server"
 	"gom/internal/sim"
+	"gom/internal/trace"
 )
 
 // Errors returned by the pool.
@@ -109,6 +110,10 @@ type Pool struct {
 	capacity int
 	onEvict  EvictFn
 	ra       *readahead // nil unless EnableReadahead succeeded
+
+	// spans/spanCtx: request tracing (see SetTrace in trace.go).
+	spans   *trace.Tracer
+	spanCtx func() trace.Context
 
 	shards [frameShards]frameShard
 	count  atomic.Int64 // installed frames
@@ -272,6 +277,10 @@ func (p *Pool) fault(pid page.PageID) (f *Frame, err error, retry bool) {
 // needed), read the image — from the readahead staging area when possible —
 // and install it.
 func (p *Pool) faultLeader(pid page.PageID) (*Frame, error) {
+	if sp := p.spans.StartChild(spanPageFault, p.traceCtx()); sp.Sampled() {
+		sp.SetArgs(uint64(pid), 0)
+		defer sp.Finish()
+	}
 	if p.Peek(pid) != nil {
 		return nil, nil // promoted while we acquired leadership
 	}

@@ -209,9 +209,17 @@ func (p *Pool) noteMiss(pid page.PageID) {
 		return
 	}
 	obs := p.obs
+	// Capture the requesting operation's trace context *before* spawning:
+	// by the time the goroutine runs, the operation that triggered the
+	// prefetch may have finished and the ambient context moved on.
+	par := p.traceCtx()
 	ra.wg.Add(1)
 	go func() {
 		defer ra.wg.Done()
+		if sp := p.spans.StartChild(spanReadahead, par); sp.Sampled() {
+			sp.SetArgs(uint64(start), uint64(n))
+			defer sp.Finish()
+		}
 		imgs, err := ra.reader.ReadPages(start, n)
 		issued, staged := 0, 0
 		for i := 0; i < n; i++ {

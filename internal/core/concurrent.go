@@ -184,6 +184,7 @@ func (om *OM) fastDeref(v *Var) (error, bool) {
 	if !ok {
 		return nil, false
 	}
+	v.score.Inc(metrics.ScoreDeref)
 	if rerr == nil {
 		om.fastChargeHome(h, r.State, v.strategy.Lazy())
 	}
@@ -207,6 +208,7 @@ func (om *OM) fastReadInt(v *Var, field string) (int64, error, bool) {
 	if !ok {
 		return 0, nil, false
 	}
+	v.score.Inc(metrics.ScoreDeref)
 	if rerr != nil {
 		return 0, rerr, true
 	}
@@ -240,6 +242,7 @@ func (om *OM) fastReadStr(v *Var, field string) (string, error, bool) {
 	if !ok {
 		return "", nil, false
 	}
+	v.score.Inc(metrics.ScoreDeref)
 	if rerr != nil {
 		return "", rerr, true
 	}
@@ -273,6 +276,7 @@ func (om *OM) fastCard(v *Var, field string) (int, error, bool) {
 	if !ok {
 		return 0, nil, false
 	}
+	v.score.Inc(metrics.ScoreDeref)
 	if rerr != nil {
 		return 0, rerr, true
 	}
@@ -306,6 +310,7 @@ func (om *OM) fastTypeOf(v *Var) (*object.Type, error, bool) {
 	if !ok {
 		return nil, nil, false
 	}
+	v.score.Inc(metrics.ScoreDeref)
 	if rerr != nil {
 		return nil, rerr, true
 	}
@@ -331,6 +336,7 @@ func (om *OM) fastWriteInt(v *Var, field string, val int64) (error, bool) {
 	if !ok {
 		return nil, false
 	}
+	v.score.Inc(metrics.ScoreDeref)
 	if rerr != nil {
 		return rerr, true
 	}
@@ -523,6 +529,7 @@ func (om *OM) fastReadRef(v *Var, field string, dst *Var) (error, bool) {
 	if !ok {
 		return nil, false
 	}
+	v.score.Inc(metrics.ScoreDeref)
 	if rerr != nil {
 		return rerr, true
 	}
@@ -548,6 +555,7 @@ func (om *OM) fastReadRef(v *Var, field string, dst *Var) (error, bool) {
 	om.fastChargeHome(h, r.State, lazy)
 	costs := om.meter.Costs()
 	om.obs.Inc(metrics.CtrRead)
+	om.slotScore(slot).Inc(metrics.ScoreDeref)
 	om.meter.SharedEvent(h, sim.CntLookupRef, costs.FieldAccess+costs.RefFieldExtra)
 	om.fastAssignCommit(dst, src, target, h)
 	return nil, true
@@ -569,6 +577,7 @@ func (om *OM) fastReadElem(v *Var, field string, i int, dst *Var) (error, bool) 
 	if !ok {
 		return nil, false
 	}
+	v.score.Inc(metrics.ScoreDeref)
 	if rerr != nil {
 		return rerr, true
 	}
@@ -599,6 +608,7 @@ func (om *OM) fastReadElem(v *Var, field string, i int, dst *Var) (error, bool) 
 	om.fastChargeHome(h, r.State, lazy)
 	costs := om.meter.Costs()
 	om.obs.Inc(metrics.CtrRead)
+	om.slotScore(slot).Inc(metrics.ScoreDeref)
 	om.meter.SharedEvent(h, sim.CntLookupRef, costs.FieldAccess+costs.RefFieldExtra)
 	om.fastAssignCommit(dst, src, target, h)
 	return nil, true

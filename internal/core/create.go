@@ -13,6 +13,8 @@ import (
 // in creating an object" — the subsequent initialization writes are
 // ordinary Updates).
 func (om *OM) Create(typ *object.Type, seg uint16, v *Var) error {
+	sp, prev := om.startOp(spanCreate)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -23,6 +25,8 @@ func (om *OM) Create(typ *object.Type, seg uint16, v *Var) error {
 // CreateNear is Create with a clustering hint: the new object is placed on
 // the neighbor's page when possible (§6.6.3).
 func (om *OM) CreateNear(typ *object.Type, seg uint16, v, neighbor *Var) error {
+	sp, prev := om.startOp(spanCreate)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -90,7 +94,7 @@ func (om *OM) create(typ *object.Type, seg uint16, v, neighbor *Var) error {
 	om.unregisterSlot(object.VarSlot(&v.ref))
 	v.ref = object.OIDRef(id)
 	if v.strategy.Swizzles() && !(om.lazyUponDereference && v.strategy.Lazy()) {
-		return om.swizzleSlot(object.VarSlot(&v.ref), v.strategy)
+		return om.swizzleSlot(object.VarSlot(&v.ref), v.strategy, v.score)
 	}
 	return nil
 }

@@ -28,7 +28,7 @@ import (
 // it has not been discovered yet) is swizzled here; that is the paper's
 // m(st)·SW term, and for LDS it is exactly the re-swizzling the hot
 // Traversals of §6.3 suffer from under paging.
-func (om *OM) deref(slot object.Slot, strat swizzle.Strategy) (*object.MemObject, error) {
+func (om *OM) deref(slot object.Slot, strat swizzle.Strategy, score *metrics.Score) (*object.MemObject, error) {
 	r := slot.Ref()
 	if r.IsNil() {
 		return nil, ErrNilRef
@@ -41,7 +41,7 @@ func (om *OM) deref(slot object.Slot, strat swizzle.Strategy) (*object.MemObject
 		// A swizzled-strategy slot holding an OID: not yet discovered, or
 		// unswizzled when its target was displaced. (Re-)swizzle it; the
 		// slot is updated in place, so the switch below sees the new state.
-		if err := om.swizzleSlot(slot, strat); err != nil {
+		if err := om.swizzleSlot(slot, strat, score); err != nil {
 			return nil, err
 		}
 	}
@@ -64,6 +64,7 @@ func (om *OM) deref(slot object.Slot, strat swizzle.Strategy) (*object.MemObject
 		om.meter.Add(sim.CntResidencyCheck, 1)
 		d := r.Desc()
 		if !d.Valid() {
+			score.Inc(metrics.ScoreFault)
 			target, err := om.ensureResident(d.OID)
 			if err != nil {
 				return nil, err
@@ -89,6 +90,7 @@ func (om *OM) deref(slot object.Slot, strat swizzle.Strategy) (*object.MemObject
 		e := om.rot.Lookup(r.OID())
 		if e == nil {
 			om.meter.Add(sim.CntROTMiss, 1)
+			score.Inc(metrics.ScoreFault)
 			return om.objectFault(r.OID())
 		}
 		om.meter.Add(sim.CntROTHit, 1)
@@ -136,6 +138,15 @@ func (om *OM) ensureResident(id oid.OID) (*object.MemObject, error) {
 // architecture), register it in the ROT, revalidate its descriptor, and —
 // under eager granules — scan through it and swizzle its references.
 func (om *OM) objectFault(id oid.OID) (*object.MemObject, error) {
+	if sp := om.spans.StartChild(spanObjectFault, om.TraceContext()); sp.Sampled() {
+		sp.SetArgs(uint64(id), 0)
+		ctx := sp.Context()
+		prev := om.curCtx.Swap(&ctx)
+		defer func() {
+			om.curCtx.Store(prev)
+			sp.Finish()
+		}()
+	}
 	om.obs.Inc(metrics.CtrObjectFault)
 	om.obs.Trace(metrics.CtrObjectFault, uint64(id), 0)
 	om.meter.Add(sim.CntObjectFault, 1)
@@ -243,7 +254,7 @@ func (om *OM) eagerScan(e *rot.Entry) error {
 		if s.Ref().State != object.RefOID {
 			continue
 		}
-		if err := om.swizzleSlot(s, om.spec.ForSlot(s)); err != nil {
+		if err := om.swizzleSlot(s, om.spec.ForSlot(s), om.slotScore(s)); err != nil {
 			return err
 		}
 	}
@@ -313,7 +324,7 @@ func (om *OM) unpinEntry(e *rot.Entry) {
 // about — residency of the target, which for EDS granules is the eager
 // loading of the transitive closure (§3.2.2). Indirect swizzling installs
 // a descriptor and never loads.
-func (om *OM) swizzleSlot(slot object.Slot, strat swizzle.Strategy) error {
+func (om *OM) swizzleSlot(slot object.Slot, strat swizzle.Strategy, score *metrics.Score) error {
 	r := slot.Ref()
 	if r.State != object.RefOID || !strat.Swizzles() {
 		return nil
@@ -329,6 +340,11 @@ func (om *OM) swizzleSlot(slot object.Slot, strat swizzle.Strategy) error {
 		if strat == swizzle.EDS {
 			om.meter.Add(sim.CntSnowballLoad, 1)
 		}
+		if om.rot.Lookup(id) == nil {
+			// Direct swizzling forces residency: charge the fault to this
+			// context on the scoreboard.
+			score.Inc(metrics.ScoreFault)
+		}
 		target, err := om.ensureResident(id)
 		if err != nil {
 			return err
@@ -339,6 +355,7 @@ func (om *OM) swizzleSlot(slot object.Slot, strat swizzle.Strategy) error {
 			return nil
 		}
 		om.obs.Inc(swizzleCounter(strat))
+		score.Inc(metrics.ScoreSwizzle)
 		om.meter.Event(sim.CntSwizzleDirect, costs.SwizzleDirect)
 		om.registerDirect(slot, target)
 		*slot.Ref() = object.DirectRef(target)
@@ -348,6 +365,7 @@ func (om *OM) swizzleSlot(slot object.Slot, strat swizzle.Strategy) error {
 	d := om.descriptorFor(id)
 	d.FanIn++
 	om.obs.Inc(swizzleCounter(strat))
+	score.Inc(metrics.ScoreSwizzle)
 	om.meter.Event(sim.CntSwizzleIndirect, costs.SwizzleIndirect)
 	*slot.Ref() = object.IndirectRef(d)
 	return nil

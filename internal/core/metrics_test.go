@@ -5,6 +5,7 @@ import (
 
 	"gom/internal/metrics"
 	"gom/internal/swizzle"
+	"gom/internal/trace"
 )
 
 // TestStrategyMetricsSemantics ties the observability counters to the
@@ -149,16 +150,48 @@ func TestDerefZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestDerefScoreboardZeroAlloc extends the zero-alloc contract to the
+// full always-on stack: per-context scoreboard counting plus a live but
+// unsampled span tracer. The head-sampling decision and the scoreboard
+// increments must not heap-allocate on the hot path.
+func TestDerefScoreboardZeroAlloc(t *testing.T) {
+	b := buildBase(t, 10)
+	// A huge sampling rate keeps every benchmark-loop root unsampled
+	// while still exercising the live sampling branch.
+	om := b.om(t, Options{Metrics: metrics.New(), Trace: trace.New(1<<30, 64)})
+	om.BeginApplication(appSpec(swizzle.EDS))
+	v := om.NewVar("p", b.part)
+	if err := om.Load(v, b.parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := om.ReadInt(v, "x"); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := om.ReadInt(v, "x"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("deref with scoreboard + unsampled tracing allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // BenchmarkDerefNoMetrics measures the steady-state dereference path with
 // no registry installed; BenchmarkDerefWithMetrics is the same workload
 // with every hook live. Comparing them bounds the cost of the always-on
 // layer (the nil path must stay within a few percent).
-func BenchmarkDerefNoMetrics(b *testing.B)   { benchDeref(b, nil) }
-func BenchmarkDerefWithMetrics(b *testing.B) { benchDeref(b, metrics.New()) }
+// BenchmarkDerefScoreboard adds the per-context scoreboard and an
+// installed-but-unsampled tracer — the "always-on" production shape.
+func BenchmarkDerefNoMetrics(b *testing.B)   { benchDeref(b, nil, nil) }
+func BenchmarkDerefWithMetrics(b *testing.B) { benchDeref(b, metrics.New(), nil) }
+func BenchmarkDerefScoreboard(b *testing.B) {
+	benchDeref(b, metrics.New(), trace.New(1<<30, 64))
+}
 
-func benchDeref(b *testing.B, reg *metrics.Registry) {
+func benchDeref(b *testing.B, reg *metrics.Registry, tr *trace.Tracer) {
 	base := buildBase(b, 10)
-	om := base.om(b, Options{Metrics: reg})
+	om := base.om(b, Options{Metrics: reg, Trace: tr})
 	om.BeginApplication(appSpec(swizzle.EDS))
 	v := om.NewVar("p", base.part)
 	if err := om.Load(v, base.parts[0]); err != nil {

@@ -32,6 +32,7 @@ import (
 	"gom/internal/sim"
 	"gom/internal/storage"
 	"gom/internal/swizzle"
+	"gom/internal/trace"
 )
 
 // Errors returned by the object manager.
@@ -95,6 +96,13 @@ type Options struct {
 	// simulated cost model are unchanged except for the overlapped
 	// round-trips.
 	ReadaheadPages int
+	// Trace installs the request tracer: entry points open sampled spans
+	// that propagate through buffer faults, readahead, and — when the
+	// server transport supports featureTrace — across the wire, so
+	// server-side storage spans parent under client operations. Nil
+	// disables tracing; an installed-but-unsampled tracer costs two
+	// branches per operation and never allocates.
+	Trace *trace.Tracer
 	// Concurrent makes the object manager safe for concurrent use by many
 	// goroutines (see concurrent.go and DESIGN.md "Concurrency
 	// architecture"). Hot dereference/read operations run under a
@@ -149,6 +157,14 @@ type OM struct {
 	// swizzleTableCap > 0 selects the bounded swizzle table (§3.2.2).
 	swizzleTableCap int
 	swizzleTable    []object.Slot
+
+	// spans is the request tracer (nil disables); curCtx is the ambient
+	// trace context of the operation currently executing, read by the
+	// buffer pool and the RPC layer to parent their spans. scoreTab is
+	// the precomputed per-type table of scoreboard handles (span.go).
+	spans    *trace.Tracer
+	curCtx   atomic.Pointer[trace.Context]
+	scoreTab map[*object.Type][]*metrics.Score
 
 	tracer Tracer
 	// specEpoch increments on every application switch that changes the
@@ -216,6 +232,7 @@ func New(opt Options) (*OM, error) {
 	}
 	om.pool.OnEvict(om.onPageEvict)
 	om.SetMetrics(opt.Metrics)
+	om.SetTrace(opt.Trace)
 	if opt.ObjectCache {
 		bytes := opt.ObjectCacheBytes
 		if bytes == 0 {
@@ -249,6 +266,8 @@ func (om *OM) Metrics() *metrics.Registry { return om.obs }
 func (om *OM) SetMetrics(r *metrics.Registry) {
 	om.obs = r
 	om.pool.SetMetrics(r)
+	om.buildScoreTab()
+	om.labelScoreStrategies()
 }
 
 // Schema returns the schema.
@@ -287,6 +306,8 @@ func (om *OM) trace(id oid.OID, attr string, write bool) {
 // marked stale and their representation is fixed lazily on first access
 // (§4.1.2) — pages and objects stay buffered hot across commits.
 func (om *OM) BeginApplication(spec *swizzle.Spec) {
+	sp, prev := om.startOp(spanBegin)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -306,6 +327,7 @@ func (om *OM) BeginApplication(spec *swizzle.Spec) {
 		})
 	}
 	om.spec = spec
+	om.labelScoreStrategies()
 }
 
 // releaseVars unregisters every live variable's swizzling bookkeeping and
@@ -325,6 +347,8 @@ func (om *OM) releaseVars() {
 // buffered page and cached object remains resident for subsequent
 // applications (§4.1.2).
 func (om *OM) Commit() error {
+	sp, prev := om.startOp(spanCommit)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -440,6 +464,9 @@ type Var struct {
 	typ      *object.Type // declared type of the referenced objects
 	strategy swizzle.Strategy
 	ref      object.Ref
+	// score is the variable's swizzle-scoreboard handle (its own context,
+	// §4.2.3), resolved once here so hot paths pay one atomic add.
+	score *metrics.Score
 	// slot is a round-robin index assigned at creation; concurrent mode
 	// uses it to pick DRW reader slots and meter stripes so independent
 	// goroutines' variables spread across locks and cache lines.
@@ -455,6 +482,10 @@ func (om *OM) NewVar(name string, typ *object.Type) *Var {
 		defer om.mu.RUnlock(rs)
 	}
 	v.strategy = om.spec.ForVar(name, typ.Name)
+	if om.obs != nil {
+		v.score = om.obs.Score(typ.Name, "$"+name)
+		v.score.SetStrategy(v.strategy.String())
+	}
 	om.vars.add(v)
 	return v
 }

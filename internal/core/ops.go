@@ -33,7 +33,8 @@ func (om *OM) home(v *Var) (*object.MemObject, error) {
 	if err := om.takeDeferredErr(); err != nil {
 		return nil, err
 	}
-	return om.deref(object.VarSlot(&v.ref), v.strategy)
+	v.score.Inc(metrics.ScoreDeref)
+	return om.deref(object.VarSlot(&v.ref), v.strategy, v.score)
 }
 
 // Load assigns an entry-point OID to a variable — how an application gets
@@ -41,6 +42,8 @@ func (om *OM) home(v *Var) (*object.MemObject, error) {
 // swizzling strategy, loading is a discovery: the variable's reference is
 // swizzled immediately (except in the upon-dereference ablation mode).
 func (om *OM) Load(v *Var, id oid.OID) error {
+	sp, prev := om.startOp(spanLoad)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -60,7 +63,7 @@ func (om *OM) Load(v *Var, id oid.OID) error {
 	// model the per-entry swizzling of program variables (§7.1).
 	om.trace(id, "", false)
 	if v.strategy.Swizzles() && !(om.lazyUponDereference && v.strategy.Lazy()) {
-		return om.swizzleSlot(object.VarSlot(&v.ref), v.strategy)
+		return om.swizzleSlot(object.VarSlot(&v.ref), v.strategy, v.score)
 	}
 	return nil
 }
@@ -68,6 +71,8 @@ func (om *OM) Load(v *Var, id oid.OID) error {
 // Deref ensures the variable's target is resident and correctly
 // represented, swizzling the variable if its strategy calls for it.
 func (om *OM) Deref(v *Var) error {
+	sp, prev := om.startOp(spanDeref)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		if err, ok := om.fastDeref(v); ok {
 			return err
@@ -83,6 +88,8 @@ func (om *OM) Deref(v *Var) error {
 // ReadInt reads an int field of the object the variable references (one
 // Lookup in the paper's cost model; Table 5, "int" row).
 func (om *OM) ReadInt(v *Var, field string) (int64, error) {
+	sp, prev := om.startOp(spanReadInt)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		if val, err, ok := om.fastReadInt(v, field); ok {
 			return val, err
@@ -106,6 +113,8 @@ func (om *OM) ReadInt(v *Var, field string) (int64, error) {
 
 // ReadStr reads a string field.
 func (om *OM) ReadStr(v *Var, field string) (string, error) {
+	sp, prev := om.startOp(spanReadStr)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		if val, err, ok := om.fastReadStr(v, field); ok {
 			return val, err
@@ -132,6 +141,8 @@ func (om *OM) ReadStr(v *Var, field string) (string, error) {
 // (§3.2.1): the field's reference is swizzled per its granule before it is
 // copied, unless the manager runs in the upon-dereference ablation mode.
 func (om *OM) ReadRef(v *Var, field string, dst *Var) error {
+	sp, prev := om.startOp(spanReadRef)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		if err, ok := om.fastReadRef(v, field, dst); ok {
 			return err
@@ -156,6 +167,9 @@ func (om *OM) ReadRef(v *Var, field string, dst *Var) error {
 	om.trace(obj.OID, field, false)
 	return om.withPinned(obj, func() error {
 		slot := object.FieldSlot(obj, fi)
+		// The read is a use of the reference in its home context — the
+		// scoreboard row the advisor prices as LRef for "Type.field".
+		om.slotScore(slot).Inc(metrics.ScoreDeref)
 		if err := om.discover(slot); err != nil {
 			return err
 		}
@@ -165,6 +179,8 @@ func (om *OM) ReadRef(v *Var, field string, dst *Var) error {
 
 // ReadElem reads the i-th element of a set-valued field into a variable.
 func (om *OM) ReadElem(v *Var, field string, i int, dst *Var) error {
+	sp, prev := om.startOp(spanReadElem)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		if err, ok := om.fastReadElem(v, field, i, dst); ok {
 			return err
@@ -193,6 +209,7 @@ func (om *OM) ReadElem(v *Var, field string, i int, dst *Var) error {
 	om.trace(obj.OID, field, false)
 	return om.withPinned(obj, func() error {
 		slot := object.ElemSlot(obj, fi, i)
+		om.slotScore(slot).Inc(metrics.ScoreDeref)
 		if err := om.discover(slot); err != nil {
 			return err
 		}
@@ -210,11 +227,13 @@ func (om *OM) discover(slot object.Slot) error {
 	if slot.Ref().State != object.RefOID {
 		return nil
 	}
-	return om.swizzleSlot(slot, strat)
+	return om.swizzleSlot(slot, strat, om.slotScore(slot))
 }
 
 // Card returns the cardinality of a set-valued field.
 func (om *OM) Card(v *Var, field string) (int, error) {
+	sp, prev := om.startOp(spanCard)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		if n, err, ok := om.fastCard(v, field); ok {
 			return n, err
@@ -238,6 +257,8 @@ func (om *OM) Card(v *Var, field string) (int, error) {
 
 // WriteInt updates an int field (one Update; Fig. 11b).
 func (om *OM) WriteInt(v *Var, field string, val int64) error {
+	sp, prev := om.startOp(spanWrite)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		if err, ok := om.fastWriteInt(v, field, val); ok {
 			return err
@@ -264,6 +285,8 @@ func (om *OM) WriteInt(v *Var, field string, val int64) error {
 
 // WriteStr updates a string field.
 func (om *OM) WriteStr(v *Var, field string, val string) error {
+	sp, prev := om.startOp(spanWrite)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -290,6 +313,8 @@ func (om *OM) WriteStr(v *Var, field string, val string) error {
 // target's and the new target's — which is what makes the cost grow with
 // fan-in).
 func (om *OM) WriteRef(v *Var, field string, src *Var) error {
+	sp, prev := om.startOp(spanWrite)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -344,6 +369,8 @@ func (om *OM) Assign(dst, src *Var) error {
 
 // AppendElem adds the object referenced by src to a set-valued field.
 func (om *OM) AppendElem(v *Var, field string, src *Var) error {
+	sp, prev := om.startOp(spanWrite)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -377,6 +404,8 @@ func (om *OM) AppendElem(v *Var, field string, src *Var) error {
 // WriteElem overwrites the i-th element of a set-valued field with the
 // reference held by src, maintaining all swizzling bookkeeping.
 func (om *OM) WriteElem(v *Var, field string, i int, src *Var) error {
+	sp, prev := om.startOp(spanWrite)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()
@@ -412,6 +441,8 @@ func (om *OM) WriteElem(v *Var, field string, i int, src *Var) error {
 // RemoveElem removes the i-th element of a set-valued field, maintaining
 // the RRL registrations of the element that is swapped into its place.
 func (om *OM) RemoveElem(v *Var, field string, i int) error {
+	sp, prev := om.startOp(spanWrite)
+	defer om.endOp(sp, prev)
 	if om.conc {
 		om.mu.Lock()
 		defer om.mu.Unlock()

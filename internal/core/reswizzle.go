@@ -1,6 +1,7 @@
 package core
 
 import (
+	"gom/internal/metrics"
 	"gom/internal/object"
 	"gom/internal/sim"
 )
@@ -53,7 +54,7 @@ func (om *OM) fixRepresentation(obj *object.MemObject) error {
 		switch r.State {
 		case object.RefOID:
 			if desired.Eager() {
-				if err := om.swizzleSlot(s, desired); err != nil {
+				if err := om.swizzleSlot(s, desired, om.slotScore(s)); err != nil {
 					return err
 				}
 			}
@@ -61,7 +62,8 @@ func (om *OM) fixRepresentation(obj *object.MemObject) error {
 			if !desired.Direct() {
 				om.unswizzleSlot(s)
 				if desired.Eager() { // EIS
-					if err := om.swizzleSlot(s, desired); err != nil {
+					om.slotScore(s).Inc(metrics.ScoreReswizzle)
+					if err := om.swizzleSlot(s, desired, om.slotScore(s)); err != nil {
 						return err
 					}
 				}
@@ -70,7 +72,8 @@ func (om *OM) fixRepresentation(obj *object.MemObject) error {
 			if !desired.Indirect() {
 				om.unswizzleSlot(s)
 				if desired.Eager() { // EDS
-					if err := om.swizzleSlot(s, desired); err != nil {
+					om.slotScore(s).Inc(metrics.ScoreReswizzle)
+					if err := om.swizzleSlot(s, desired, om.slotScore(s)); err != nil {
 						return err
 					}
 				}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"gom/internal/metrics"
+	"gom/internal/object"
+	"gom/internal/trace"
+)
+
+// Span names. Constants so starting a span never builds a string.
+const (
+	spanLoad     = "load"
+	spanDeref    = "deref"
+	spanReadInt  = "read_int"
+	spanReadStr  = "read_str"
+	spanReadRef  = "read_ref"
+	spanReadElem = "read_elem"
+	spanCard     = "card"
+	spanWrite    = "update"
+	spanCreate   = "create"
+	spanCommit   = "commit"
+	spanBegin    = "begin_application"
+
+	spanObjectFault = "object_fault"
+)
+
+// SetTrace installs (or removes, with nil) the request tracer on the
+// object manager, its buffer pool, and — when the server transport
+// supports it (server.Client) — the RPC layer, so spans started at
+// entry points here parent the downstream fault, readahead, and RPC
+// spans. Call before issuing operations; it is not synchronized against
+// in-flight calls.
+func (om *OM) SetTrace(t *trace.Tracer) {
+	om.spans = t
+	om.pool.SetTrace(t, om.TraceContext)
+	if tc, ok := om.srv.(interface {
+		SetTrace(*trace.Tracer, func() trace.Context)
+	}); ok {
+		tc.SetTrace(t, om.TraceContext)
+	}
+}
+
+// TraceContext returns the trace context of the operation currently
+// executing on the object manager (the ambient context downstream
+// layers parent under), or the zero context when none is sampled.
+func (om *OM) TraceContext() trace.Context {
+	if p := om.curCtx.Load(); p != nil {
+		return *p
+	}
+	return trace.Context{}
+}
+
+// startOp opens a root span for one object-manager entry point and
+// installs it as the ambient context. The unsampled path allocates
+// nothing: the context copy that escapes to the heap is created only
+// inside the Sampled branch. Pair with a deferred endOp; the span is
+// passed back by value (root spans set no late arguments).
+func (om *OM) startOp(name string) (trace.Span, *trace.Context) {
+	sp := om.spans.Start(name, trace.Context{})
+	if !sp.Sampled() {
+		return sp, nil
+	}
+	ctx := sp.Context()
+	prev := om.curCtx.Swap(&ctx)
+	return sp, prev
+}
+
+// endOp closes a root span and restores the previous ambient context.
+func (om *OM) endOp(sp trace.Span, prev *trace.Context) {
+	if !sp.Sampled() {
+		return
+	}
+	om.curCtx.Store(prev)
+	sp.Finish()
+}
+
+// buildScoreTab precomputes the per-type slot score handles of the
+// swizzle scoreboard: scoreTab[type][field] is the shared counter for
+// the context "Type.field" (nil for non-reference fields). Built when
+// the registry is installed, so the dereference hot path — including
+// the concurrent fast paths, which read the map lock-free — does one
+// pointer load and one atomic add per event, with no map writes and no
+// allocations.
+func (om *OM) buildScoreTab() {
+	if om.obs == nil {
+		om.scoreTab = nil
+		return
+	}
+	tab := make(map[*object.Type][]*metrics.Score, len(om.schema.Types()))
+	for _, t := range om.schema.Types() {
+		scores := make([]*metrics.Score, t.NumFields())
+		for i, f := range t.Fields() {
+			if f.Kind == object.KindRef || f.Kind == object.KindRefSet {
+				scores[i] = om.obs.Score(f.Target, t.Name+"."+f.Name)
+			}
+		}
+		tab[t] = scores
+	}
+	om.scoreTab = tab
+}
+
+// slotScore resolves the scoreboard handle of a field or set-element
+// slot. Variable slots return nil — variables carry their own handle on
+// the Var.
+func (om *OM) slotScore(s object.Slot) *metrics.Score {
+	if om.scoreTab == nil || s.IsVar() {
+		return nil
+	}
+	scores := om.scoreTab[s.Home.Type]
+	if s.Field >= len(scores) {
+		return nil
+	}
+	return scores[s.Field]
+}
+
+// labelScoreStrategies stamps every scoreboard context with the
+// strategy the active spec installs for it, so drift reports can name
+// the installed strategy without re-resolving the spec.
+func (om *OM) labelScoreStrategies() {
+	if om.obs == nil {
+		return
+	}
+	for _, t := range om.schema.Types() {
+		for i, f := range t.Fields() {
+			if f.Kind != object.KindRef && f.Kind != object.KindRefSet {
+				continue
+			}
+			om.obs.Score(f.Target, t.Name+"."+f.Name).
+				SetStrategy(om.spec.ForField(t, i).String())
+		}
+	}
+}

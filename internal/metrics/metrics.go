@@ -289,7 +289,19 @@ type Registry struct {
 	counters [NumCounters]atomic.Int64
 	gauges   [NumGauges]gauge
 	rpc      [NumRPCOps]Histogram
-	tracer   *Tracer
+	// io counts protocol frames and payload bytes per opcode and
+	// direction (0 = received, 1 = sent), maintained by both protocol
+	// ends so either side's /metrics attributes wire traffic to ops.
+	io     [2][NumRPCOps]ioCount
+	tracer *Tracer
+	scores scoreboard
+	drift  atomic.Pointer[DriftSource]
+}
+
+// ioCount is one (direction, opcode) frame/byte pair.
+type ioCount struct {
+	frames atomic.Int64
+	bytes  atomic.Int64
 }
 
 // gauge is an instantaneous level plus the high-water mark it reached.
@@ -363,6 +375,34 @@ func (r *Registry) GaugePeak(g Gauge) int64 {
 	return r.gauges[g].peak.Load()
 }
 
+// RPCFrame records one protocol frame of the given payload size, sent
+// (out = true) or received (out = false), attributed to an opcode.
+func (r *Registry) RPCFrame(op RPCOp, out bool, bytes int) {
+	if r == nil {
+		return
+	}
+	d := 0
+	if out {
+		d = 1
+	}
+	c := &r.io[d][op]
+	c.frames.Add(1)
+	c.bytes.Add(int64(bytes))
+}
+
+// RPCIO returns the frame and byte totals for one opcode and direction.
+func (r *Registry) RPCIO(op RPCOp, out bool) (frames, bytes int64) {
+	if r == nil {
+		return 0, 0
+	}
+	d := 0
+	if out {
+		d = 1
+	}
+	c := &r.io[d][op]
+	return c.frames.Load(), c.bytes.Load()
+}
+
 // ObserveRPC records one server operation latency.
 func (r *Registry) ObserveRPC(op RPCOp, d time.Duration) {
 	if r == nil {
@@ -418,6 +458,10 @@ type Snapshot struct {
 	Gauges     [NumGauges]int64
 	GaugePeaks [NumGauges]int64
 	RPC        [NumRPCOps]HistSnapshot
+	// RPCFrames and RPCBytes index [direction][op]; direction 0 is
+	// received, 1 is sent.
+	RPCFrames [2][NumRPCOps]int64
+	RPCBytes  [2][NumRPCOps]int64
 }
 
 // Snapshot returns the current state (zero value on a nil registry).
@@ -436,6 +480,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for i := range s.RPC {
 		s.RPC[i] = r.rpc[i].snapshot()
 	}
+	for d := 0; d < 2; d++ {
+		for i := range s.RPCFrames[d] {
+			s.RPCFrames[d][i] = r.io[d][i].frames.Load()
+			s.RPCBytes[d][i] = r.io[d][i].bytes.Load()
+		}
+	}
 	return s
 }
 
@@ -453,7 +503,54 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	for i := range d.RPC {
 		d.RPC[i] = s.RPC[i].Delta(prev.RPC[i])
 	}
+	for dir := 0; dir < 2; dir++ {
+		for i := range d.RPCFrames[dir] {
+			d.RPCFrames[dir][i] = s.RPCFrames[dir][i] - prev.RPCFrames[dir][i]
+			d.RPCBytes[dir][i] = s.RPCBytes[dir][i] - prev.RPCBytes[dir][i]
+		}
+	}
 	return d
+}
+
+// Delta returns the activity between two snapshots, cur - prev — the
+// package-level spelling of cur.Delta(prev), for callers diffing
+// snapshots they did not take themselves.
+func Delta(cur, prev Snapshot) Snapshot { return cur.Delta(prev) }
+
+// DeltaSince snapshots the registry and returns the activity since an
+// earlier snapshot — the one-call form live monitors want:
+//
+//	cur, d := reg.DeltaSince(prev)
+//	prev = cur
+func (r *Registry) DeltaSince(prev Snapshot) (cur, delta Snapshot) {
+	cur = r.Snapshot()
+	return cur, cur.Delta(prev)
+}
+
+// ReadaheadHitRatio returns the fraction of issued readahead pages that
+// were later claimed by a fault (0 with no readahead activity).
+func (s Snapshot) ReadaheadHitRatio() float64 {
+	return ratio(s.Counters[CtrReadaheadHit], s.Counters[CtrReadaheadIssued])
+}
+
+// ReadaheadWasteRatio returns the fraction of issued readahead pages
+// that were evicted unclaimed.
+func (s Snapshot) ReadaheadWasteRatio() float64 {
+	return ratio(s.Counters[CtrReadaheadWasted], s.Counters[CtrReadaheadIssued])
+}
+
+// CoalesceRatio returns the fraction of buffer faults absorbed by the
+// singleflight merge: merged / (merged + misses).
+func (s Snapshot) CoalesceRatio() float64 {
+	m := s.Counters[CtrFaultCoalesced]
+	return ratio(m, m+s.Counters[CtrBufferMiss])
+}
+
+func ratio(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 // String renders the snapshot's non-zero counters and RPC histograms on
@@ -490,7 +587,18 @@ type jsonSnapshot struct {
 	Counters      map[string]int64     `json:"counters"`
 	Gauges        map[string]jsonGauge `json:"gauges,omitempty"`
 	RPC           map[string]jsonRPC   `json:"rpc"`
+	RPCIO         map[string]jsonRPCIO `json:"rpc_io,omitempty"`
+	Derived       map[string]float64   `json:"derived,omitempty"`
+	Scoreboard    []ScoreRow           `json:"scoreboard,omitempty"`
+	Advisor       []Drift              `json:"advisor,omitempty"`
 	Trace         []jsonEvent          `json:"trace,omitempty"`
+}
+
+type jsonRPCIO struct {
+	InFrames  int64 `json:"in_frames"`
+	InBytes   int64 `json:"in_bytes"`
+	OutFrames int64 `json:"out_frames"`
+	OutBytes  int64 `json:"out_bytes"`
 }
 
 type jsonGauge struct {
@@ -547,6 +655,28 @@ func (r *Registry) jsonValue() jsonSnapshot {
 			P99NS:  int64(h.Quantile(0.99)),
 		}
 	}
+	for i := 0; i < int(NumRPCOps); i++ {
+		io := jsonRPCIO{
+			InFrames: s.RPCFrames[0][i], InBytes: s.RPCBytes[0][i],
+			OutFrames: s.RPCFrames[1][i], OutBytes: s.RPCBytes[1][i],
+		}
+		if io.InFrames == 0 && io.OutFrames == 0 {
+			continue
+		}
+		if out.RPCIO == nil {
+			out.RPCIO = make(map[string]jsonRPCIO)
+		}
+		out.RPCIO[RPCOp(i).String()] = io
+	}
+	if s.Count(CtrReadaheadIssued) > 0 || s.Count(CtrFaultCoalesced) > 0 {
+		out.Derived = map[string]float64{
+			"readahead_hit_ratio":   s.ReadaheadHitRatio(),
+			"readahead_waste_ratio": s.ReadaheadWasteRatio(),
+			"fault_coalesce_ratio":  s.CoalesceRatio(),
+		}
+	}
+	out.Scoreboard = r.ScoreRows()
+	out.Advisor = r.Drifts()
 	for _, e := range r.TraceEvents() {
 		out.Trace = append(out.Trace, jsonEvent{
 			Seq: e.Seq, UnixNS: e.UnixNS, Kind: e.Kind.String(), A: e.A, B: e.B,

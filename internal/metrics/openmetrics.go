@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// OpenMetricsContentType is the content type of the /metrics endpoint.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// OpenMetrics returns an http.Handler serving the registry in the
+// OpenMetrics/Prometheus text format — the machine-scrapable companion
+// of the /debug/metrics JSON endpoint.
+func (r *Registry) OpenMetrics() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		_ = r.WriteOpenMetrics(w)
+	})
+}
+
+// WriteOpenMetrics writes the registry snapshot in OpenMetrics text
+// format: every event counter, gauges with peaks, per-op RPC latency
+// histograms with cumulative power-of-two buckets in seconds, per-op
+// frame/byte counters by direction, the swizzle scoreboard, and the
+// advisor's drift gauges. The exposition ends with the mandatory # EOF.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# EOF\n")
+		return err
+	}
+	s := r.Snapshot()
+	var b strings.Builder
+
+	b.WriteString("# TYPE gom_uptime_seconds gauge\n")
+	b.WriteString("# HELP gom_uptime_seconds Seconds since the registry was created.\n")
+	up := 0.0
+	if !r.start.IsZero() {
+		up = time.Since(r.start).Seconds()
+	}
+	fmt.Fprintf(&b, "gom_uptime_seconds %s\n", fmtFloat(up))
+
+	b.WriteString("# TYPE gom_events counter\n")
+	b.WriteString("# HELP gom_events Object-manager and storage events by kind.\n")
+	for i, v := range s.Counters {
+		fmt.Fprintf(&b, "gom_events_total{event=%q} %d\n", Counter(i).String(), v)
+	}
+
+	b.WriteString("# TYPE gom_gauge gauge\n")
+	b.WriteString("# HELP gom_gauge Instantaneous levels with high-water marks.\n")
+	for i := range s.Gauges {
+		name := Gauge(i).String()
+		fmt.Fprintf(&b, "gom_gauge{name=%q,stat=\"value\"} %d\n", name, s.Gauges[i])
+		fmt.Fprintf(&b, "gom_gauge{name=%q,stat=\"peak\"} %d\n", name, s.GaugePeaks[i])
+	}
+
+	b.WriteString("# TYPE gom_rpc_latency_seconds histogram\n")
+	b.WriteString("# HELP gom_rpc_latency_seconds Wall-clock server-operation latency.\n")
+	for i, h := range s.RPC {
+		if h.Count == 0 {
+			continue
+		}
+		op := RPCOp(i).String()
+		var cum int64
+		for bk := 0; bk < NumHistBuckets-1; bk++ {
+			cum += h.Buckets[bk]
+			le := fmtFloat(float64(int64(BucketBound(bk))) / 1e9)
+			fmt.Fprintf(&b, "gom_rpc_latency_seconds_bucket{op=%q,le=%q} %d\n", op, le, cum)
+		}
+		fmt.Fprintf(&b, "gom_rpc_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, h.Count)
+		fmt.Fprintf(&b, "gom_rpc_latency_seconds_sum{op=%q} %s\n", op, fmtFloat(float64(h.SumNS)/1e9))
+		fmt.Fprintf(&b, "gom_rpc_latency_seconds_count{op=%q} %d\n", op, h.Count)
+	}
+
+	b.WriteString("# TYPE gom_rpc_frames counter\n")
+	b.WriteString("# HELP gom_rpc_frames Protocol frames by opcode and direction.\n")
+	b.WriteString("# TYPE gom_rpc_bytes counter\n")
+	b.WriteString("# HELP gom_rpc_bytes Protocol payload bytes by opcode and direction.\n")
+	for d, dir := range [2]string{"in", "out"} {
+		for i := 0; i < int(NumRPCOps); i++ {
+			if s.RPCFrames[d][i] == 0 {
+				continue
+			}
+			op := RPCOp(i).String()
+			fmt.Fprintf(&b, "gom_rpc_frames_total{op=%q,direction=%q} %d\n", op, dir, s.RPCFrames[d][i])
+			fmt.Fprintf(&b, "gom_rpc_bytes_total{op=%q,direction=%q} %d\n", op, dir, s.RPCBytes[d][i])
+		}
+	}
+
+	if rows := r.ScoreRows(); len(rows) > 0 {
+		b.WriteString("# TYPE gom_scoreboard_events counter\n")
+		b.WriteString("# HELP gom_scoreboard_events Swizzle scoreboard: per-context reference-management events.\n")
+		for _, row := range rows {
+			for k, v := range row.Counts {
+				if v == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "gom_scoreboard_events_total{context=%q,type=%q,strategy=%q,event=%q} %d\n",
+					row.Context, row.Type, row.Strategy, ScoreKind(k).String(), v)
+			}
+		}
+	}
+
+	if drifts := r.Drifts(); len(drifts) > 0 {
+		b.WriteString("# TYPE gom_advisor_cost_ratio gauge\n")
+		b.WriteString("# HELP gom_advisor_cost_ratio Predicted cost of the installed strategy over the best alternative (>1 = drift).\n")
+		for _, d := range drifts {
+			fmt.Fprintf(&b, "gom_advisor_cost_ratio{context=%q,installed=%q,best=%q} %s\n",
+				d.Context, d.Installed, d.Best, fmtFloat(d.Ratio))
+		}
+	}
+
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

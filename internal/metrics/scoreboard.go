@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The swizzle scoreboard is the always-on counterpart of the §7 monitor:
+// instead of recording a per-access trace (far too heavy to leave
+// enabled), it keeps five atomic counters per reference context — the
+// same granules the swizzle.Spec maps (a "HomeType.field" pair or a
+// program variable). Handles are resolved once, when a variable is bound
+// or the object manager precomputes its per-type slot tables, so the hot
+// dereference path pays exactly one atomic add per event and never takes
+// a lock or allocates. internal/advisor periodically folds scoreboard
+// snapshots through the cost model to detect strategy drift.
+
+// ScoreKind enumerates the per-context events the scoreboard counts.
+// Keep scoreKindNames in sync.
+type ScoreKind int
+
+// The score kinds.
+const (
+	// ScoreDeref counts dereferences through the context.
+	ScoreDeref ScoreKind = iota
+	// ScoreFault counts dereferences that required an object fault.
+	ScoreFault
+	// ScoreSwizzle counts references swizzled in the context.
+	ScoreSwizzle
+	// ScoreReswizzle counts repairs of previously unswizzled references
+	// (the displaced target came back, or fixRepresentation re-swizzled
+	// after a spec change).
+	ScoreReswizzle
+	// ScoreDisplacedInUse counts references in the context that were
+	// unswizzled because their target was displaced — the wasted
+	// swizzling work a too-eager or too-direct strategy pays.
+	ScoreDisplacedInUse
+	NumScoreKinds
+)
+
+var scoreKindNames = [NumScoreKinds]string{
+	"deref",
+	"fault",
+	"swizzle",
+	"reswizzle",
+	"displaced_in_use",
+}
+
+// String returns the kind's snake_case name.
+func (k ScoreKind) String() string {
+	if k < 0 || k >= NumScoreKinds {
+		return "score(?)"
+	}
+	return scoreKindNames[k]
+}
+
+// Score is the live scoreboard entry of one reference context. Handles
+// are shared: every Var and slot mapping to the same (target type,
+// context) pair increments the same entry. All methods are nil-safe so
+// contexts without a registry cost one branch.
+type Score struct {
+	// Type is the *target* type name (the paper's type-specific axis).
+	Type string
+	// Context is the granule label: "HomeType.field" or "$name" for a
+	// program variable.
+	Context string
+
+	strategy atomic.Value // string: installed strategy abbreviation
+	counts   [NumScoreKinds]atomic.Int64
+}
+
+// Inc records one event.
+func (s *Score) Inc(k ScoreKind) {
+	if s == nil {
+		return
+	}
+	s.counts[k].Add(1)
+}
+
+// Add records n events.
+func (s *Score) Add(k ScoreKind, n int64) {
+	if s == nil {
+		return
+	}
+	s.counts[k].Add(n)
+}
+
+// Count returns one kind's current value.
+func (s *Score) Count(k ScoreKind) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[k].Load()
+}
+
+// SetStrategy labels the entry with the installed strategy (set at
+// BeginApplication when the spec is resolved; a cold path).
+func (s *Score) SetStrategy(name string) {
+	if s == nil {
+		return
+	}
+	s.strategy.Store(name)
+}
+
+// Strategy returns the installed strategy label, or "" if never set.
+func (s *Score) Strategy() string {
+	if s == nil {
+		return ""
+	}
+	v, _ := s.strategy.Load().(string)
+	return v
+}
+
+// scoreShards spreads find-or-create lookups like the ROT's sharding;
+// the count only matters at handle-resolution time, never per access.
+const scoreShards = 16
+
+type scoreShard struct {
+	mu sync.RWMutex
+	m  map[string]*Score
+}
+
+type scoreboard struct {
+	sh [scoreShards]scoreShard
+}
+
+func scoreHash(key string) uint32 {
+	// FNV-1a.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Score resolves (creating on first use) the scoreboard entry for a
+// target type and context. Nil-safe: a nil registry returns a nil
+// *Score, whose methods are no-ops.
+func (r *Registry) Score(typ, ctx string) *Score {
+	if r == nil {
+		return nil
+	}
+	key := typ + "\x00" + ctx
+	sh := &r.scores.sh[scoreHash(key)%scoreShards]
+	sh.mu.RLock()
+	s := sh.m[key]
+	sh.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[string]*Score)
+	}
+	if s = sh.m[key]; s == nil {
+		s = &Score{Type: typ, Context: ctx}
+		sh.m[key] = s
+	}
+	return s
+}
+
+// ScoreRow is a point-in-time copy of one scoreboard entry.
+type ScoreRow struct {
+	Type     string               `json:"type"`
+	Context  string               `json:"context"`
+	Strategy string               `json:"strategy,omitempty"`
+	Counts   [NumScoreKinds]int64 `json:"-"`
+	Events   map[string]int64     `json:"events"`
+}
+
+// Count returns one kind's value from the row.
+func (sr ScoreRow) Count(k ScoreKind) int64 { return sr.Counts[k] }
+
+// ScoreRows snapshots the scoreboard, sorted by (context, type) so
+// reports are stable run to run. Entries with no events are included —
+// an installed-but-unused context is itself a signal.
+func (r *Registry) ScoreRows() []ScoreRow {
+	if r == nil {
+		return nil
+	}
+	var rows []ScoreRow
+	for i := range r.scores.sh {
+		sh := &r.scores.sh[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			row := ScoreRow{Type: s.Type, Context: s.Context, Strategy: s.Strategy()}
+			for k := range row.Counts {
+				row.Counts[k] = s.counts[k].Load()
+			}
+			row.Events = make(map[string]int64, NumScoreKinds)
+			for k, v := range row.Counts {
+				if v != 0 {
+					row.Events[ScoreKind(k).String()] = v
+				}
+			}
+			rows = append(rows, row)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Context != rows[j].Context {
+			return rows[i].Context < rows[j].Context
+		}
+		return rows[i].Type < rows[j].Type
+	})
+	return rows
+}
+
+// Drift is one advisor finding: the installed strategy of a context no
+// longer matches observed behaviour. It lives here (not in
+// internal/advisor) so the exposition layer can publish advisor output
+// without depending on it; the advisor installs a DriftSource callback.
+type Drift struct {
+	Context       string  `json:"context"`
+	Type          string  `json:"type"`
+	Installed     string  `json:"installed"`
+	Best          string  `json:"best"`
+	InstalledCost float64 `json:"installed_cost_us"`
+	BestCost      float64 `json:"best_cost_us"`
+	// Ratio is InstalledCost / BestCost: how much cheaper the best
+	// alternative is predicted to be (>1 means drift).
+	Ratio float64 `json:"ratio"`
+	// DisplacedRate is displacements-in-use per deref, the §3.2.2
+	// wasted-work signal quoted in drift reports.
+	DisplacedRate float64 `json:"displaced_rate"`
+}
+
+// DriftSource produces the current drift findings (installed by the
+// advisor, polled by /debug and /metrics).
+type DriftSource func() []Drift
+
+// SetDriftSource installs the advisor callback.
+func (r *Registry) SetDriftSource(fn DriftSource) {
+	if r == nil {
+		return
+	}
+	r.drift.Store(&fn)
+}
+
+// Drifts returns the current advisor findings (nil without a source).
+func (r *Registry) Drifts() []Drift {
+	if r == nil {
+		return nil
+	}
+	fn := r.drift.Load()
+	if fn == nil || *fn == nil {
+		return nil
+	}
+	return (*fn)()
+}

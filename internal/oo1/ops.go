@@ -27,9 +27,14 @@ type Client struct {
 }
 
 // NewClient builds an object manager over the database with the given
-// options and a deterministic operation stream.
+// options and a deterministic operation stream. Options.Server, when
+// set, overrides the database's in-process store — that is how a
+// workload runs against the same base served over TCP (tracing and the
+// client/server experiments dial a server.Client and pass it here).
 func NewClient(db *DB, opt core.Options, seed int64) (*Client, error) {
-	opt.Server = db.Srv
+	if opt.Server == nil {
+		opt.Server = db.Srv
+	}
 	opt.Schema = db.Schema
 	om, err := core.New(opt)
 	if err != nil {

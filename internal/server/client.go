@@ -13,6 +13,7 @@ import (
 	"gom/internal/oid"
 	"gom/internal/page"
 	"gom/internal/storage"
+	"gom/internal/trace"
 )
 
 // ErrClientClosed is returned by RPCs issued on (or in flight during) a
@@ -64,6 +65,10 @@ type Client struct {
 
 	pipelined bool
 	features  uint32
+
+	// spans/spanCtx: client-side RPC tracing (see SetTrace in trace.go).
+	spans   *trace.Tracer
+	spanCtx func() trace.Context
 
 	// Lock-step state; also used for the hello exchange before the
 	// connection upgrades.
@@ -148,7 +153,7 @@ func (c *Client) hasBatch() bool { return c.pipelined && c.features&featureBatch
 func (c *Client) hello() error {
 	req := make([]byte, 8)
 	binary.LittleEndian.PutUint32(req, protocolV2)
-	binary.LittleEndian.PutUint32(req[4:], featureBatch)
+	binary.LittleEndian.PutUint32(req[4:], featureBatch|featureTrace)
 	status, resp, err := c.callLockstepRaw(opHello, req)
 	if err != nil {
 		return err
@@ -160,7 +165,7 @@ func (c *Client) hello() error {
 		return nil
 	}
 	c.pipelined = true
-	c.features = binary.LittleEndian.Uint32(resp[4:])
+	c.features = binary.LittleEndian.Uint32(resp[4:]) & (featureBatch | featureTrace)
 	return nil
 }
 
@@ -278,6 +283,13 @@ func (c *Client) readLoop() {
 
 // call issues one RPC and waits for its response.
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	// Record a client-side span for the RPC, nested under the caller's
+	// ambient context; its own context goes onto the wire (featureTrace)
+	// so server-side spans nest under it.
+	sp := c.spans.StartChild(spanName(&clientSpanNames, op), c.traceCtx())
+	if sp.Sampled() {
+		defer func() { sp.Finish() }()
+	}
 	if !c.pipelined {
 		return c.callLockstep(op, payload)
 	}
@@ -300,7 +312,16 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		c.pendMu.Unlock()
 	}
 
-	frame := encodeFrame(op, id, payload)
+	var frame *[]byte
+	if c.hasTrace() {
+		frame = encodeFrameTrace(op, id, payload, sp.Context())
+	} else {
+		frame = encodeFrame(op, id, payload)
+	}
+	if rpc := rpcOpOf(op); rpc >= 0 {
+		c.obs.RPCFrame(rpc, true, len(*frame))
+	}
+	sp.SetArgs(uint64(len(payload)), 0)
 	select {
 	case c.sendCh <- frame:
 	case <-c.done:
@@ -317,7 +338,7 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 	}
 	select {
 	case res := <-ch:
-		return c.finish(res)
+		return c.finish(op, res)
 	case <-timeoutCh:
 		unregister()
 		return nil, &rpcTimeoutError{op: op, timeout: c.timeout}
@@ -325,7 +346,7 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		// The reader may have delivered the result just before exiting.
 		select {
 		case res := <-ch:
-			return c.finish(res)
+			return c.finish(op, res)
 		default:
 		}
 		unregister()
@@ -333,12 +354,15 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 	}
 }
 
-func (c *Client) finish(res rpcResult) ([]byte, error) {
+func (c *Client) finish(op byte, res rpcResult) ([]byte, error) {
 	if res.err != nil {
 		return nil, res.err
 	}
 	if res.status != statusOK {
 		return nil, errors.New(string(res.payload))
+	}
+	if rpc := rpcOpOf(op); rpc >= 0 {
+		c.obs.RPCFrame(rpc, false, 4+1+8+len(res.payload))
 	}
 	return res.payload, nil
 }
@@ -364,12 +388,18 @@ func (c *Client) callLockstepRaw(op byte, payload []byte) (byte, []byte, error) 
 }
 
 func (c *Client) callLockstep(op byte, payload []byte) ([]byte, error) {
+	if rpc := rpcOpOf(op); rpc >= 0 {
+		c.obs.RPCFrame(rpc, true, 5+len(payload))
+	}
 	status, resp, err := c.callLockstepRaw(op, payload)
 	if err != nil {
 		return nil, err
 	}
 	if status != statusOK {
 		return nil, errors.New(string(resp))
+	}
+	if rpc := rpcOpOf(op); rpc >= 0 {
+		c.obs.RPCFrame(rpc, false, 5+len(resp))
 	}
 	return resp, nil
 }

@@ -8,12 +8,15 @@ import (
 	"sync"
 
 	"gom/internal/metrics"
+	"gom/internal/trace"
 )
 
 // Server-side profiling and introspection: a small HTTP endpoint next to
 // the TCP page server exposing
 //
+//	/metrics        — the registry in OpenMetrics (Prometheus) text format
 //	/debug/metrics  — the observability registry as JSON
+//	/debug/trace    — retained server-side spans as Chrome trace_event JSON
 //	/debug/vars     — the standard expvar dump (the registry is published
 //	                  there too, under "gom.server")
 //	/debug/pprof/   — the net/http/pprof profiler suite
@@ -38,10 +41,22 @@ func publishExpvar(name string, v expvar.Var) {
 }
 
 // DebugHandler returns the handler tree served by StartDebug: reg at
-// /debug/metrics, expvar at /debug/vars, pprof under /debug/pprof/.
-func DebugHandler(reg *metrics.Registry) http.Handler {
+// /debug/metrics (JSON) and /metrics (OpenMetrics text), expvar at
+// /debug/vars, pprof under /debug/pprof/. tracer supplies the current
+// span tracer (it may return nil); /debug/trace exports its retained
+// spans as Chrome trace_event JSON.
+func DebugHandler(reg *metrics.Registry, tracer func() *trace.Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", reg)
+	mux.Handle("/metrics", reg.OpenMetrics())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		var t *trace.Tracer
+		if tracer != nil {
+			t = tracer()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChrome(w, trace.Source{Name: "server", Records: t.Records()})
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -76,7 +91,7 @@ func (s *TCPServer) StartDebug(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
-	hs := &http.Server{Handler: DebugHandler(reg)}
+	hs := &http.Server{Handler: DebugHandler(reg, s.Tracer)}
 	d := &debugServer{ln: ln, hs: hs}
 	s.mu.Lock()
 	if s.closed {

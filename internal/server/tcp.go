@@ -15,6 +15,7 @@ import (
 	"gom/internal/oid"
 	"gom/internal/page"
 	"gom/internal/storage"
+	"gom/internal/trace"
 )
 
 // Wire protocol: every message is
@@ -203,6 +204,20 @@ func encodeFrame(code byte, id uint64, payload []byte) *[]byte {
 	return bp
 }
 
+// encodeFrameTrace is encodeFrame plus the featureTrace context suffix
+// (all zeros when ctx is untraced; the fixed length keeps the server's
+// stripping unconditional).
+func encodeFrameTrace(code byte, id uint64, payload []byte, ctx trace.Context) *[]byte {
+	bp := getBuf(4 + 1 + 8 + len(payload) + trace.WireLen)
+	b := *bp
+	binary.LittleEndian.PutUint32(b, uint32(1+8+len(payload)+trace.WireLen))
+	b[4] = code
+	binary.LittleEndian.PutUint64(b[5:], id)
+	copy(b[13:], payload)
+	trace.PutWire(b[13+len(payload):], ctx)
+	return bp
+}
+
 func putOID(b []byte, id oid.OID) { binary.LittleEndian.PutUint64(b, uint64(id)) }
 func getOID(b []byte) oid.OID     { return oid.OID(binary.LittleEndian.Uint64(b)) }
 
@@ -230,6 +245,12 @@ type TCPServer struct {
 	// obs is the observability registry; an atomic pointer so SetMetrics
 	// can be called while connection goroutines are already serving.
 	obs atomic.Pointer[metrics.Registry]
+	// tracer records server-side request spans (see trace.go); nil when
+	// tracing is off.
+	tracer atomic.Pointer[trace.Tracer]
+	// featureOverride, when its valid bit is set, replaces the advertised
+	// feature mask (SetFeatures test hook).
+	featureOverride atomic.Uint32
 
 	mu     sync.Mutex
 	closed bool
@@ -353,19 +374,22 @@ type connState struct {
 }
 
 // helloResponse validates a client hello payload and returns the server's
-// reply: the agreed version and feature bits.
-func helloResponse(payload []byte) ([]byte, error) {
+// reply — the agreed version and feature bits — plus the negotiated mask
+// (the intersection of what the client offered and what this server
+// advertises).
+func (s *TCPServer) helloResponse(payload []byte) ([]byte, uint32, error) {
 	if len(payload) != 8 {
-		return nil, errProtocol
+		return nil, 0, errProtocol
 	}
 	ver := binary.LittleEndian.Uint32(payload)
 	if ver < protocolV2 {
-		return nil, fmt.Errorf("%w: client protocol version %d", errProtocol, ver)
+		return nil, 0, fmt.Errorf("%w: client protocol version %d", errProtocol, ver)
 	}
+	negotiated := binary.LittleEndian.Uint32(payload[4:]) & s.serverFeatures()
 	out := make([]byte, 8)
 	binary.LittleEndian.PutUint32(out, protocolV2)
-	binary.LittleEndian.PutUint32(out[4:], featureBatch)
-	return out, nil
+	binary.LittleEndian.PutUint32(out[4:], negotiated)
+	return out, negotiated, nil
 }
 
 func (s *TCPServer) serveConn(conn net.Conn) {
@@ -394,7 +418,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if op == opHello {
 			obs := s.obs.Load()
 			start := obs.Now()
-			resp, herr := helloResponse(payload)
+			resp, negotiated, herr := s.helloResponse(payload)
 			putBuf(body)
 			obs.RPCSince(metrics.RPCHello, start)
 			if herr != nil {
@@ -407,14 +431,22 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 				return
 			}
 			// The connection switches to pipelined framing from here on.
-			s.servePipelined(conn, r, w, cs)
+			s.servePipelined(conn, r, w, cs, negotiated&featureTrace != 0)
 			return
 		}
 		obs := s.obs.Load()
 		start := obs.Now()
+		if rpc := rpcOpOf(op); rpc >= 0 {
+			obs.RPCFrame(rpc, false, len(*body)+4)
+		}
 		resp, err := s.handle(cs, op, payload)
 		if rpc := rpcOpOf(op); rpc >= 0 {
 			obs.RPCSince(rpc, start)
+			if err == nil {
+				obs.RPCFrame(rpc, true, 5+len(resp))
+			} else {
+				obs.RPCFrame(rpc, true, 5+len(err.Error()))
+			}
 		}
 		if err != nil {
 			obs.Inc(metrics.CtrRPCError)
@@ -439,7 +471,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 // complete, coalescing flushes, and transaction boundaries wait for the
 // connection's outstanding data operations so 2PL session routing stays
 // well defined.
-func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writer, cs *connState) {
+func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writer, cs *connState, traceOn bool) {
 	respCh := make(chan *[]byte, pipelineWorkers*2)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -484,12 +516,18 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 		}
 	}()
 
-	respond := func(id uint64, resp []byte, err error) {
+	respond := func(op byte, id uint64, resp []byte, err error) {
 		if err != nil {
 			obs := s.obs.Load()
 			obs.Inc(metrics.CtrRPCError)
+			if rpc := rpcOpOf(op); rpc >= 0 {
+				obs.RPCFrame(rpc, true, 4+1+8+len(err.Error()))
+			}
 			respCh <- encodeFrame(statusErr, id, []byte(err.Error()))
 			return
+		}
+		if rpc := rpcOpOf(op); rpc >= 0 {
+			s.obs.Load().RPCFrame(rpc, true, 4+1+8+len(resp))
 		}
 		respCh <- encodeFrame(statusOK, id, resp)
 	}
@@ -508,11 +546,25 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 		}
 		id := binary.LittleEndian.Uint64(payload)
 		req := payload[8:]
+		var tctx trace.Context
+		if traceOn {
+			// Every request frame on a trace-negotiated connection carries
+			// the fixed-size context suffix; strip it before dispatch.
+			if len(req) < trace.WireLen {
+				putBuf(body)
+				break
+			}
+			tctx = trace.FromWire(req[len(req)-trace.WireLen:])
+			req = req[:len(req)-trace.WireLen]
+		}
+		if rpc := rpcOpOf(op); rpc >= 0 {
+			s.obs.Load().RPCFrame(rpc, false, len(*body)+4)
+		}
 		switch op {
 		case opHello:
-			resp, herr := helloResponse(req)
+			resp, _, herr := s.helloResponse(req)
 			putBuf(body)
-			respond(id, resp, herr)
+			respond(op, id, resp, herr)
 		case opTxBegin, opTxCommit, opTxAbort:
 			// Transaction boundaries order after the connection's
 			// outstanding data operations: a pipelined commit must not
@@ -520,12 +572,14 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 			dataWG.Wait()
 			obs := s.obs.Load()
 			start := obs.Now()
+			sp := s.tracer.Load().StartChild(spanName(&serverSpanNames, op), tctx)
 			resp, herr := s.handle(cs, op, req)
+			sp.Finish()
 			if rpc := rpcOpOf(op); rpc >= 0 {
 				obs.RPCSince(rpc, start)
 			}
 			putBuf(body)
-			respond(id, resp, herr)
+			respond(op, id, resp, herr)
 		default:
 			// The backend is resolved at dispatch time on the reader
 			// goroutine, so a request pipelined inside a transaction uses
@@ -535,20 +589,25 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 			dataWG.Add(1)
 			obs := s.obs.Load()
 			obs.GaugeAdd(metrics.GaugeInFlightRPC, 1)
-			go func(op byte, id uint64, body *[]byte, req []byte) {
+			go func(op byte, id uint64, body *[]byte, req []byte, tctx trace.Context) {
 				defer func() {
 					obs.GaugeAdd(metrics.GaugeInFlightRPC, -1)
 					dataWG.Done()
 					<-sem
 				}()
 				start := obs.Now()
+				sp := s.tracer.Load().StartChild(spanName(&serverSpanNames, op), tctx)
 				resp, herr := s.handleData(backend, op, req)
+				if sp.Sampled() {
+					sp.SetArgs(uint64(len(req)), uint64(len(resp)))
+					sp.Finish()
+				}
 				if rpc := rpcOpOf(op); rpc >= 0 {
 					obs.RPCSince(rpc, start)
 				}
 				putBuf(body)
-				respond(id, resp, herr)
-			}(op, id, body, req)
+				respond(op, id, resp, herr)
+			}(op, id, body, req, tctx)
 		}
 	}
 	dataWG.Wait()

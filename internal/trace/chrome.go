@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Source is one process-worth of spans in a Chrome trace export — e.g.
+// the client tracer and the server tracer of the same run, merged into
+// one file so cross-wire parent/child edges are visible side by side.
+type Source struct {
+	Name    string
+	Records []Record
+}
+
+// chromeEvent is one entry of the Chrome trace_event format ("X" =
+// complete event; "M" = metadata). Timestamps and durations are in
+// microseconds; fractional values preserve nanosecond precision.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the sources as a Chrome trace_event JSON object
+// ({"traceEvents": [...]}) loadable by chrome://tracing and Perfetto.
+// Each source becomes one process; each trace ID becomes one thread
+// within it, so a request's spans stack like a flamegraph. Span and
+// parent IDs ride in args for cross-process correlation.
+func WriteChrome(w io.Writer, sources ...Source) error {
+	var events []chromeEvent
+	for pid, src := range sources {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": src.Name},
+		})
+		recs := append([]Record(nil), src.Records...)
+		sort.Slice(recs, func(i, j int) bool { return less(recs[i], recs[j]) })
+		for _, r := range recs {
+			ev := chromeEvent{
+				Name: r.Name,
+				Ph:   "X",
+				PID:  pid,
+				TID:  r.TraceID,
+				TS:   float64(r.Start) / 1e3,
+				Dur:  float64(r.Dur) / 1e3,
+				Args: map[string]any{
+					"trace":  r.TraceID,
+					"span":   r.SpanID,
+					"parent": r.Parent,
+				},
+			}
+			if r.A != 0 || r.B != 0 {
+				ev.Args["a"] = r.A
+				ev.Args["b"] = r.B
+			}
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

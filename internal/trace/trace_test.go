@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilAndUnsampled(t *testing.T) {
+	var nilT *Tracer
+	sp := nilT.Start("op", Context{})
+	if sp.Sampled() || sp.Context().Traced() {
+		t.Fatal("nil tracer produced a live span")
+	}
+	sp.SetArgs(1, 2)
+	sp.Finish() // must not panic
+	if nilT.Records() != nil || nilT.Len() != 0 {
+		t.Fatal("nil tracer retained records")
+	}
+
+	off := New(0, 8) // rate 0: never sample
+	if sp := off.Start("op", Context{}); sp.Sampled() {
+		t.Fatal("rate-0 tracer sampled a root")
+	}
+}
+
+func TestRootAndChildNesting(t *testing.T) {
+	tr := New(1, 64)
+	root := tr.Start("deref", Context{})
+	if !root.Sampled() {
+		t.Fatal("rate-1 root not sampled")
+	}
+	child := tr.Start("object_fault", root.Context())
+	grand := tr.Start("rpc:read_page", child.Context())
+	grand.SetArgs(7, 9)
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byName := map[string]Record{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	r, c, g := byName["deref"], byName["object_fault"], byName["rpc:read_page"]
+	if r.Parent != 0 {
+		t.Fatalf("root parent = %d", r.Parent)
+	}
+	if c.TraceID != r.TraceID || c.Parent != r.SpanID {
+		t.Fatalf("child not nested under root: %+v vs %+v", c, r)
+	}
+	if g.TraceID != r.TraceID || g.Parent != c.SpanID {
+		t.Fatalf("grandchild not nested under child: %+v vs %+v", g, c)
+	}
+	if g.A != 7 || g.B != 9 {
+		t.Fatalf("args not recorded: %+v", g)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := New(4, 256)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		sp := tr.Start("op", Context{})
+		if sp.Sampled() {
+			sampled++
+			sp.Finish()
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("1-in-4 sampling over 100 roots gave %d", sampled)
+	}
+	// Children of an unsampled root stay unsampled (zero context in,
+	// root sampling decision applies again — but a live parent always
+	// propagates).
+	root := tr.Start("op", Context{})
+	for !root.Sampled() {
+		root = tr.Start("op", Context{})
+	}
+	if !tr.Start("child", root.Context()).Sampled() {
+		t.Fatal("child of sampled root not sampled")
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	tr := New(1, 4)
+	for i := 0; i < 1000; i++ {
+		tr.Start("op", Context{}).Finish()
+	}
+	if n := tr.Len(); n > 4*shards {
+		t.Fatalf("ring grew past bound: %d", n)
+	}
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	var b [WireLen]byte
+	ctx := Context{TraceID: 0xdeadbeefcafe, SpanID: 42}
+	PutWire(b[:], ctx)
+	if got := FromWire(b[:]); got != ctx {
+		t.Fatalf("round trip: %+v != %+v", got, ctx)
+	}
+	PutWire(b[:], Context{})
+	if got := FromWire(b[:]); got.Traced() {
+		t.Fatalf("zero context decoded as traced: %+v", got)
+	}
+	if got := FromWire(b[:5]); got.Traced() {
+		t.Fatal("short input decoded as traced")
+	}
+}
+
+func TestUnsampledZeroAllocs(t *testing.T) {
+	tr := New(0, 8)
+	n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("op", Context{})
+		child := tr.Start("child", sp.Context())
+		child.Finish()
+		sp.Finish()
+	})
+	if n != 0 {
+		t.Fatalf("unsampled span path allocates %v per op", n)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tr := New(1, 16)
+	root := tr.Start("deref", Context{})
+	tr.Start("server:read_page", root.Context()).Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	err := WriteChrome(&buf,
+		Source{Name: "client", Records: tr.Records()},
+		Source{Name: "server", Records: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 || meta != 2 {
+		t.Fatalf("got %d complete / %d metadata events", complete, meta)
+	}
+}
