@@ -36,6 +36,7 @@ import (
 	"gom/internal/oo1"
 	"gom/internal/server"
 	"gom/internal/sim"
+	"gom/internal/storage"
 	"gom/internal/swizzle"
 	"gom/internal/trace"
 )
@@ -219,14 +220,40 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	tx := fs.Bool("tx", false, "serve transactionally (per-connection Begin/Commit/Abort, strict 2PL)")
 	lockTimeout := fs.Duration("lock-timeout", 2*time.Second, "lock wait timeout (deadlock resolution, with -tx)")
+	walDir := fs.String("wal", "", "write-ahead-log directory: commits fsync a log there and survive crashes (requires -tx); existing durable state in the directory supersedes the base file")
 	debug := fs.String("debug", "", "also serve /debug/metrics, /debug/vars and /debug/pprof on this address")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("serve: need a base file")
 	}
+	if *walDir != "" && !*tx {
+		return fmt.Errorf("serve: -wal requires -tx (durability is a property of the transaction layer)")
+	}
 	db, err := loadDB(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	mgr := db.Srv.Manager()
+	if *walDir != "" {
+		recovered, w, info, err := storage.RecoverManager(*walDir, 1)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		if info.FromSnapshot || info.Records > 0 {
+			// The directory already holds a durable base; it is newer than
+			// any file the operator passed.
+			mgr = recovered
+			fmt.Printf("recovered object base from %s: %v\n", *walDir, info)
+		} else {
+			// Fresh directory: seed it with a checkpoint of the loaded base
+			// so every later restart recovers without the base file.
+			mgr.AttachWAL(w)
+			if err := w.Checkpoint(mgr); err != nil {
+				return err
+			}
+			fmt.Printf("seeded %s with a snapshot of %s (epoch %d)\n", *walDir, fs.Arg(0), w.Epoch())
+		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -234,10 +261,10 @@ func cmdServe(args []string) error {
 	}
 	var srv *server.TCPServer
 	if *tx {
-		srv = server.ServeTx(ln, server.NewTxServer(db.Srv.Manager(), *lockTimeout))
+		srv = server.ServeTx(ln, server.NewTxServer(mgr, *lockTimeout))
 		fmt.Printf("serving %v transactionally on %v (ctrl-c to stop)\n", db.Cfg, srv.Addr())
 	} else {
-		srv = server.Serve(ln, db.Srv.Manager())
+		srv = server.Serve(ln, mgr)
 		fmt.Printf("serving %v on %v (ctrl-c to stop)\n", db.Cfg, srv.Addr())
 	}
 	if *debug != "" {

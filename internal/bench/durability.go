@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"gom/internal/metrics"
+	"gom/internal/oid"
+	"gom/internal/server"
+	"gom/internal/storage"
+)
+
+func init() {
+	register("durability", "Commit latency: in-memory vs WAL vs WAL with fsync-on-commit", runDurability)
+}
+
+// runDurability measures what durability costs a small update transaction:
+// the same workload (begin, update one 128-byte object in place, commit)
+// runs against a plain in-memory transaction server, a WAL without fsync
+// (the logging CPU/syscall cost alone), and the real fsync-on-commit
+// configuration. Wall-clock per transaction, since the cost under study is
+// the physical sync, not simulated I/O.
+func runDurability(o Opts) (*Result, error) {
+	nTx := 400
+	if o.Quick {
+		nTx = 50
+	}
+	const nObjects = 64
+
+	res := &Result{
+		ID:     "durability",
+		Title:  "Commit latency of a one-update transaction",
+		Header: []string{"mode", "txns", "mean µs", "p50 µs", "p99 µs", "log bytes/commit"},
+		Notes: []string{
+			"modes: none = no WAL; wal = logging without fsync; wal+fsync = commit durable on disk",
+			"the gap between wal and wal+fsync is the physical sync; between none and wal the logging itself",
+		},
+	}
+
+	for _, mode := range []string{"none", "wal", "wal+fsync"} {
+		lat, bytesPer, err := durabilityMode(mode, nTx, nObjects)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		mean := time.Duration(0)
+		for _, d := range lat {
+			mean += d
+		}
+		mean /= time.Duration(len(lat))
+		bytesCell := "–"
+		if bytesPer > 0 {
+			bytesCell = fmt.Sprintf("%d", bytesPer)
+		}
+		res.Rows = append(res.Rows, []string{
+			mode,
+			fmt.Sprintf("%d", nTx),
+			fmt.Sprintf("%.1f", float64(mean.Nanoseconds())/1e3),
+			fmt.Sprintf("%.1f", float64(lat[len(lat)/2].Nanoseconds())/1e3),
+			fmt.Sprintf("%.1f", float64(lat[len(lat)*99/100].Nanoseconds())/1e3),
+			bytesCell,
+		})
+	}
+	return res, nil
+}
+
+func durabilityMode(mode string, nTx, nObjects int) ([]time.Duration, int64, error) {
+	var (
+		mgr *storage.Manager
+		wal *storage.WAL
+		reg = metrics.New()
+	)
+	switch mode {
+	case "none":
+		mgr = storage.NewManager(1)
+		if err := mgr.CreateSegment(1); err != nil {
+			return nil, 0, err
+		}
+	default:
+		dir, err := os.MkdirTemp("", "gom-durability-*")
+		if err != nil {
+			return nil, 0, err
+		}
+		defer os.RemoveAll(dir)
+		m, w, _, err := storage.RecoverManager(dir, 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer w.Close()
+		if err := m.CreateSegment(1); err != nil {
+			return nil, 0, err
+		}
+		w.SetMetrics(reg)
+		w.SetNoSync(mode == "wal")
+		mgr, wal = m, w
+	}
+
+	ts := server.NewTxServer(mgr, 2*time.Second)
+	rec := make([]byte, 128)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	setup := ts.Begin()
+	sess := ts.Session(setup)
+	ids := make([]oid.OID, nObjects)
+	for i := range ids {
+		id, _, err := sess.Allocate(1, rec)
+		if err != nil {
+			return nil, 0, err
+		}
+		ids[i] = id
+	}
+	if err := ts.Commit(setup); err != nil {
+		return nil, 0, err
+	}
+
+	baseBytes := reg.Count(metrics.CtrWALAppendBytes)
+	lat := make([]time.Duration, 0, nTx)
+	for i := 0; i < nTx; i++ {
+		rec[0] = byte(i) // same length: the update stays in place
+		start := time.Now()
+		tx := ts.Begin()
+		if _, err := ts.Session(tx).UpdateObject(ids[i%nObjects], rec); err != nil {
+			return nil, 0, err
+		}
+		if err := ts.Commit(tx); err != nil {
+			return nil, 0, err
+		}
+		lat = append(lat, time.Since(start))
+	}
+	var bytesPer int64
+	if wal != nil {
+		bytesPer = (reg.Count(metrics.CtrWALAppendBytes) - baseBytes) / int64(nTx)
+	}
+	return lat, bytesPer, nil
+}

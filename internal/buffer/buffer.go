@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gom/internal/faultpoint"
 	"gom/internal/metrics"
 	"gom/internal/page"
 	"gom/internal/server"
@@ -495,6 +496,9 @@ func (p *Pool) evictFrame(f *Frame) error {
 }
 
 func (p *Pool) writeBack(pid page.PageID, f *Frame) error {
+	if err := faultpoint.Check(faultpoint.BufferWriteBack); err != nil {
+		return err
+	}
 	if p.ra != nil {
 		// Any prefetched copy of this page is about to become stale.
 		p.ra.invalidate(pid, p.obs)

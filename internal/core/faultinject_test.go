@@ -2,87 +2,29 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"testing"
 
-	"gom/internal/oid"
-	"gom/internal/page"
-	"gom/internal/server"
-	"gom/internal/storage"
+	"gom/internal/faultpoint"
 	"gom/internal/swizzle"
 )
 
-// flakyServer injects failures into server calls: after `after` successful
-// calls, every call fails until the budget is reset.
-type flakyServer struct {
-	inner server.Server
-	after int
-	calls int
-}
-
-var errInjected = errors.New("injected I/O failure")
-
-func (f *flakyServer) tick() error {
-	f.calls++
-	if f.calls > f.after {
-		return fmt.Errorf("%w (call %d)", errInjected, f.calls)
-	}
-	return nil
-}
-
-func (f *flakyServer) Lookup(id oid.OID) (storage.PAddr, error) {
-	if err := f.tick(); err != nil {
-		return storage.PAddr{}, err
-	}
-	return f.inner.Lookup(id)
-}
-func (f *flakyServer) ReadPage(pid page.PageID) ([]byte, error) {
-	if err := f.tick(); err != nil {
-		return nil, err
-	}
-	return f.inner.ReadPage(pid)
-}
-func (f *flakyServer) WritePage(pid page.PageID, img []byte) error {
-	if err := f.tick(); err != nil {
-		return err
-	}
-	return f.inner.WritePage(pid, img)
-}
-func (f *flakyServer) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
-	if err := f.tick(); err != nil {
-		return oid.Nil, storage.PAddr{}, err
-	}
-	return f.inner.Allocate(seg, rec)
-}
-func (f *flakyServer) AllocateNear(seg uint16, n oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
-	if err := f.tick(); err != nil {
-		return oid.Nil, storage.PAddr{}, err
-	}
-	return f.inner.AllocateNear(seg, n, rec)
-}
-func (f *flakyServer) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
-	if err := f.tick(); err != nil {
-		return storage.PAddr{}, err
-	}
-	return f.inner.UpdateObject(id, rec)
-}
-func (f *flakyServer) NumPages(seg uint16) (int, error) {
-	if err := f.tick(); err != nil {
-		return 0, err
-	}
-	return f.inner.NumPages(seg)
-}
+// These tests drive the client object manager against a server whose
+// operations fail through armed faultpoint sites (fail-after-N budgets over
+// "server.*") — the same sites the crash-consistency tests in
+// internal/storage and internal/server use, so there is one fault model
+// across the repository.
 
 // TestFaultInjectionReadsFailCleanly kills the server after every possible
 // number of successful calls and checks that each failure surfaces as an
 // error, never corrupts invariants, and that the client recovers once the
 // fault clears.
 func TestFaultInjectionReadsFailCleanly(t *testing.T) {
+	defer faultpoint.Reset()
 	b := buildBase(t, 120)
 	for _, strat := range []swizzle.Strategy{swizzle.NOS, swizzle.LIS, swizzle.LDS, swizzle.EIS} {
 		for after := 0; after < 12; after++ {
-			flaky := &flakyServer{inner: b.srv, after: after}
-			om, err := New(Options{Server: flaky, Schema: b.schema, PageBufferPages: 2})
+			fault := faultpoint.Arm(faultpoint.Fault{Site: faultpoint.ServerAll, After: after})
+			om, err := New(Options{Server: b.srv, Schema: b.schema, PageBufferPages: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -108,7 +50,7 @@ func TestFaultInjectionReadsFailCleanly(t *testing.T) {
 					break
 				}
 			}
-			if firstErr != nil && !errors.Is(firstErr, errInjected) {
+			if firstErr != nil && !errors.Is(firstErr, faultpoint.ErrInjected) {
 				t.Fatalf("%v/after=%d: unexpected error %v", strat, after, firstErr)
 			}
 			if err := om.Verify(); err != nil {
@@ -116,7 +58,7 @@ func TestFaultInjectionReadsFailCleanly(t *testing.T) {
 					strat, after, err)
 			}
 			// Fault clears; the same operations must succeed now.
-			flaky.after = 1 << 30
+			fault.Disarm()
 			if err := om.Load(p, b.parts[3]); err != nil {
 				t.Fatalf("%v/after=%d: recovery load: %v", strat, after, err)
 			}
@@ -135,12 +77,9 @@ func TestFaultInjectionReadsFailCleanly(t *testing.T) {
 // Commit must report the error, and a retry once the fault clears must
 // persist everything.
 func TestFaultInjectionWriteBack(t *testing.T) {
+	defer faultpoint.Reset()
 	b := buildBase(t, 60)
-	flaky := &flakyServer{inner: b.srv, after: 1 << 30}
-	om, err := New(Options{Server: flaky, Schema: b.schema})
-	if err != nil {
-		t.Fatal(err)
-	}
+	om := b.om(t, Options{})
 	om.BeginApplication(appSpec(swizzle.LDS))
 	v := om.NewVar("v", b.part)
 	for i := 0; i < 10; i++ {
@@ -152,15 +91,15 @@ func TestFaultInjectionWriteBack(t *testing.T) {
 		}
 	}
 	// Every server call fails now.
-	flaky.after = flaky.calls
-	if err := om.Commit(); !errors.Is(err, errInjected) {
+	fault := faultpoint.Arm(faultpoint.Fault{Site: faultpoint.ServerAll})
+	if err := om.Commit(); !errors.Is(err, faultpoint.ErrInjected) {
 		t.Fatalf("commit under failure: %v", err)
 	}
 	if err := om.Verify(); err != nil {
 		t.Fatalf("invariants after failed commit:\n%v", err)
 	}
 	// Fault clears; retry the commit.
-	flaky.after = 1 << 30
+	fault.Disarm()
 	if err := om.Commit(); err != nil {
 		t.Fatalf("retried commit: %v", err)
 	}
@@ -181,9 +120,9 @@ func TestFaultInjectionWriteBack(t *testing.T) {
 // dirty pages back; the deferred error must surface on the next call and
 // the client must keep functioning.
 func TestFaultInjectionDuringEviction(t *testing.T) {
+	defer faultpoint.Reset()
 	b := buildBase(t, 300)
-	flaky := &flakyServer{inner: b.srv, after: 1 << 30}
-	om, err := New(Options{Server: flaky, Schema: b.schema, PageBufferPages: 2})
+	om, err := New(Options{Server: b.srv, Schema: b.schema, PageBufferPages: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,17 +134,18 @@ func TestFaultInjectionDuringEviction(t *testing.T) {
 	if err := om.WriteInt(v, "y", 9); err != nil {
 		t.Fatal(err)
 	}
-	// Allow exactly enough calls for the next fault, then fail the
-	// eviction write-back behind it.
+	// Per iteration, allow exactly the calls a clean load needs, then fail
+	// the eviction write-back hiding behind it.
 	sawError := false
 	for i := 1; i < 200; i++ {
-		flaky.after = flaky.calls + 2 // lookup + page read; write-back fails
+		fault := faultpoint.Arm(faultpoint.Fault{Site: faultpoint.ServerAll, After: 2})
 		err := om.Load(v, b.parts[i*7%300])
 		if err == nil {
 			_, err = om.ReadInt(v, "x")
 		}
+		fault.Disarm()
 		if err != nil {
-			if !errors.Is(err, errInjected) {
+			if !errors.Is(err, faultpoint.ErrInjected) {
 				t.Fatalf("iteration %d: %v", i, err)
 			}
 			sawError = true
@@ -215,7 +155,6 @@ func TestFaultInjectionDuringEviction(t *testing.T) {
 	if !sawError {
 		t.Log("no eviction write-back was hit; scenario vacuous but harmless")
 	}
-	flaky.after = 1 << 30
 	if err := om.Load(v, b.parts[5]); err != nil {
 		t.Fatal(err)
 	}

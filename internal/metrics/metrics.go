@@ -68,6 +68,14 @@ const (
 	CtrReadaheadHit
 	CtrReadaheadWasted
 	CtrFaultCoalesced
+	CtrWALAppend
+	CtrWALAppendBytes
+	CtrWALFsync
+	CtrWALCommit
+	CtrWALCheckpoint
+	CtrWALReplayRecords
+	CtrWALReplayTornBytes
+	CtrRPCRetry
 	NumCounters
 )
 
@@ -100,6 +108,14 @@ var counterNames = [NumCounters]string{
 	"readahead_hit",
 	"readahead_wasted",
 	"fault_coalesced",
+	"wal_append",
+	"wal_append_bytes",
+	"wal_fsync",
+	"wal_commit",
+	"wal_checkpoint",
+	"wal_replay_records",
+	"wal_replay_torn_bytes",
+	"rpc_retry",
 }
 
 // String returns the counter's snake_case event name.

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gom/internal/faultpoint"
 	"gom/internal/metrics"
 	"gom/internal/oid"
 	"gom/internal/page"
@@ -36,6 +38,14 @@ type DialOptions struct {
 	Lockstep bool
 	// Metrics, when non-nil, records client-side gauges (in-flight RPCs).
 	Metrics *metrics.Registry
+	// RetryAttempts bounds how often an RPC that fails transiently — a
+	// statusTransient response from the server, or a send dropped by the
+	// rpc.send fault site — is retried before the error surfaces. Zero
+	// disables retries (the pre-retry behavior).
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt. Zero means 1ms.
+	RetryBackoff time.Duration
 }
 
 // rpcResult carries a matched response to its waiting caller.
@@ -62,6 +72,9 @@ type Client struct {
 	conn    net.Conn
 	timeout time.Duration
 	obs     *metrics.Registry
+
+	retries int
+	backoff time.Duration
 
 	pipelined bool
 	features  uint32
@@ -115,10 +128,16 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
+	backoff := opts.RetryBackoff
+	if backoff == 0 {
+		backoff = time.Millisecond
+	}
 	c := &Client{
 		conn:    conn,
 		timeout: opts.Timeout,
 		obs:     opts.Metrics,
+		retries: opts.RetryAttempts,
+		backoff: backoff,
 		r:       bufio.NewReaderSize(conn, page.Size+1024),
 		w:       bufio.NewWriterSize(conn, page.Size+1024),
 	}
@@ -281,8 +300,31 @@ func (c *Client) readLoop() {
 	c.pendMu.Unlock()
 }
 
-// call issues one RPC and waits for its response.
+// call issues one RPC, retrying transient failures (a statusTransient
+// response, or a send dropped by the rpc.send fault site) with exponential
+// backoff up to the dial option's RetryAttempts.
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	resp, err := c.callOnce(op, payload)
+	if err == nil || c.retries == 0 {
+		return resp, err
+	}
+	backoff := c.backoff
+	for attempt := 0; attempt < c.retries && errors.Is(err, ErrTransient); attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		c.obs.Inc(metrics.CtrRPCRetry)
+		resp, err = c.callOnce(op, payload)
+	}
+	return resp, err
+}
+
+// callOnce issues one RPC attempt and waits for its response.
+func (c *Client) callOnce(op byte, payload []byte) ([]byte, error) {
+	// The rpc.send fault site drops (or delays) the request before it
+	// ships; a drop is a transient failure the retry loop above may redo.
+	if err := faultpoint.Check(faultpoint.RPCSend); err != nil {
+		return nil, fmt.Errorf("%w: request dropped: %w", ErrTransient, err)
+	}
 	// Record a client-side span for the RPC, nested under the caller's
 	// ambient context; its own context goes onto the wire (featureTrace)
 	// so server-side spans nest under it.
@@ -358,6 +400,9 @@ func (c *Client) finish(op byte, res rpcResult) ([]byte, error) {
 	if res.err != nil {
 		return nil, res.err
 	}
+	if res.status == statusTransient {
+		return nil, fmt.Errorf("%w: %s", ErrTransient, res.payload)
+	}
 	if res.status != statusOK {
 		return nil, errors.New(string(res.payload))
 	}
@@ -394,6 +439,9 @@ func (c *Client) callLockstep(op byte, payload []byte) ([]byte, error) {
 	status, resp, err := c.callLockstepRaw(op, payload)
 	if err != nil {
 		return nil, err
+	}
+	if status == statusTransient {
+		return nil, fmt.Errorf("%w: %s", ErrTransient, resp)
 	}
 	if status != statusOK {
 		return nil, errors.New(string(resp))

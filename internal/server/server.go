@@ -11,6 +11,7 @@
 package server
 
 import (
+	"gom/internal/faultpoint"
 	"gom/internal/metrics"
 	"gom/internal/oid"
 	"gom/internal/storage"
@@ -83,48 +84,72 @@ func (l *Local) Manager() *storage.Manager { return l.mgr }
 
 // Lookup implements Server.
 func (l *Local) Lookup(id oid.OID) (storage.PAddr, error) {
+	if err := faultpoint.Check(faultpoint.ServerLookup); err != nil {
+		return storage.PAddr{}, err
+	}
 	defer l.obs.RPCSince(metrics.RPCLookup, l.obs.Now())
 	return l.mgr.Lookup(id)
 }
 
 // ReadPage implements Server.
 func (l *Local) ReadPage(pid page.PageID) ([]byte, error) {
+	if err := faultpoint.Check(faultpoint.ServerReadPage); err != nil {
+		return nil, err
+	}
 	defer l.obs.RPCSince(metrics.RPCReadPage, l.obs.Now())
 	return l.mgr.Disk().ReadPage(pid)
 }
 
 // WritePage implements Server.
 func (l *Local) WritePage(pid page.PageID, img []byte) error {
+	if err := faultpoint.Check(faultpoint.ServerWritePage); err != nil {
+		return err
+	}
 	defer l.obs.RPCSince(metrics.RPCWritePage, l.obs.Now())
 	return l.mgr.Disk().WritePage(pid, img)
 }
 
 // Allocate implements Server.
 func (l *Local) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error) {
+	if err := faultpoint.Check(faultpoint.ServerAllocate); err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
 	defer l.obs.RPCSince(metrics.RPCAllocate, l.obs.Now())
 	return l.mgr.Allocate(seg, rec)
 }
 
 // AllocateNear implements Server.
 func (l *Local) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID, storage.PAddr, error) {
+	if err := faultpoint.Check(faultpoint.ServerAllocateNear); err != nil {
+		return oid.Nil, storage.PAddr{}, err
+	}
 	defer l.obs.RPCSince(metrics.RPCAllocateNear, l.obs.Now())
 	return l.mgr.AllocateNear(seg, neighbor, rec)
 }
 
 // UpdateObject implements Server.
 func (l *Local) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
+	if err := faultpoint.Check(faultpoint.ServerUpdateObject); err != nil {
+		return storage.PAddr{}, err
+	}
 	defer l.obs.RPCSince(metrics.RPCUpdateObject, l.obs.Now())
 	return l.mgr.Update(id, rec)
 }
 
 // NumPages implements Server.
 func (l *Local) NumPages(seg uint16) (int, error) {
+	if err := faultpoint.Check(faultpoint.ServerNumPages); err != nil {
+		return 0, err
+	}
 	defer l.obs.RPCSince(metrics.RPCNumPages, l.obs.Now())
 	return l.mgr.Disk().NumPages(seg)
 }
 
 // LookupBatch implements BatchLookuper.
 func (l *Local) LookupBatch(ids []oid.OID) ([]storage.PAddr, []bool, error) {
+	if err := faultpoint.Check(faultpoint.ServerLookupBatch); err != nil {
+		return nil, nil, err
+	}
 	defer l.obs.RPCSince(metrics.RPCLookupBatch, l.obs.Now())
 	l.obs.Inc(metrics.CtrBatchLookup)
 	l.obs.AddN(metrics.CtrBatchLookupOIDs, int64(len(ids)))
@@ -134,6 +159,9 @@ func (l *Local) LookupBatch(ids []oid.OID) ([]storage.PAddr, []bool, error) {
 
 // ReadPages implements PageRunReader.
 func (l *Local) ReadPages(pid page.PageID, n int) ([][]byte, error) {
+	if err := faultpoint.Check(faultpoint.ServerReadPages); err != nil {
+		return nil, err
+	}
 	defer l.obs.RPCSince(metrics.RPCReadPages, l.obs.Now())
 	return l.mgr.Disk().ReadRun(pid, n)
 }

@@ -67,7 +67,26 @@ const (
 const (
 	statusOK  = 0
 	statusErr = 1
+	// statusTransient marks a failure the client may safely retry (the
+	// operation did not happen). Old clients treat it like statusErr — any
+	// non-zero status reads as an error string — so the addition is
+	// backward compatible.
+	statusTransient = 2
 )
+
+// ErrTransient marks (via errors.Is) server-side failures that are safe to
+// retry: the operation was rejected before taking effect. The TCP server
+// answers them with statusTransient, and a client dialed with
+// RetryAttempts > 0 retries them with backoff.
+var ErrTransient = errors.New("server: transient failure (safe to retry)")
+
+// statusOf classifies an error for the wire.
+func statusOf(err error) byte {
+	if errors.Is(err, ErrTransient) {
+		return statusTransient
+	}
+	return statusErr
+}
 
 // protocolV2 is the pipelined protocol version carried in opHello.
 const protocolV2 = 2
@@ -288,6 +307,9 @@ func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
 func (s *TCPServer) SetMetrics(r *metrics.Registry) {
 	s.obs.Store(r)
 	s.mgr.Disk().SetMetrics(r)
+	if w := s.mgr.WAL(); w != nil {
+		w.SetMetrics(r)
+	}
 }
 
 // Metrics returns the installed registry, or nil.
@@ -452,7 +474,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			obs.Inc(metrics.CtrRPCError)
 			obs.Trace(metrics.CtrRPCError, uint64(op), 0)
 			putBuf(body)
-			if werr := writeMsg(w, statusErr, []byte(err.Error())); werr != nil {
+			if werr := writeMsg(w, statusOf(err), []byte(err.Error())); werr != nil {
 				return
 			}
 			continue
@@ -523,7 +545,7 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 			if rpc := rpcOpOf(op); rpc >= 0 {
 				obs.RPCFrame(rpc, true, 4+1+8+len(err.Error()))
 			}
-			respCh <- encodeFrame(statusErr, id, []byte(err.Error()))
+			respCh <- encodeFrame(statusOf(err), id, []byte(err.Error()))
 			return
 		}
 		if rpc := rpcOpOf(op); rpc >= 0 {

@@ -212,6 +212,9 @@ func (s *TxServer) finish(tx TxID, st *txState) {
 }
 
 // Commit ends the transaction, making its writes durable and visible.
+// With a WAL attached the commit record is appended and fsynced first —
+// if that fails the transaction stays alive (and undoable), because work
+// that never reached the log must not become visible.
 func (s *TxServer) Commit(tx TxID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -219,12 +222,26 @@ func (s *TxServer) Commit(tx TxID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoTx, tx)
 	}
+	if st.done {
+		return fmt.Errorf("%w: %d", ErrTxDone, tx)
+	}
+	if w := s.mgr.WAL(); w != nil {
+		// Holding s.mu through the fsync serializes commits; group commit
+		// is future work (DESIGN.md "Durability").
+		if err := w.AppendCommit(uint64(tx)); err != nil {
+			return fmt.Errorf("server: commit of tx %d not durable: %w", tx, err)
+		}
+	}
 	s.finish(tx, st)
 	return nil
 }
 
 // Abort rolls the transaction back by running its undo actions in reverse
-// order, then releases its locks.
+// order, then releases its locks. The transaction is marked done before
+// the undo phase runs outside the server lock, so a racing session call
+// cannot acquire new locks or log new undo actions into a rollback that
+// has already begun (they get ErrTxDone instead, and their work never
+// happens).
 func (s *TxServer) Abort(tx TxID) error {
 	s.mu.Lock()
 	st, ok := s.txs[tx]
@@ -232,6 +249,11 @@ func (s *TxServer) Abort(tx TxID) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoTx, tx)
 	}
+	if st.done {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrTxDone, tx)
+	}
+	st.done = true
 	undo := st.undo
 	st.undo = nil
 	s.mu.Unlock()
@@ -242,6 +264,11 @@ func (s *TxServer) Abort(tx TxID) error {
 			errs = append(errs, err)
 		}
 	}
+	if w := s.mgr.WAL(); w != nil {
+		// Informational: replay discards uncommitted transactions with or
+		// without the marker, so a failed append is not an abort failure.
+		_ = w.AppendAbort(uint64(tx))
+	}
 
 	s.mu.Lock()
 	s.finish(tx, st)
@@ -250,7 +277,8 @@ func (s *TxServer) Abort(tx TxID) error {
 }
 
 // Recover aborts every live transaction — what restart-after-crash does
-// with the undo information.
+// with the undo information. Transactions that finish concurrently (a
+// racing Commit or Abort) are not errors.
 func (s *TxServer) Recover() error {
 	s.mu.Lock()
 	ids := make([]TxID, 0, len(s.txs))
@@ -260,11 +288,29 @@ func (s *TxServer) Recover() error {
 	s.mu.Unlock()
 	var errs []error
 	for _, tx := range ids {
-		if err := s.Abort(tx); err != nil {
+		if err := s.Abort(tx); err != nil &&
+			!errors.Is(err, ErrNoTx) && !errors.Is(err, ErrTxDone) {
 			errs = append(errs, err)
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Checkpoint rotates the attached WAL onto a fresh epoch with a full
+// snapshot. It requires a quiet moment: no transaction may be in flight
+// (their uncommitted writes would leak into the snapshot), and new
+// transactions cannot begin while it runs.
+func (s *TxServer) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.mgr.WAL()
+	if w == nil {
+		return errors.New("server: no WAL attached")
+	}
+	if n := len(s.txs); n > 0 {
+		return fmt.Errorf("server: checkpoint with %d transactions in flight", n)
+	}
+	return w.Checkpoint(s.mgr)
 }
 
 func (s *TxServer) logUndo(tx TxID, fn undoFn) error {
@@ -288,6 +334,45 @@ func (s *TxServer) Session(tx TxID) Server {
 type txSession struct {
 	srv *TxServer
 	tx  TxID
+}
+
+// wal returns the manager's WAL, nil when the server is not durable.
+func (c *txSession) wal() *storage.WAL { return c.srv.mgr.WAL() }
+
+// walLogPage appends the current image of pid as a redo record for this
+// transaction. The caller holds the page's X-lock, so the image is the
+// transaction's own write (modulo record slots a concurrently-allocating
+// transaction placed through the manager before blocking on the lock —
+// those replay as unreachable garbage unless that transaction commits and
+// logs its own, later image; see DESIGN.md "Durability").
+func (c *txSession) walLogPage(w *storage.WAL, pid page.PageID) error {
+	img, err := c.srv.mgr.Disk().ReadPage(pid)
+	if err != nil {
+		return err
+	}
+	return w.AppendPageImage(uint64(c.tx), pid, img)
+}
+
+// walLogAlloc appends the redo records for a fresh allocation at addr:
+// grow the segment to its current page count, the page image, the POT
+// entry.
+func (c *txSession) walLogAlloc(id oid.OID, addr storage.PAddr) error {
+	w := c.wal()
+	if w == nil {
+		return nil
+	}
+	seg := addr.Page.Segment()
+	n, err := c.srv.mgr.Disk().NumPages(seg)
+	if err != nil {
+		return err
+	}
+	if err := w.AppendEnsurePages(seg, n); err != nil {
+		return err
+	}
+	if err := c.walLogPage(w, addr.Page); err != nil {
+		return err
+	}
+	return w.AppendPotPut(uint64(c.tx), id, addr)
 }
 
 // Lookup implements Server (the POT is consulted without locking: the
@@ -320,7 +405,13 @@ func (c *txSession) WritePage(pid page.PageID, img []byte) error {
 	}); err != nil {
 		return err
 	}
-	return c.srv.mgr.Disk().WritePage(pid, img)
+	if err := c.srv.mgr.Disk().WritePage(pid, img); err != nil {
+		return err
+	}
+	if w := c.wal(); w != nil {
+		return w.AppendPageImage(uint64(c.tx), pid, img)
+	}
+	return nil
 }
 
 // Allocate implements Server; the undo deletes the object again.
@@ -355,9 +446,12 @@ func (c *txSession) lockAllocation(id oid.OID, addr storage.PAddr) error {
 		_ = c.srv.mgr.Delete(id)
 		return err
 	}
-	return c.srv.logUndo(c.tx, func(mgr *storage.Manager) error {
+	if err := c.srv.logUndo(c.tx, func(mgr *storage.Manager) error {
 		return mgr.Delete(id)
-	})
+	}); err != nil {
+		return err
+	}
+	return c.walLogAlloc(id, addr)
 }
 
 // UpdateObject implements Server, logging the object's before-image (an
@@ -394,6 +488,28 @@ func (c *txSession) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) 
 		return uerr
 	}); err != nil {
 		return storage.PAddr{}, err
+	}
+	if w := c.wal(); w != nil {
+		// A relocating update may have grown the segment and touches two
+		// pages (both X-locked above); log the whole effect.
+		n, err := c.srv.mgr.Disk().NumPages(newAddr.Page.Segment())
+		if err != nil {
+			return storage.PAddr{}, err
+		}
+		if err := w.AppendEnsurePages(newAddr.Page.Segment(), n); err != nil {
+			return storage.PAddr{}, err
+		}
+		if newAddr.Page != addr.Page {
+			if err := c.walLogPage(w, addr.Page); err != nil {
+				return storage.PAddr{}, err
+			}
+		}
+		if err := c.walLogPage(w, newAddr.Page); err != nil {
+			return storage.PAddr{}, err
+		}
+		if err := w.AppendPotPut(uint64(c.tx), id, newAddr); err != nil {
+			return storage.PAddr{}, err
+		}
 	}
 	return newAddr, nil
 }

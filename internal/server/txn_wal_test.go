@@ -1,0 +1,253 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gom/internal/faultpoint"
+	"gom/internal/oid"
+	"gom/internal/storage"
+)
+
+// durableSetup opens (or re-opens) a durable TxServer in dir.
+func durableSetup(t *testing.T, dir string) (*TxServer, *storage.Manager, *storage.WAL) {
+	t.Helper()
+	m, w, _, err := storage.RecoverManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Disk().NumPages(1); err != nil {
+		if err := m.CreateSegment(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewTxServer(m, 2*time.Second), m, w
+}
+
+// TestTxDurableAcrossRestart commits through the transaction layer, crashes
+// (drops the in-memory manager), and recovers the committed objects from
+// the log alone — with an uncommitted transaction's work discarded.
+func TestTxDurableAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts, _, w := durableSetup(t, dir)
+
+	tx := ts.Begin()
+	sess := ts.Session(tx)
+	id1, _, err := sess.Allocate(1, []byte("survives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _, err := sess.Allocate(1, []byte("also survives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A transaction left open at the crash: its records are in the log but
+	// carry no commit marker.
+	ghost := ts.Begin()
+	if _, _, err := ts.Session(ghost).Allocate(1, []byte("vanishes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, w2, info, err := storage.RecoverManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Committed != 1 || info.Skipped < 1 {
+		t.Fatalf("recovery info = %v, want 1 committed and ≥1 skipped tx", info)
+	}
+	for id, want := range map[oid.OID]string{id1: "survives", id2: "also survives"} {
+		got, _, err := m2.Read(id)
+		if err != nil || string(got) != want {
+			t.Fatalf("Read(%v) = %q, %v; want %q", id, got, err, want)
+		}
+	}
+	if got := m2.POT().Len(); got != 2 {
+		t.Fatalf("recovered %d objects, want 2 (ghost discarded)", got)
+	}
+}
+
+// TestTxCommitNotDurableWhenWALBroken injects a torn write into the commit
+// record's append: Commit must fail, the transaction must stay alive and
+// undoable, and Abort must still roll it back cleanly.
+func TestTxCommitNotDurableWhenWALBroken(t *testing.T) {
+	defer faultpoint.Reset()
+	ts, m, _ := durableSetup(t, t.TempDir())
+
+	tx := ts.Begin()
+	id, _, err := ts.Session(tx).Allocate(1, []byte("limbo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm after the allocation so the commit record is the torn append.
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALAppend, TornWrite: true, TornAt: 2, Times: 1})
+	err = ts.Commit(tx)
+	if err == nil || !strings.Contains(err.Error(), "not durable") {
+		t.Fatalf("Commit over torn WAL = %v, want a not-durable error", err)
+	}
+	if got := ts.Live(); got != 1 {
+		t.Fatalf("failed commit left %d live transactions, want 1 (still undoable)", got)
+	}
+	// The log is poisoned: retrying the commit cannot succeed either.
+	if err := ts.Commit(tx); !errors.Is(err, storage.ErrWALBroken) {
+		t.Fatalf("second Commit = %v, want ErrWALBroken", err)
+	}
+	if err := ts.Abort(tx); err != nil {
+		t.Fatalf("Abort after failed commit: %v", err)
+	}
+	if _, _, err := m.Read(id); err == nil {
+		t.Fatal("rolled-back allocation still readable")
+	}
+	if got := ts.Live(); got != 0 {
+		t.Fatalf("%d live transactions after abort, want 0", got)
+	}
+}
+
+// TestRecoverReleasesLocks is the regression test for lock release on
+// recovery: a blocked waiter must get the lock once Recover aborts the
+// holder, and the server's lock table must drain to empty.
+func TestRecoverReleasesLocks(t *testing.T) {
+	srv, id := txSetup(t)
+	holder := srv.Begin()
+	addr, err := srv.Session(holder).UpdateObject(id, []byte("locked!!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second transaction blocks on the X-held page.
+	waiter := srv.Begin()
+	got := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := srv.Session(waiter).ReadPage(addr.Page)
+		got <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter block
+
+	if err := srv.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	wg.Wait()
+	// Recover aborted both transactions; the waiter either acquired the
+	// lock in the instant before its own abort or observed ErrTxDone —
+	// never a timeout, which is what a leaked lock would produce.
+	if err := <-got; err != nil && !errors.Is(err, ErrTxDone) {
+		t.Fatalf("waiter after Recover: %v", err)
+	}
+	srv.mu.Lock()
+	nLocks, nTxs := len(srv.locks), len(srv.txs)
+	srv.mu.Unlock()
+	if nLocks != 0 || nTxs != 0 {
+		t.Fatalf("after Recover: %d locks, %d transactions left, want 0/0", nLocks, nTxs)
+	}
+	// The rolled-back update must not be visible to a fresh transaction.
+	tx := srv.Begin()
+	defer srv.Abort(tx)
+	if got := readObj(t, srv.Session(tx), id); string(got) != "original" {
+		t.Fatalf("object after Recover = %q, want the pre-transaction value", got)
+	}
+}
+
+// TestAbortBlocksRacingSessionOps pins the abort-atomicity fix: once the
+// rollback has started, a racing session call must fail with ErrTxDone
+// instead of acquiring locks or logging undo work that would be dropped.
+func TestAbortBlocksRacingSessionOps(t *testing.T) {
+	srv, _ := txSetup(t)
+	tx := srv.Begin()
+	sess := srv.Session(tx)
+	if _, _, err := sess.Allocate(0, []byte("work")); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := srv.logUndo(tx, func(*storage.Manager) error {
+		close(started)
+		<-release
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	aborted := make(chan error, 1)
+	go func() { aborted <- srv.Abort(tx) }()
+	<-started // the undo phase is running
+
+	if _, _, err := sess.Allocate(0, []byte("too late")); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Allocate during abort = %v, want ErrTxDone", err)
+	}
+	if err := srv.Commit(tx); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Commit during abort = %v, want ErrTxDone", err)
+	}
+	close(release)
+	if err := <-aborted; err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+}
+
+// TestCheckpointRequiresQuiesce: a checkpoint with transactions in flight
+// must refuse (uncommitted writes would leak into the snapshot); once
+// quiesced it rotates the epoch, and recovery comes back from the snapshot
+// plus the fresh log.
+func TestCheckpointRequiresQuiesce(t *testing.T) {
+	bare := NewTxServer(storage.NewManager(1), 0)
+	if err := bare.Checkpoint(); err == nil || !strings.Contains(err.Error(), "no WAL") {
+		t.Fatalf("Checkpoint without WAL = %v", err)
+	}
+
+	dir := t.TempDir()
+	ts, _, w := durableSetup(t, dir)
+	tx := ts.Begin()
+	id, _, err := ts.Session(tx).Allocate(1, []byte("pre-checkpoint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Checkpoint(); err == nil || !strings.Contains(err.Error(), "in flight") {
+		t.Fatalf("Checkpoint with a live tx = %v, want an in-flight refusal", err)
+	}
+	if err := ts.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after quiesce: %v", err)
+	}
+	if got := w.Epoch(); got != 1 {
+		t.Fatalf("epoch after checkpoint = %d, want 1", got)
+	}
+	tx2 := ts.Begin()
+	id2, _, err := ts.Session(tx2).Allocate(1, []byte("post-checkpoint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, w2, info, err := storage.RecoverManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !info.FromSnapshot || info.Epoch != 1 {
+		t.Fatalf("recovery info = %v, want snapshot-based recovery at epoch 1", info)
+	}
+	for id, want := range map[oid.OID]string{id: "pre-checkpoint", id2: "post-checkpoint"} {
+		got, _, err := m2.Read(id)
+		if err != nil || string(got) != want {
+			t.Fatalf("Read(%v) = %q, %v; want %q", id, got, err, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"gom/internal/faultpoint"
 	"gom/internal/metrics"
 	"gom/internal/page"
 )
@@ -102,6 +103,9 @@ func (d *Disk) AllocPage(seg uint16) (page.PageID, error) {
 
 // ReadPage returns a copy of the page image.
 func (d *Disk) ReadPage(id page.PageID) ([]byte, error) {
+	if err := faultpoint.Check(faultpoint.DiskRead); err != nil {
+		return nil, err
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	img, err := d.lookupLocked(id)
@@ -149,6 +153,9 @@ func (d *Disk) ReadRun(id page.PageID, n int) ([][]byte, error) {
 
 // WritePage replaces the page image.
 func (d *Disk) WritePage(id page.PageID, img []byte) error {
+	if err := faultpoint.Check(faultpoint.DiskWrite); err != nil {
+		return err
+	}
 	if len(img) != page.Size {
 		return fmt.Errorf("storage: image is %d bytes, want %d", len(img), page.Size)
 	}

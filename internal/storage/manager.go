@@ -32,6 +32,7 @@ type Manager struct {
 	disk *Disk
 	pot  *POT
 	gen  *oid.Generator
+	wal  *WAL // nil unless durability is attached
 
 	// segMu guards the allocator table; each segment allocator then has
 	// its own lock.
@@ -62,9 +63,25 @@ func (m *Manager) Disk() *Disk { return m.disk }
 // POT exposes the persistent object table.
 func (m *Manager) POT() *POT { return m.pot }
 
+// AttachWAL makes the manager durable: segment creations are logged as
+// system records, and the transaction layer above logs everything else
+// (see server.TxServer). Recovery attaches the WAL itself; only fresh
+// managers need this call.
+func (m *Manager) AttachWAL(w *WAL) { m.wal = w }
+
+// WAL returns the attached write-ahead log, nil when the manager is not
+// durable.
+func (m *Manager) WAL() *WAL { return m.wal }
+
 // CreateSegment creates an empty segment.
 func (m *Manager) CreateSegment(seg uint16) error {
-	return m.disk.CreateSegment(seg)
+	if err := m.disk.CreateSegment(seg); err != nil {
+		return err
+	}
+	if m.wal != nil {
+		return m.wal.AppendSegCreate(seg)
+	}
+	return nil
 }
 
 // alloc returns the segment's allocator, creating it on first use.
