@@ -36,6 +36,17 @@ const (
 	// offset at the next crash).
 	WALAppend = "wal.append"
 	WALSync   = "wal.sync"
+	// Group-commit sites. WALBatchAppend guards the group committer's
+	// multi-record commit append (CheckWrite — a torn write can cut inside
+	// any record of the batch, a partial-batch torn write). WALBatchSync
+	// guards the batch's single fsync (CheckSync — an error fails every
+	// transaction in the batch, a Skip loses the whole batch at the next
+	// crash). WALWriterStall is checked by the dedicated log-writer
+	// goroutine before it flushes a batch — arm a Delay to stall the writer
+	// and force commit arrivals to pile into larger batches.
+	WALBatchAppend = "wal.batchappend"
+	WALBatchSync   = "wal.batchsync"
+	WALWriterStall = "wal.writerstall"
 	// BufferWriteBack guards the client buffer pool's eviction/flush
 	// write-back of dirty pages.
 	BufferWriteBack = "buffer.writeback"

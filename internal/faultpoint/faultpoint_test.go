@@ -181,6 +181,17 @@ func TestDisarmedZeroAlloc(t *testing.T) {
 		if _, err := CheckWrite(WALAppend, 4096); err != nil {
 			t.Fatal(err)
 		}
+		// The group-commit hot path: every batch flush crosses these
+		// three sites, so a disarmed check must stay free here too.
+		if _, err := CheckWrite(WALBatchAppend, 136); err != nil {
+			t.Fatal(err)
+		}
+		if skip, err := CheckSync(WALBatchSync); skip || err != nil {
+			t.Fatal(skip, err)
+		}
+		if err := Check(WALWriterStall); err != nil {
+			t.Fatal(err)
+		}
 	})
 	if allocs != 0 {
 		t.Errorf("disarmed fault sites allocate %.1f objects/op, want 0", allocs)

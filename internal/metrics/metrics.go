@@ -76,6 +76,8 @@ const (
 	CtrWALReplayRecords
 	CtrWALReplayTornBytes
 	CtrRPCRetry
+	CtrWALGroupBatch
+	CtrTxReadOnlyCommit
 	NumCounters
 )
 
@@ -116,6 +118,8 @@ var counterNames = [NumCounters]string{
 	"wal_replay_records",
 	"wal_replay_torn_bytes",
 	"rpc_retry",
+	"wal_group_batch",
+	"tx_readonly_commit",
 }
 
 // String returns the counter's snake_case event name.
@@ -204,6 +208,39 @@ func (g Gauge) String() string {
 	return gaugeNames[g]
 }
 
+// Hist enumerates the general-purpose value histograms the registry
+// keeps, beyond the per-op RPC latency family. Each has a fixed unit so
+// the expositions can label it. Keep histNames/histUnits in sync.
+type Hist int
+
+// The histograms.
+const (
+	// HistWALBatchSize records how many commit records each group-commit
+	// flush carried (unit: commits, not nanoseconds).
+	HistWALBatchSize Hist = iota
+	// HistWALFlushLatency records the wall-clock duration of one
+	// group-commit flush: batch append plus the shared fsync.
+	HistWALFlushLatency
+	NumHists
+)
+
+var histNames = [NumHists]string{
+	"wal_batch_size",
+	"wal_flush_latency",
+}
+
+// histDuration reports whether the histogram's values are nanoseconds
+// (rendered as seconds in OpenMetrics) rather than plain counts.
+var histDuration = [NumHists]bool{false, true}
+
+// String returns the histogram's snake_case name.
+func (h Hist) String() string {
+	if h < 0 || h >= NumHists {
+		return fmt.Sprintf("hist(%d)", int(h))
+	}
+	return histNames[h]
+}
+
 // NumHistBuckets is the number of histogram buckets. Bucket i counts
 // observations whose duration in nanoseconds has bit-length i, i.e. the
 // half-open range [2^(i-1), 2^i) ns (bucket 0 is exactly 0 ns); the last
@@ -229,16 +266,21 @@ type Histogram struct {
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
+	h.ObserveN(int64(d))
+}
+
+// ObserveN records one raw value (a duration in nanoseconds, or a plain
+// count for size histograms — the buckets are powers of two either way).
+func (h *Histogram) ObserveN(v int64) {
+	if v < 0 {
+		v = 0
 	}
-	b := bits.Len64(uint64(ns))
+	b := bits.Len64(uint64(v))
 	if b >= NumHistBuckets {
 		b = NumHistBuckets - 1
 	}
 	h.count.Add(1)
-	h.sum.Add(ns)
+	h.sum.Add(v)
 	h.buckets[b].Add(1)
 }
 
@@ -305,6 +347,7 @@ type Registry struct {
 	counters [NumCounters]atomic.Int64
 	gauges   [NumGauges]gauge
 	rpc      [NumRPCOps]Histogram
+	hists    [NumHists]Histogram
 	// io counts protocol frames and payload bytes per opcode and
 	// direction (0 = received, 1 = sent), maintained by both protocol
 	// ends so either side's /metrics attributes wire traffic to ops.
@@ -427,6 +470,24 @@ func (r *Registry) ObserveRPC(op RPCOp, d time.Duration) {
 	r.rpc[op].Observe(d)
 }
 
+// ObserveHist records one raw value into a general-purpose histogram
+// (nanoseconds for duration histograms, plain counts otherwise).
+func (r *Registry) ObserveHist(h Hist, v int64) {
+	if r == nil {
+		return
+	}
+	r.hists[h].ObserveN(v)
+}
+
+// HistSnapshotOf returns a point-in-time copy of one general-purpose
+// histogram (zero value on a nil registry).
+func (r *Registry) HistSnapshotOf(h Hist) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	return r.hists[h].snapshot()
+}
+
 // Now returns the current time, or the zero time on a nil registry — the
 // companion of RPCSince, letting callers skip the clock read entirely when
 // no registry is installed:
@@ -474,6 +535,7 @@ type Snapshot struct {
 	Gauges     [NumGauges]int64
 	GaugePeaks [NumGauges]int64
 	RPC        [NumRPCOps]HistSnapshot
+	Hists      [NumHists]HistSnapshot
 	// RPCFrames and RPCBytes index [direction][op]; direction 0 is
 	// received, 1 is sent.
 	RPCFrames [2][NumRPCOps]int64
@@ -495,6 +557,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for i := range s.RPC {
 		s.RPC[i] = r.rpc[i].snapshot()
+	}
+	for i := range s.Hists {
+		s.Hists[i] = r.hists[i].snapshot()
 	}
 	for d := 0; d < 2; d++ {
 		for i := range s.RPCFrames[d] {
@@ -518,6 +583,9 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.GaugePeaks = s.GaugePeaks
 	for i := range d.RPC {
 		d.RPC[i] = s.RPC[i].Delta(prev.RPC[i])
+	}
+	for i := range d.Hists {
+		d.Hists[i] = s.Hists[i].Delta(prev.Hists[i])
 	}
 	for dir := 0; dir < 2; dir++ {
 		for i := range d.RPCFrames[dir] {
@@ -603,6 +671,7 @@ type jsonSnapshot struct {
 	Counters      map[string]int64     `json:"counters"`
 	Gauges        map[string]jsonGauge `json:"gauges,omitempty"`
 	RPC           map[string]jsonRPC   `json:"rpc"`
+	Hists         map[string]jsonRPC   `json:"hists,omitempty"`
 	RPCIO         map[string]jsonRPCIO `json:"rpc_io,omitempty"`
 	Derived       map[string]float64   `json:"derived,omitempty"`
 	Scoreboard    []ScoreRow           `json:"scoreboard,omitempty"`
@@ -664,6 +733,21 @@ func (r *Registry) jsonValue() jsonSnapshot {
 			continue
 		}
 		out.RPC[RPCOp(i).String()] = jsonRPC{
+			Count:  h.Count,
+			SumNS:  h.SumNS,
+			MeanNS: int64(h.Mean()),
+			P50NS:  int64(h.Quantile(0.50)),
+			P99NS:  int64(h.Quantile(0.99)),
+		}
+	}
+	for i, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		if out.Hists == nil {
+			out.Hists = make(map[string]jsonRPC, NumHists)
+		}
+		out.Hists[Hist(i).String()] = jsonRPC{
 			Count:  h.Count,
 			SumNS:  h.SumNS,
 			MeanNS: int64(h.Mean()),
@@ -755,6 +839,22 @@ func (s Snapshot) Format() string {
 			RPCOp(i).String()+"}", h.Count,
 			h.Mean().Round(100*time.Nanosecond),
 			h.Quantile(0.50), h.Quantile(0.99))
+	}
+	for i, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		if histDuration[i] {
+			fmt.Fprintf(&b, "  hist{%-20s %12d   mean %-10v p50 %-10v p99 %v\n",
+				Hist(i).String()+"}", h.Count,
+				h.Mean().Round(100*time.Nanosecond),
+				h.Quantile(0.50), h.Quantile(0.99))
+		} else {
+			fmt.Fprintf(&b, "  hist{%-20s %12d   mean %-10.1f p50 %-10d p99 %d\n",
+				Hist(i).String()+"}", h.Count,
+				float64(h.SumNS)/float64(h.Count),
+				int64(h.Quantile(0.50)), int64(h.Quantile(0.99)))
+		}
 	}
 	if b.Len() == 0 {
 		return "  (no events recorded)\n"

@@ -75,6 +75,28 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 		fmt.Fprintf(&b, "gom_rpc_latency_seconds_count{op=%q} %d\n", op, h.Count)
 	}
 
+	for i, h := range s.Hists {
+		if h.Count == 0 {
+			continue
+		}
+		name := "gom_" + Hist(i).String()
+		div := 1.0
+		if histDuration[i] {
+			name += "_seconds"
+			div = 1e9
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for bk := 0; bk < NumHistBuckets-1; bk++ {
+			cum += h.Buckets[bk]
+			le := fmtFloat(float64(int64(BucketBound(bk))) / div)
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, fmtFloat(float64(h.SumNS)/div))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+
 	b.WriteString("# TYPE gom_rpc_frames counter\n")
 	b.WriteString("# HELP gom_rpc_frames Protocol frames by opcode and direction.\n")
 	b.WriteString("# TYPE gom_rpc_bytes counter\n")

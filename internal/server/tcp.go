@@ -670,6 +670,13 @@ func (s *TCPServer) handle(cs *connState, op byte, payload []byte) ([]byte, erro
 		} else {
 			err = s.tx.Abort(cs.tx)
 		}
+		if err != nil && s.tx.Alive(cs.tx) {
+			// A failed commit (e.g. the group-commit flush errored) leaves
+			// the transaction live and lock-holding; keep it bound to the
+			// connection so the client can abort or retry instead of
+			// orphaning it.
+			return nil, err
+		}
 		cs.sess = nil
 		cs.tx = 0
 		return nil, err

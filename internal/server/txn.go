@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"gom/internal/metrics"
 	"gom/internal/oid"
 	"gom/internal/page"
 	"gom/internal/storage"
@@ -84,6 +85,13 @@ type txState struct {
 	locks map[page.PageID]lockMode
 	undo  []undoFn
 	done  bool
+	// committing is set while the commit record is in the group-commit
+	// pipeline, outside s.mu. Session calls and Abort treat a committing
+	// transaction as finished (ErrTxDone): new work must not slip into
+	// the log after the commit record, and the transaction's fate now
+	// belongs to the fsync. A failed flush clears the flag — the
+	// transaction stays alive and undoable.
+	committing bool
 }
 
 // TxServer provides transactional sessions over one storage manager. It
@@ -158,7 +166,7 @@ func (s *TxServer) acquire(tx TxID, pid page.PageID, mode lockMode) error {
 	}()
 	for {
 		st, ok := s.txs[tx]
-		if !ok || st.done {
+		if !ok || st.done || st.committing {
 			return fmt.Errorf("%w: %d", ErrTxDone, tx)
 		}
 		l := s.locks[pid]
@@ -212,28 +220,63 @@ func (s *TxServer) finish(tx TxID, st *txState) {
 }
 
 // Commit ends the transaction, making its writes durable and visible.
-// With a WAL attached the commit record is appended and fsynced first —
-// if that fails the transaction stays alive (and undoable), because work
-// that never reached the log must not become visible.
+// With a WAL attached the commit record is made durable first, through
+// the group-commit pipeline: the record is handed to the WAL's writer
+// goroutine, which coalesces concurrent commits into one append+fsync
+// (storage/groupcommit.go). The wait happens *outside* s.mu, so
+// committers serialize only against each other inside the WAL writer —
+// not against every other transaction's lock traffic. If durability
+// fails, the transaction stays alive (and undoable), because work that
+// never reached the log must not become visible.
+//
+// Read-only transactions (no undo actions, hence no tx-tagged redo
+// records in the log — every tx-tagged append is preceded by a
+// successful logUndo) have nothing a commit record would make visible at
+// replay; they release their locks immediately and never enter the
+// commit queue.
 func (s *TxServer) Commit(tx TxID) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st, ok := s.txs[tx]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoTx, tx)
 	}
-	if st.done {
+	if st.done || st.committing {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrTxDone, tx)
 	}
-	if w := s.mgr.WAL(); w != nil {
-		// Holding s.mu through the fsync serializes commits; group commit
-		// is future work (DESIGN.md "Durability").
-		if err := w.AppendCommit(uint64(tx)); err != nil {
-			return fmt.Errorf("server: commit of tx %d not durable: %w", tx, err)
+	w := s.mgr.WAL()
+	if w == nil || len(st.undo) == 0 {
+		if w != nil {
+			w.Metrics().Inc(metrics.CtrTxReadOnlyCommit)
 		}
+		s.finish(tx, st)
+		s.mu.Unlock()
+		return nil
+	}
+	st.committing = true
+	s.mu.Unlock()
+
+	err := w.CommitDurable(uint64(tx))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		st.committing = false
+		return fmt.Errorf("server: commit of tx %d not durable: %w", tx, err)
 	}
 	s.finish(tx, st)
 	return nil
+}
+
+// Alive reports whether the transaction is still live (undoable). The
+// wire layer uses it after a failed commit: the transaction is not gone —
+// it holds its locks and must still be aborted or retried.
+func (s *TxServer) Alive(tx TxID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.txs[tx]
+	return ok && !st.done
 }
 
 // Abort rolls the transaction back by running its undo actions in reverse
@@ -249,7 +292,7 @@ func (s *TxServer) Abort(tx TxID) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoTx, tx)
 	}
-	if st.done {
+	if st.done || st.committing {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrTxDone, tx)
 	}
@@ -317,7 +360,7 @@ func (s *TxServer) logUndo(tx TxID, fn undoFn) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.txs[tx]
-	if !ok || st.done {
+	if !ok || st.done || st.committing {
 		return fmt.Errorf("%w: %d", ErrTxDone, tx)
 	}
 	st.undo = append(st.undo, fn)

@@ -89,8 +89,9 @@ func TestTxCommitNotDurableWhenWALBroken(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Arm after the allocation so the commit record is the torn append.
-	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALAppend, TornWrite: true, TornAt: 2, Times: 1})
+	// Commit records flow through the group-commit batch append, not the
+	// per-record WALAppend site.
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALBatchAppend, TornWrite: true, TornAt: 2, Times: 1})
 	err = ts.Commit(tx)
 	if err == nil || !strings.Contains(err.Error(), "not durable") {
 		t.Fatalf("Commit over torn WAL = %v, want a not-durable error", err)

@@ -1,0 +1,402 @@
+package storage
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gom/internal/faultpoint"
+)
+
+// Group commit (DESIGN.md "Durability"): a dedicated log-writer goroutine
+// owns the append+fsync of commit records. Committers enqueue a request
+// and block; the writer coalesces every request that arrived while the
+// previous fsync was running into one multi-record append followed by a
+// single fsync, then wakes all waiters with the shared durability result.
+//
+// Batching starts "natural": while a flush is on the device, arriving
+// commits queue and the next drain picks them all up, so the fsync
+// duration itself gates batch growth. On top of that the writer lingers
+// adaptively: when the previous flush carried company (or commits are
+// already queued), it waits up to half the observed flush cost — capped
+// at 1ms — for stragglers, absorbing the arrival spread of committers
+// that woke from the last batch and are racing through their next
+// transaction. A lone committer never lingers and pays exactly one
+// append+fsync. An explicit Budget overrides the adaptive linger.
+//
+// Failure semantics match the serial path: when the batch's append or
+// fsync fails, every transaction in the batch gets the error, none is
+// reported durable, and the WAL is poisoned (ErrWALBroken) until
+// recovery — commit records already in the file must not be resurrected
+// by a later successful fsync after their commits were reported failed.
+
+// GroupCommitOptions configures the group-commit pipeline.
+type GroupCommitOptions struct {
+	// MaxBatch caps how many commit records one flush coalesces.
+	// 0 means the default (256).
+	MaxBatch int
+	// Budget is the linger: after the writer picks up the first commit
+	// of a batch it waits up to Budget for more to arrive before
+	// flushing. 0 (the default) means adaptive — the writer lingers up
+	// to half the EWMA flush cost, and only when the previous flush
+	// carried more than one commit or commits are already queued, so a
+	// lone committer never waits. An explicit Budget fixes the linger
+	// instead. Capped at 1ms either way.
+	Budget time.Duration
+}
+
+const (
+	defaultGroupMaxBatch = 256
+	maxGroupBudget       = time.Millisecond
+	groupQueueDepth      = 1024
+)
+
+// commitReq is one transaction waiting for its commit record to be
+// durable.
+type commitReq struct {
+	tx   uint64
+	done chan error
+}
+
+// groupCommitter is the writer goroutine plus its queue. One per WAL,
+// created on first CommitDurable (or explicitly via EnableGroupCommit).
+type groupCommitter struct {
+	w    *WAL
+	opts GroupCommitOptions
+
+	reqs chan commitReq
+	stop chan struct{} // closed first: senders must stop entering
+	quit chan struct{} // closed once senders drained: writer exits
+	wg   sync.WaitGroup
+
+	enterMu sync.Mutex
+	closed  bool
+	senders sync.WaitGroup
+
+	pending atomic.Int64
+
+	// Adaptive-linger state, touched only by the writer goroutine.
+	avgFlushNS int64 // EWMA of flush duration
+	lastBatch  int   // size of the previous flush
+
+	holdMu sync.Mutex
+	hold   chan struct{} // test hook: non-nil while flushing is held
+}
+
+// commit enqueues tx and waits for the batch result. ok=false means the
+// committer is shutting down and the caller must retry against the WAL's
+// current configuration (serial fallback or a replacement committer).
+func (g *groupCommitter) commit(tx uint64) (ok bool, err error) {
+	g.enterMu.Lock()
+	if g.closed {
+		g.enterMu.Unlock()
+		return false, nil
+	}
+	g.senders.Add(1)
+	g.enterMu.Unlock()
+	req := commitReq{tx: tx, done: make(chan error, 1)}
+	select {
+	case g.reqs <- req:
+	case <-g.stop:
+		g.senders.Done()
+		return false, nil
+	}
+	g.pending.Add(1)
+	g.senders.Done()
+	err = <-req.done
+	g.pending.Add(-1)
+	return true, err
+}
+
+// shutdown stops the writer after flushing everything already queued.
+// Safe to call more than once.
+func (g *groupCommitter) shutdown() {
+	g.enterMu.Lock()
+	if g.closed {
+		g.enterMu.Unlock()
+		return
+	}
+	g.closed = true
+	g.enterMu.Unlock()
+	close(g.stop)
+	g.senders.Wait() // every in-flight enqueue has landed or aborted
+	close(g.quit)
+	g.wg.Wait()
+}
+
+// run is the writer loop: block for the first commit, gather the batch,
+// flush, repeat.
+func (g *groupCommitter) run() {
+	defer g.wg.Done()
+	for {
+		var first commitReq
+		// busy: a commit was already waiting when the previous flush
+		// finished — committers are arriving at least as fast as the
+		// writer flushes, so lingering for company is worthwhile even
+		// when the previous batch happened to carry only one.
+		busy := true
+		select {
+		case first = <-g.reqs:
+		default:
+			busy = false
+			select {
+			case first = <-g.reqs:
+			case <-g.quit:
+				if batch := g.drainQueued(nil); len(batch) > 0 {
+					g.flush(batch)
+				}
+				return
+			}
+		}
+		// A stall here models a slow or descheduled log writer: commits
+		// keep arriving and pile into one large batch (arm a Delay at
+		// faultpoint.WALWriterStall).
+		_ = faultpoint.Check(faultpoint.WALWriterStall)
+		g.flush(g.gather([]commitReq{first}, busy))
+	}
+}
+
+// gather grows the batch: while the test hold is set it collects without
+// flushing; with a linger budget it waits for stragglers; finally it
+// drains whatever queued while the writer was busy, up to MaxBatch.
+func (g *groupCommitter) gather(batch []commitReq, busy bool) []commitReq {
+	for {
+		g.holdMu.Lock()
+		hold := g.hold
+		g.holdMu.Unlock()
+		if hold == nil {
+			break
+		}
+		select {
+		case r := <-g.reqs:
+			batch = append(batch, r)
+		case <-hold:
+			// Released; re-check (a test may hold again immediately).
+		case <-g.quit:
+			return g.drainQueued(batch)
+		}
+	}
+	if budget := g.lingerBudget(busy); budget > 0 {
+		// The linger is gap-based: each arrival proves more committers
+		// are in flight and extends the wait; the first pause in the
+		// stream ends it, and the total budget bounds the added latency
+		// even under a continuous trickle. The wait yields the
+		// processor rather than arming a timer — runtime timers fire
+		// with near-millisecond latency, which would dwarf the
+		// microsecond gaps being waited out — and exits immediately
+		// once the previous flush's cohort has fully re-arrived.
+		gap := budget / 4
+		deadline := time.Now().Add(budget)
+		gapEnd := time.Now().Add(gap)
+	linger:
+		for len(batch) < g.opts.MaxBatch {
+			if g.lastBatch > 1 && len(batch) >= g.lastBatch {
+				// Cohort complete: everyone who shared the last flush
+				// is aboard; lingering further only adds latency.
+				break
+			}
+			select {
+			case r := <-g.reqs:
+				batch = append(batch, r)
+				gapEnd = time.Now().Add(gap)
+			case <-g.quit:
+				return g.drainQueued(batch)
+			default:
+				now := time.Now()
+				if !now.Before(gapEnd) || !now.Before(deadline) {
+					break linger
+				}
+				runtime.Gosched()
+			}
+		}
+	}
+	for len(batch) < g.opts.MaxBatch {
+		select {
+		case r := <-g.reqs:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// lingerBudget sizes the wait for stragglers. An explicit opts.Budget
+// wins; otherwise the budget adapts to the log device: half the EWMA
+// flush cost (capped at maxGroupBudget), and only on evidence of
+// concurrent committers worth waiting for — the previous flush carried
+// more than one commit, a commit was already waiting when that flush
+// finished (busy), or commits are queued right now. A lone committer
+// sees budget 0 and flushes immediately.
+func (g *groupCommitter) lingerBudget(busy bool) time.Duration {
+	if g.opts.Budget > 0 {
+		return g.opts.Budget
+	}
+	if !busy && g.lastBatch <= 1 && len(g.reqs) == 0 {
+		return 0
+	}
+	b := time.Duration(g.avgFlushNS / 2)
+	if b > maxGroupBudget {
+		b = maxGroupBudget
+	}
+	return b
+}
+
+// drainQueued empties the queue without blocking (shutdown path: every
+// sender has finished enqueueing by the time quit closes).
+func (g *groupCommitter) drainQueued(batch []commitReq) []commitReq {
+	for {
+		select {
+		case r := <-g.reqs:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+}
+
+// flush writes the batch as one append+fsync and wakes every waiter with
+// the shared result.
+func (g *groupCommitter) flush(batch []commitReq) {
+	txs := make([]uint64, len(batch))
+	for i, r := range batch {
+		txs[i] = r.tx
+	}
+	start := time.Now()
+	err := g.w.appendCommitBatch(txs)
+	dur := time.Since(start).Nanoseconds()
+	// EWMA with alpha 1/4 feeds the adaptive linger.
+	g.avgFlushNS += (dur - g.avgFlushNS) / 4
+	g.lastBatch = len(batch)
+	for _, r := range batch {
+		r.done <- err
+	}
+}
+
+// EnableGroupCommit starts (or reconfigures) the group-commit pipeline.
+// An existing writer is drained and replaced.
+func (w *WAL) EnableGroupCommit(opts GroupCommitOptions) {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = defaultGroupMaxBatch
+	}
+	if opts.Budget < 0 {
+		opts.Budget = 0
+	}
+	if opts.Budget > maxGroupBudget {
+		opts.Budget = maxGroupBudget
+	}
+	g := &groupCommitter{
+		w:    w,
+		opts: opts,
+		reqs: make(chan commitReq, groupQueueDepth),
+		stop: make(chan struct{}),
+		quit: make(chan struct{}),
+	}
+	g.wg.Add(1)
+	go g.run()
+
+	w.gcMu.Lock()
+	old := w.gc
+	w.gc = g
+	w.gcConfigured = true
+	w.gcMu.Unlock()
+	if old != nil {
+		old.shutdown()
+	}
+}
+
+// DisableGroupCommit drains and stops the pipeline; CommitDurable then
+// uses the serial append+fsync path. Sticky: CommitDurable will not
+// restart the writer until EnableGroupCommit is called again.
+func (w *WAL) DisableGroupCommit() {
+	w.gcMu.Lock()
+	old := w.gc
+	w.gc = nil
+	w.gcConfigured = true
+	w.gcMu.Unlock()
+	if old != nil {
+		old.shutdown()
+	}
+}
+
+// CommitDurable makes tx's commit record durable: through the
+// group-commit pipeline (started with default options on first use), or
+// via the serial AppendCommit path when group commit has been explicitly
+// disabled. This is the commit entry point for concurrent committers —
+// requests arriving while a flush is in progress coalesce into the next
+// batch and share its fsync.
+func (w *WAL) CommitDurable(tx uint64) error {
+	for {
+		w.gcMu.RLock()
+		g, configured := w.gc, w.gcConfigured
+		w.gcMu.RUnlock()
+		if g == nil {
+			if configured {
+				return w.AppendCommit(tx)
+			}
+			w.EnableGroupCommit(GroupCommitOptions{})
+			continue
+		}
+		ok, err := g.commit(tx)
+		if !ok {
+			// The committer shut down while we enqueued; retry against
+			// the WAL's current configuration.
+			continue
+		}
+		return err
+	}
+}
+
+// HoldGroupCommit pauses the writer's flushing (test hook): commit
+// requests accumulate into one batch until ReleaseGroupCommit, giving
+// crash tests a deterministic multi-transaction batch.
+func (w *WAL) HoldGroupCommit() {
+	w.gcMu.RLock()
+	configured := w.gcConfigured
+	w.gcMu.RUnlock()
+	if !configured {
+		w.EnableGroupCommit(GroupCommitOptions{})
+	}
+	w.gcMu.RLock()
+	g := w.gc
+	w.gcMu.RUnlock()
+	if g == nil {
+		return
+	}
+	g.holdMu.Lock()
+	if g.hold == nil {
+		g.hold = make(chan struct{})
+	}
+	g.holdMu.Unlock()
+}
+
+// ReleaseGroupCommit lets a held writer flush the accumulated batch.
+func (w *WAL) ReleaseGroupCommit() {
+	w.gcMu.RLock()
+	g := w.gc
+	w.gcMu.RUnlock()
+	if g == nil {
+		return
+	}
+	g.holdMu.Lock()
+	if g.hold != nil {
+		close(g.hold)
+		g.hold = nil
+	}
+	g.holdMu.Unlock()
+}
+
+// PendingCommits returns how many commit requests are enqueued or being
+// flushed — a test hook for building deterministic batches (enqueue
+// order is FIFO, so polling PendingCommits between sends fixes the
+// record order inside the batch).
+func (w *WAL) PendingCommits() int {
+	w.gcMu.RLock()
+	g := w.gc
+	w.gcMu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	return int(g.pending.Load())
+}

@@ -1,0 +1,330 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"gom/internal/faultpoint"
+	"gom/internal/metrics"
+)
+
+// waitPending polls until n commit requests are queued at the (held)
+// group committer — the deterministic way to build a batch with a known
+// record order.
+func waitPending(t *testing.T, w *WAL, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.PendingCommits() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending commits stuck at %d, want %d", w.PendingCommits(), n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// holdBatch enqueues txs 1..n against a held group committer and returns
+// a function that releases the batch and collects the per-commit results
+// (FIFO enqueue order = record order in the batch).
+func holdBatch(t *testing.T, w *WAL, n int) func() []error {
+	t.Helper()
+	w.HoldGroupCommit()
+	errsCh := make([]chan error, n)
+	for i := 0; i < n; i++ {
+		errsCh[i] = make(chan error, 1)
+		tx, ch := uint64(i+1), errsCh[i]
+		go func() { ch <- w.CommitDurable(tx) }()
+		waitPending(t, w, i+1)
+	}
+	return func() []error {
+		w.ReleaseGroupCommit()
+		out := make([]error, n)
+		for i, ch := range errsCh {
+			out[i] = <-ch
+		}
+		return out
+	}
+}
+
+// TestGroupCommitBatchesOneFsync holds the writer, queues five commits,
+// releases, and asserts the batch became one append+fsync carrying five
+// commit records in enqueue order.
+func TestGroupCommitBatchesOneFsync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	reg := metrics.New()
+	w.SetMetrics(reg)
+
+	const n = 5
+	preOff := w.Offset()
+	preFsync := reg.Count(metrics.CtrWALFsync)
+	release := holdBatch(t, w, n)
+	if got := w.Offset(); got != preOff {
+		t.Fatalf("held batch already appended: offset %d, want %d", got, preOff)
+	}
+	for i, err := range release() {
+		if err != nil {
+			t.Fatalf("commit %d in batch: %v", i+1, err)
+		}
+	}
+
+	if got := reg.Count(metrics.CtrWALFsync) - preFsync; got != 1 {
+		t.Fatalf("batch of %d commits took %d fsyncs, want 1", n, got)
+	}
+	if got := reg.Count(metrics.CtrWALGroupBatch); got != 1 {
+		t.Fatalf("wal_group_batch = %d, want 1", got)
+	}
+	if got := reg.Count(metrics.CtrWALCommit); got != n {
+		t.Fatalf("wal_commit = %d, want %d", got, n)
+	}
+	hs := reg.HistSnapshotOf(metrics.HistWALBatchSize)
+	if hs.Count != 1 || hs.SumNS != n {
+		t.Fatalf("batch-size histogram = count %d sum %d, want one observation of %d", hs.Count, hs.SumNS, n)
+	}
+	if w.SyncedOffset() != w.Offset() {
+		t.Fatalf("synced %d != offset %d after batch fsync", w.SyncedOffset(), w.Offset())
+	}
+
+	recs, _, err := ScanLogFile(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("log holds %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Kind != RecordCommit || r.Tx != uint64(i+1) {
+			t.Fatalf("record %d = kind %d tx %d, want commit of tx %d (FIFO order)", i, r.Kind, r.Tx, i+1)
+		}
+	}
+}
+
+// TestGroupCommitNaturalBatchingUnderStall arms a writer stall so commits
+// arriving during the stall coalesce: 32 concurrent committers must need
+// far fewer than 32 fsyncs.
+func TestGroupCommitNaturalBatchingUnderStall(t *testing.T) {
+	defer faultpoint.Reset()
+	w, err := CreateWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	reg := metrics.New()
+	w.SetMetrics(reg)
+	w.EnableGroupCommit(GroupCommitOptions{})
+
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALWriterStall, Delay: 20 * time.Millisecond, Times: 1})
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.CommitDurable(uint64(i + 1))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("commit %d: %v", i+1, err)
+		}
+	}
+	if got := reg.Count(metrics.CtrWALFsync); got >= n/2 {
+		t.Fatalf("%d commits under a stalled writer took %d fsyncs, want batching (< %d)", n, got, n/2)
+	}
+	recs, _, err := ScanLogFile(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("log holds %d commit records, want %d", len(recs), n)
+	}
+}
+
+// TestGroupCommitBatchTornWriteSweep tears the batch append at every byte
+// offset of a three-commit batch: every commit in the batch must report
+// failure, the WAL must be poisoned, and recovery of the torn image must
+// surface exactly the whole records before the tear — never a partial
+// record.
+func TestGroupCommitBatchTornWriteSweep(t *testing.T) {
+	defer faultpoint.Reset()
+	const n = 3
+	const frameLen = 8 + 9 // walFrameHdr + commit payload
+	for tornAt := 0; tornAt < n*frameLen; tornAt++ {
+		t.Run(fmt.Sprintf("torn=%d", tornAt), func(t *testing.T) {
+			defer faultpoint.Reset()
+			dir := t.TempDir()
+			w, err := CreateWAL(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			release := holdBatch(t, w, n)
+			faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALBatchAppend, TornWrite: true, TornAt: tornAt, Times: 1})
+			for i, err := range release() {
+				if err == nil {
+					t.Fatalf("commit %d reported durable through a torn batch append", i+1)
+				}
+			}
+			if err := w.AppendCommit(99); !errors.Is(err, ErrWALBroken) {
+				t.Fatalf("append after torn batch = %v, want ErrWALBroken", err)
+			}
+			path := w.Path()
+			w.Close()
+
+			// The torn image holds exactly the records wholly written
+			// before the tear; a reader must never see a partial one.
+			recs, _, err := ScanLogFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := tornAt / frameLen; len(recs) != want {
+				t.Fatalf("torn at %d: %d whole records visible, want %d", tornAt, len(recs), want)
+			}
+			for i, r := range recs {
+				if r.Kind != RecordCommit || r.Tx != uint64(i+1) {
+					t.Fatalf("torn at %d: record %d = kind %d tx %d", tornAt, i, r.Kind, r.Tx)
+				}
+			}
+			if _, _, _, err := RecoverManager(dir, 1); err != nil {
+				t.Fatalf("torn at %d: recovery refused the image: %v", tornAt, err)
+			}
+		})
+	}
+}
+
+// TestGroupCommitSyncFailurePoisons: when the batch fsync *fails*, every
+// commit in the batch fails and the WAL is poisoned — the commit records
+// already in the file must never be resurrected by a later successful
+// sync, and a crash image cut at the durable prefix holds none of them.
+func TestGroupCommitSyncFailurePoisons(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	w, err := CreateWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncedAt := w.SyncedOffset()
+
+	const n = 4
+	release := holdBatch(t, w, n)
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALBatchSync, Times: 1})
+	for i, err := range release() {
+		if err == nil {
+			t.Fatalf("commit %d reported durable through a failed fsync", i+1)
+		}
+	}
+	if w.SyncedOffset() != syncedAt {
+		t.Fatalf("durable prefix advanced across a failed fsync: %d != %d", w.SyncedOffset(), syncedAt)
+	}
+	// Poisoned: no later append or sync may quietly make the batch durable.
+	if err := w.AppendCommit(99); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("append after failed batch fsync = %v, want ErrWALBroken", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("Sync after failed batch fsync = %v, want ErrWALBroken", err)
+	}
+	path := w.Path()
+	w.Close()
+
+	// Crash at the durable prefix: none of the failed batch survives.
+	if err := os.Truncate(path, syncedAt); err != nil {
+		t.Fatal(err)
+	}
+	_, w2, info, err := RecoverManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Committed != 0 {
+		t.Fatalf("failed batch resurrected: %d committed transactions recovered", info.Committed)
+	}
+}
+
+// TestGroupCommitLostFsyncLosesBatch: a *skipped* batch fsync (the device
+// lied) reports success, matching the serial path's lost-fsync contract —
+// and a crash at the durable prefix then loses the whole batch at once.
+func TestGroupCommitLostFsyncLosesBatch(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	w, err := CreateWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncedAt := w.SyncedOffset()
+
+	const n = 3
+	release := holdBatch(t, w, n)
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALBatchSync, Skip: true, Times: 1})
+	for i, err := range release() {
+		if err != nil {
+			t.Fatalf("commit %d with lost fsync must report success: %v", i+1, err)
+		}
+	}
+	if w.SyncedOffset() != syncedAt {
+		t.Fatalf("durable prefix advanced despite lost fsync: %d != %d", w.SyncedOffset(), syncedAt)
+	}
+	// The WAL is healthy (the failure is silent); a later commit's fsync
+	// makes everything durable, batch included.
+	if err := w.CommitDurable(99); err != nil {
+		t.Fatal(err)
+	}
+	if w.SyncedOffset() != w.Offset() {
+		t.Fatalf("later fsync did not cover the log: synced %d, offset %d", w.SyncedOffset(), w.Offset())
+	}
+	path := w.Path()
+	w.Close()
+
+	// But had the crash come first, the whole batch would be gone.
+	if err := os.Truncate(path, syncedAt); err != nil {
+		t.Fatal(err)
+	}
+	_, w2, info, err := RecoverManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Committed != 0 {
+		t.Fatalf("lost-fsync batch survived the crash: %d committed", info.Committed)
+	}
+}
+
+// TestGroupCommitDisable pins the serial fallback: with group commit
+// explicitly disabled, CommitDurable must behave exactly like
+// AppendCommit (one record, one fsync, no writer goroutine involved).
+func TestGroupCommitDisable(t *testing.T) {
+	w, err := CreateWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	reg := metrics.New()
+	w.SetMetrics(reg)
+	w.DisableGroupCommit()
+
+	for tx := uint64(1); tx <= 3; tx++ {
+		if err := w.CommitDurable(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Count(metrics.CtrWALGroupBatch); got != 0 {
+		t.Fatalf("disabled group commit still flushed %d batches", got)
+	}
+	if got := reg.Count(metrics.CtrWALFsync); got != 3 {
+		t.Fatalf("serial path took %d fsyncs for 3 commits, want 3", got)
+	}
+	recs, _, err := ScanLogFile(w.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("log holds %d records, want 3", len(recs))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"gom/internal/faultpoint"
 	"gom/internal/metrics"
@@ -95,6 +96,13 @@ type WAL struct {
 	broken bool  // a failed/torn append poisons the tail
 	nosync bool  // benchmark hook: count but skip fsyncs
 	obs    *metrics.Registry
+
+	// Group-commit pipeline (groupcommit.go). gcConfigured distinguishes
+	// "never touched" (CommitDurable starts the writer with defaults) from
+	// "explicitly disabled" (CommitDurable stays on the serial path).
+	gcMu         sync.RWMutex
+	gc           *groupCommitter
+	gcConfigured bool
 }
 
 // CreateWAL creates a fresh epoch-0 log in dir (creating the directory if
@@ -190,8 +198,17 @@ func (w *WAL) Path() string {
 	return filepath.Join(w.dir, fmt.Sprintf(walPattern, w.epoch))
 }
 
-// Close closes the log file (the WAL is unusable afterwards).
+// Metrics returns the installed observability registry (nil when none).
+func (w *WAL) Metrics() *metrics.Registry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.obs
+}
+
+// Close stops the group-commit writer (draining queued commits) and
+// closes the log file (the WAL is unusable afterwards).
 func (w *WAL) Close() error {
+	w.DisableGroupCommit()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -253,20 +270,114 @@ func (w *WAL) Sync() error {
 }
 
 func (w *WAL) syncLocked() error {
-	skip, err := faultpoint.CheckSync(faultpoint.WALSync)
+	return w.syncSiteLocked(faultpoint.WALSync)
+}
+
+// syncSiteLocked fsyncs under the named fault site. A *failed* fsync
+// (injected or real) poisons the WAL: records already appended — commit
+// records in particular — would otherwise be silently made durable by
+// the next successful sync, after their commits were reported failed. A
+// *skipped* fsync (faultpoint Skip, or nosync mode) reports success
+// without advancing the durable prefix: a later crash loses the tail.
+func (w *WAL) syncSiteLocked(site string) error {
+	if w.broken {
+		// A poisoned tail holds records whose durability was already
+		// reported failed; syncing would resurrect them.
+		return ErrWALBroken
+	}
+	skip, err := faultpoint.CheckSync(site)
 	if err != nil {
+		w.broken = true
 		return err
 	}
 	if skip || w.nosync {
-		// A lost fsync reports success without advancing the durable
-		// prefix: a later crash loses everything after w.synced.
 		return nil
 	}
 	if err := w.f.Sync(); err != nil {
+		w.broken = true
 		return err
 	}
 	w.synced = w.off
 	w.obs.Inc(metrics.CtrWALFsync)
+	return nil
+}
+
+// appendCommitBatch writes the commit records of one group-commit batch
+// as a single write followed by a single fsync — the flush half of the
+// group-commit pipeline (groupcommit.go). The faultpoint.WALBatchAppend
+// site can tear the write at any byte — including inside any record of
+// the batch, the partial-batch torn write — and faultpoint.WALBatchSync
+// can fail or skip the shared fsync. Any failure poisons the WAL and
+// fails every transaction in the batch.
+//
+// The fsync itself runs with w.mu released: committers mid-transaction
+// keep appending redo records (and reaching their own commit points)
+// while the flush is on the device, and those are exactly the commits
+// the next batch coalesces. Holding the mutex across the fsync would
+// serialize the whole pipeline and batches would never form. This is
+// safe because the batch's bytes sit below the captured end offset and
+// fsync covers the whole file regardless of later appends.
+func (w *WAL) appendCommitBatch(txs []uint64) error {
+	start := time.Now()
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		return errors.New("storage: WAL is closed")
+	}
+	if w.broken {
+		w.mu.Unlock()
+		return ErrWALBroken
+	}
+	const frameLen = walFrameHdr + 9
+	buf := make([]byte, 0, frameLen*len(txs))
+	p := make([]byte, 9)
+	for _, tx := range txs {
+		p[0] = walRecCommit
+		binary.LittleEndian.PutUint64(p[1:], tx)
+		buf = append(buf, walFrame(p)...)
+	}
+	n, ferr := faultpoint.CheckWrite(faultpoint.WALBatchAppend, len(buf))
+	if n > 0 {
+		wn, err := w.f.WriteAt(buf[:n], w.off)
+		w.off += int64(wn)
+		if err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	if ferr != nil {
+		w.broken = true
+		w.mu.Unlock()
+		return ferr
+	}
+	w.obs.AddN(metrics.CtrWALAppend, int64(len(txs)))
+	w.obs.AddN(metrics.CtrWALAppendBytes, int64(len(buf)))
+	end, f, nosync := w.off, w.f, w.nosync
+	w.mu.Unlock()
+
+	skip, serr := faultpoint.CheckSync(faultpoint.WALBatchSync)
+	if serr == nil && !skip && !nosync {
+		serr = f.Sync()
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if serr != nil {
+		// Same poisoning rule as syncSiteLocked: the batch's commit
+		// records are in the file but their durability was reported
+		// failed; a later successful sync must never resurrect them.
+		w.broken = true
+		return serr
+	}
+	if !skip && !nosync {
+		if end > w.synced {
+			w.synced = end
+		}
+		w.obs.Inc(metrics.CtrWALFsync)
+	}
+	w.obs.AddN(metrics.CtrWALCommit, int64(len(txs)))
+	w.obs.Inc(metrics.CtrWALGroupBatch)
+	w.obs.ObserveHist(metrics.HistWALBatchSize, int64(len(txs)))
+	w.obs.ObserveHist(metrics.HistWALFlushLatency, int64(time.Since(start)))
 	return nil
 }
 
@@ -526,6 +637,45 @@ func WALRecordBoundaries(path string) ([]int64, error) {
 		out = append(out, valid)
 	}
 	return out, nil
+}
+
+// Exported record-kind bytes for ScanLogFile consumers (tests and tools
+// inspecting log structure).
+const (
+	RecordSegCreate   = walRecSegCreate
+	RecordEnsurePages = walRecEnsurePages
+	RecordPageImage   = walRecPageImage
+	RecordPotPut      = walRecPotPut
+	RecordPotDelete   = walRecPotDelete
+	RecordCommit      = walRecCommit
+	RecordAbort       = walRecAbort
+)
+
+// LogRecordInfo describes one decoded WAL record: its kind byte, owning
+// transaction (0 for system records), the page it touches (page-image
+// records only), and the file offset just past its frame.
+type LogRecordInfo struct {
+	Kind byte
+	Tx   uint64
+	Page page.PageID
+	End  int64
+}
+
+// ScanLogFile decodes the log file at path and returns its record
+// structure plus the valid prefix length (crash- and ordering-tests use
+// it to locate commit records and cut points without re-deriving the
+// framing).
+func ScanLogFile(path string) ([]LogRecordInfo, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	_, recs, valid, _ := scanWAL(data)
+	out := make([]LogRecordInfo, len(recs))
+	for i, r := range recs {
+		out[i] = LogRecordInfo{Kind: r.typ, Tx: r.tx, Page: r.pid, End: r.end}
+	}
+	return out, valid, nil
 }
 
 // RecoverInfo reports what recovery found and did.
