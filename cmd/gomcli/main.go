@@ -12,6 +12,7 @@
 //	gomcli serve -tx -wal walDir -serial-commit base.gom  # one fsync per commit
 //	gomcli serve -debug :7071 base.gom        # expose /debug/metrics + pprof
 //	gomcli traverse -depth 5 -strategy LIS base.gom
+//	gomcli traverse -addr 127.0.0.1:7070 -snapshot base.gom  # MVCC snapshot read over TCP
 //	gomcli stats -addr 127.0.0.1:7071         # live stats of a running server
 //	gomcli stats -workload traversal base.gom # run locally, dump the registry
 //	gomcli trace dump -addr 127.0.0.1:7071    # retained server spans as Chrome trace JSON
@@ -311,9 +312,14 @@ func cmdTraverse(args []string) error {
 	strategy := fs.String("strategy", "LIS", "NOS|EDS|EIS|LDS|LIS")
 	pages := fs.Int("pages", 1000, "page buffer frames")
 	seed := fs.Int64("seed", 7, "operation seed")
+	addr := fs.String("addr", "", "run against a remote page server (host:port) instead of in-process")
+	snapshot := fs.Bool("snapshot", false, "with -addr against a -tx server: read from an MVCC snapshot (never blocks behind writers)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("traverse: need a base file")
+	}
+	if *snapshot && *addr == "" {
+		return fmt.Errorf("traverse: -snapshot requires -addr")
 	}
 	st, err := swizzle.Parse(strings.ToUpper(*strategy))
 	if err != nil {
@@ -323,7 +329,26 @@ func cmdTraverse(args []string) error {
 	if err != nil {
 		return err
 	}
-	c, err := oo1.NewClient(db, core.Options{PageBufferPages: *pages}, *seed)
+	opt := core.Options{PageBufferPages: *pages}
+	if *addr != "" {
+		// The base file supplies only the schema and extent roots; every
+		// page fault goes over the wire.
+		cl, err := server.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		opt.Server = cl
+		if *snapshot {
+			_, readLSN, err := cl.BeginSnapshotTx()
+			if err != nil {
+				return err
+			}
+			defer cl.CommitTx()
+			fmt.Printf("snapshot read at LSN %d\n", readLSN)
+		}
+	}
+	c, err := oo1.NewClient(db, opt, *seed)
 	if err != nil {
 		return err
 	}

@@ -51,7 +51,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig19", "fig20", "table9", "storage",
 		"ablation-discovery", "ablation-snowball", "ablation-rrl-blocks",
 		"ablation-desc-reclaim", "ablation-pagewise-rrl", "ablation-swizzle-table",
-		"workers",
+		"workers", "snapshot",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -419,5 +419,36 @@ func TestWorkersShape(t *testing.T) {
 	}
 	if agg := num(t, row[4]); agg <= 0 {
 		t.Errorf("aggregate throughput %f not positive", agg)
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	e, ok := Find("snapshot")
+	if !ok {
+		t.Fatal("snapshot experiment not registered")
+	}
+	res, err := e.Run(Opts{Quick: true, Seed: 42, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Workers=2 should pin one row, got %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[0] != "2" {
+		t.Errorf("readers column = %q, want 2", row[0])
+	}
+	// The contract, not a tuning target: snapshot readers take no locks,
+	// so they must lose zero transactions to lock-wait timeouts and must
+	// out-read the S-lock path under the same write mix.
+	if snapAborts := num(t, row[4]); snapAborts != 0 {
+		t.Errorf("snapshot aborts = %f, want 0", snapAborts)
+	}
+	tpl, snap := num(t, row[1]), num(t, row[3])
+	if tpl <= 0 || snap <= 0 {
+		t.Fatalf("non-positive read rates: 2PL %f, snapshot %f", tpl, snap)
+	}
+	if snap <= tpl {
+		t.Errorf("snapshot reads/s %f not above 2PL %f", snap, tpl)
 	}
 }

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gom/internal/metrics"
+	"gom/internal/oid"
+	"gom/internal/server"
+	"gom/internal/storage"
+)
+
+func init() {
+	register("snapshot", "Read throughput under writers: 2PL S-locks vs MVCC snapshot reads", runSnapshot)
+}
+
+// runSnapshot measures what snapshot isolation buys read-only work under a
+// concurrent write mix: N readers scan objects (lookup + page read) while
+// M writers run small update transactions against the same pages. In 2PL
+// mode every read takes an S-lock and queues behind the writers' X-locks
+// (held until the commit fsync completes); in snapshot mode readers serve
+// versioned pages at their begin-LSN and never touch the lock table.
+// Reads/s is successful page reads per second of wall clock; aborts counts
+// reader transactions lost to ErrLockTimeout — snapshot readers, having no
+// locks to wait on, must show zero.
+func runSnapshot(o Opts) (*Result, error) {
+	dur := 600 * time.Millisecond
+	if o.Quick {
+		dur = 150 * time.Millisecond
+	}
+	counts := []int{1, 2, 4, 8}
+	if o.Quick {
+		counts = []int{1, 4}
+	}
+	if o.Workers > 0 {
+		counts = []int{o.Workers}
+	}
+	const writers = 2
+
+	res := &Result{
+		ID:     "snapshot",
+		Title:  "Read throughput under a concurrent write mix",
+		Header: []string{"readers", "2PL reads/s", "2PL aborts", "snap reads/s", "snap aborts", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("%d writers run one-update transactions throughout; readers scan lookup+read, %v per cell", writers, dur),
+			"2PL = reads take S-locks and queue behind writers' X-locks; snap = MVCC page versions at the begin-LSN",
+			"aborts = reader transactions lost to lock-wait timeout; snapshot readers take no locks and must show 0",
+		},
+	}
+
+	for _, readers := range counts {
+		tpl, err := snapshotMode(false, readers, writers, dur, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := snapshotMode(true, readers, writers, dur, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", readers),
+			fmt.Sprintf("%.0f", tpl.readsPerSec),
+			fmt.Sprintf("%d", tpl.aborts),
+			fmt.Sprintf("%.0f", snap.readsPerSec),
+			fmt.Sprintf("%d", snap.aborts),
+			fmt.Sprintf("%.1fx", snap.readsPerSec/tpl.readsPerSec),
+		})
+	}
+	return res, nil
+}
+
+type snapshotCell struct {
+	readsPerSec float64
+	aborts      int64
+}
+
+// snapshotMode runs one (isolation, readers) cell: a fresh durable base of
+// small objects, `writers` update loops, and `readers` read loops for dur.
+func snapshotMode(snap bool, readers, writers int, dur time.Duration, seed int64) (snapshotCell, error) {
+	dir, err := os.MkdirTemp("", "gom-snapshot-*")
+	if err != nil {
+		return snapshotCell{}, err
+	}
+	defer os.RemoveAll(dir)
+	mgr, w, _, err := storage.RecoverManager(dir, 1)
+	if err != nil {
+		return snapshotCell{}, err
+	}
+	defer w.Close()
+	if err := mgr.CreateSegment(1); err != nil {
+		return snapshotCell{}, err
+	}
+	reg := metrics.New()
+	w.SetMetrics(reg)
+	mgr.Versions().SetMetrics(reg)
+
+	// A short lock wait keeps the 2PL cell honest without stalling the
+	// whole run on every reader/writer collision.
+	ts := server.NewTxServer(mgr, 25*time.Millisecond)
+
+	// Enough objects that the readers sweep many pages, few enough that
+	// writers keep collision pressure on every one of them.
+	const nObjects = 256
+	rec := make([]byte, 128)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	setup := ts.Begin()
+	sess := ts.Session(setup)
+	ids := make([]oid.OID, nObjects)
+	for i := range ids {
+		id, _, err := sess.Allocate(1, rec)
+		if err != nil {
+			return snapshotCell{}, err
+		}
+		ids[i] = id
+	}
+	if err := ts.Commit(setup); err != nil {
+		return snapshotCell{}, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		reads    atomic.Int64
+		aborts   atomic.Int64
+		stop     = make(chan struct{})
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			buf := make([]byte, len(rec))
+			copy(buf, rec)
+			for !stopped() {
+				buf[0] = byte(rng.Int())
+				tx := ts.Begin()
+				_, err := ts.Session(tx).UpdateObject(ids[rng.Intn(nObjects)], buf)
+				if err == nil {
+					err = ts.Commit(tx)
+				} else {
+					ts.Abort(tx)
+				}
+				if err != nil && !errors.Is(err, server.ErrLockTimeout) {
+					fail(err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 104729 + int64(i)*7919))
+			for !stopped() {
+				var (
+					tx server.TxID
+					s  server.Server
+				)
+				if snap {
+					tx, _ = ts.BeginSnapshot()
+				} else {
+					tx = ts.Begin()
+				}
+				s = ts.Session(tx)
+				// One reader transaction = a short scan of 8 objects,
+				// the shape of a point-query burst.
+				n, abort := 0, false
+				for k := 0; k < 8; k++ {
+					id := ids[rng.Intn(nObjects)]
+					addr, err := s.Lookup(id)
+					if err == nil {
+						_, err = s.ReadPage(addr.Page)
+					}
+					if err != nil {
+						if errors.Is(err, server.ErrLockTimeout) {
+							abort = true
+							break
+						}
+						fail(err)
+						ts.Abort(tx)
+						return
+					}
+					n++
+				}
+				if abort {
+					ts.Abort(tx)
+					aborts.Add(1)
+					continue
+				}
+				if err := ts.Commit(tx); err != nil {
+					fail(err)
+					return
+				}
+				reads.Add(int64(n))
+			}
+		}(i)
+	}
+
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return snapshotCell{}, firstErr
+	}
+	return snapshotCell{
+		readsPerSec: float64(reads.Load()) / elapsed.Seconds(),
+		aborts:      aborts.Load(),
+	}, nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package buffer
+
+const raceEnabled = false

@@ -231,6 +231,7 @@ func New(opt Options) (*OM, error) {
 		om.pool.EnableReadahead(opt.ReadaheadPages)
 	}
 	om.pool.OnEvict(om.onPageEvict)
+	om.pool.OnRefresh(om.onPageRefresh)
 	om.SetMetrics(opt.Metrics)
 	om.SetTrace(opt.Trace)
 	if opt.ObjectCache {
@@ -278,6 +279,14 @@ func (om *OM) Spec() *swizzle.Spec { return om.spec }
 
 // Pool exposes the page buffer pool (benchmarks inspect it).
 func (om *OM) Pool() *buffer.Pool { return om.pool }
+
+// SetReadEpoch marks every page buffered under an older read point stale:
+// its next access displaces the objects materialized from it and
+// re-fetches the image from the server. Sessions running snapshot
+// transactions call this with each new snapshot's read-LSN, so pages
+// swizzled under a previous snapshot refresh against the new watermark
+// instead of serving frozen bytes forever.
+func (om *OM) SetReadEpoch(e uint64) { om.pool.SetEpoch(e) }
 
 // Cache exposes the object cache, or nil in the page architecture.
 func (om *OM) Cache() *objcache.Cache { return om.cache }

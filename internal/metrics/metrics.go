@@ -78,6 +78,11 @@ const (
 	CtrRPCRetry
 	CtrWALGroupBatch
 	CtrTxReadOnlyCommit
+	CtrSnapshotBegin
+	CtrSnapshotRead
+	CtrVersionPublish
+	CtrVersionRetire
+	CtrBufferStaleRefresh
 	NumCounters
 )
 
@@ -120,6 +125,11 @@ var counterNames = [NumCounters]string{
 	"rpc_retry",
 	"wal_group_batch",
 	"tx_readonly_commit",
+	"snapshot_begin",
+	"snapshot_read_lockfree",
+	"version_published",
+	"version_retired",
+	"buffer_stale_refresh",
 }
 
 // String returns the counter's snake_case event name.
@@ -150,6 +160,7 @@ const (
 	RPCHello
 	RPCLookupBatch
 	RPCReadPages
+	RPCTxBeginSnapshot
 	NumRPCOps
 )
 
@@ -167,6 +178,7 @@ var rpcNames = [NumRPCOps]string{
 	"hello",
 	"lookup_batch",
 	"read_pages",
+	"tx_begin_snapshot",
 }
 
 // String returns the op's snake_case name.
@@ -192,12 +204,26 @@ const (
 	// GaugeReadaheadStaged is the number of prefetched pages staged in the
 	// client readahead window, not yet consumed.
 	GaugeReadaheadStaged
+	// GaugeVersionPages is the number of page before-images (staged plus
+	// published) retained by the MVCC version store.
+	GaugeVersionPages
+	// GaugeVersionBytes is the approximate heap footprint of those retained
+	// before-images.
+	GaugeVersionBytes
+	// GaugeSnapshotLag is the distance, in commit LSNs, between the current
+	// stable point and the oldest active snapshot's read-LSN — how far
+	// behind the slowest snapshot reader is dragging the retirement
+	// watermark.
+	GaugeSnapshotLag
 	NumGauges
 )
 
 var gaugeNames = [NumGauges]string{
 	"inflight_rpcs",
 	"readahead_staged",
+	"version_store_pages",
+	"version_store_bytes",
+	"snapshot_lag",
 }
 
 // String returns the gauge's snake_case name.

@@ -165,6 +165,10 @@ func (c *Client) Pipelined() bool { return c.pipelined }
 // hasBatch reports whether the server offers the batch opcodes.
 func (c *Client) hasBatch() bool { return c.pipelined && c.features&featureBatch != 0 }
 
+// HasSnapshot reports whether the server offers snapshot transactions
+// (BeginSnapshotTx).
+func (c *Client) HasSnapshot() bool { return c.pipelined && c.features&featureSnapshot != 0 }
+
 // hello negotiates the v2 protocol in lock-step framing. An old server
 // rejects the unknown opcode with an error status; that downgrade is not
 // an error — the client just stays in lock-step mode. Only transport
@@ -172,7 +176,7 @@ func (c *Client) hasBatch() bool { return c.pipelined && c.features&featureBatch
 func (c *Client) hello() error {
 	req := make([]byte, 8)
 	binary.LittleEndian.PutUint32(req, protocolV2)
-	binary.LittleEndian.PutUint32(req[4:], featureBatch|featureTrace)
+	binary.LittleEndian.PutUint32(req[4:], featureBatch|featureTrace|featureSnapshot)
 	status, resp, err := c.callLockstepRaw(opHello, req)
 	if err != nil {
 		return err
@@ -184,7 +188,7 @@ func (c *Client) hello() error {
 		return nil
 	}
 	c.pipelined = true
-	c.features = binary.LittleEndian.Uint32(resp[4:]) & (featureBatch | featureTrace)
+	c.features = binary.LittleEndian.Uint32(resp[4:]) & (featureBatch | featureTrace | featureSnapshot)
 	return nil
 }
 
@@ -659,6 +663,25 @@ func (c *Client) BeginTx() (TxID, error) {
 		return 0, errProtocol
 	}
 	return TxID(binary.LittleEndian.Uint64(resp)), nil
+}
+
+// BeginSnapshotTx starts a read-only snapshot transaction on this
+// connection and returns its id and read-LSN: reads until CommitTx/
+// AbortTx observe the frozen, durable state at that LSN and never block
+// behind server-side writers. Requires a server advertising
+// featureSnapshot (check HasSnapshot).
+func (c *Client) BeginSnapshotTx() (TxID, uint64, error) {
+	if !c.HasSnapshot() {
+		return 0, 0, errors.New("server: peer does not support snapshot transactions")
+	}
+	resp, err := c.call(opTxBeginSnapshot, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(resp) != 16 {
+		return 0, 0, errProtocol
+	}
+	return TxID(binary.LittleEndian.Uint64(resp)), binary.LittleEndian.Uint64(resp[8:]), nil
 }
 
 // CommitTx commits this connection's transaction.

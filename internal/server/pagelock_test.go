@@ -1,0 +1,195 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gom/internal/page"
+	"gom/internal/storage"
+)
+
+// lockSetup builds a TxServer with a short lock-wait timeout for driving
+// s.acquire directly (the unit under test; the session tests exercise it
+// only through reads and writes).
+func lockSetup(timeout time.Duration) *TxServer {
+	return NewTxServer(storage.NewManager(1), timeout)
+}
+
+// waitXOn polls until the page's lock has n registered X-waiters.
+func waitXOn(t *testing.T, s *TxServer, pid page.PageID, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		l := s.locks[pid]
+		got := 0
+		if l != nil {
+			got = l.waitX
+		}
+		s.mu.Unlock()
+		if got >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waitX stuck at %d, want %d", got, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// lockCount returns how many page locks the server currently tracks.
+func lockCount(s *TxServer) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.locks)
+}
+
+// TestPageLockWriterPriority: while a transaction waits for X, new shared
+// requests from other transactions are held back — otherwise a steady
+// stream of readers starves the writer forever.
+func TestPageLockWriterPriority(t *testing.T) {
+	s := lockSetup(200 * time.Millisecond)
+	pid := page.NewPageID(1, 0)
+
+	holder, writer, reader := s.Begin(), s.Begin(), s.Begin()
+	if err := s.acquire(holder, pid, lockS); err != nil {
+		t.Fatal(err)
+	}
+	xErr := make(chan error, 1)
+	go func() { xErr <- s.acquire(writer, pid, lockX) }()
+	waitXOn(t, s, pid, 1)
+
+	// The reader's S request must queue behind the waiting writer even
+	// though it is compatible with the current S holder.
+	sErr := make(chan error, 1)
+	go func() { sErr <- s.acquire(reader, pid, lockS) }()
+	select {
+	case err := <-sErr:
+		t.Fatalf("S granted past a waiting writer (err = %v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Once the S holder finishes, the writer gets its X first; the reader
+	// stays parked behind it.
+	if err := s.Abort(holder); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-xErr; err != nil {
+		t.Fatalf("writer after holder release: %v", err)
+	}
+	select {
+	case err := <-sErr:
+		t.Fatalf("S granted while the writer holds X (err = %v)", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := s.Abort(writer); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sErr; err != nil {
+		t.Fatalf("reader after writer finished: %v", err)
+	}
+	if err := s.Abort(reader); err != nil {
+		t.Fatal(err)
+	}
+	if n := lockCount(s); n != 0 {
+		t.Fatalf("%d locks tracked after all transactions finished, want 0", n)
+	}
+}
+
+// TestPageLockUpgradeDeadlockTimesOut: two S holders that both request
+// the upgrade to X deadlock — each waits for the other's S to go away.
+// Both must resolve via ErrLockTimeout instead of hanging.
+func TestPageLockUpgradeDeadlockTimesOut(t *testing.T) {
+	const timeout = 150 * time.Millisecond
+	s := lockSetup(timeout)
+	pid := page.NewPageID(1, 0)
+
+	tx1, tx2 := s.Begin(), s.Begin()
+	if err := s.acquire(tx1, pid, lockS); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.acquire(tx2, pid, lockS); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 2)
+	start := time.Now()
+	go func() { errs <- s.acquire(tx1, pid, lockX) }()
+	go func() { errs <- s.acquire(tx2, pid, lockX) }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrLockTimeout) {
+				t.Fatalf("upgrade deadlock err = %v, want ErrLockTimeout", err)
+			}
+		case <-time.After(10 * timeout):
+			t.Fatal("upgrade deadlock did not time out")
+		}
+	}
+	if waited := time.Since(start); waited < timeout {
+		t.Fatalf("deadlock resolved in %v, before the %v timeout", waited, timeout)
+	}
+
+	// Both still hold their S locks; finishing them must GC the lock.
+	if err := s.Abort(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if n := lockCount(s); n != 0 {
+		t.Fatalf("%d locks tracked after deadlocked transactions aborted, want 0", n)
+	}
+}
+
+// TestPageLockGCAfterWaiterTimeout: a lock object kept alive only by a
+// timed-out X waiter is garbage-collected the moment the last holder
+// finishes — the map must not accumulate dead pageLock entries.
+func TestPageLockGCAfterWaiterTimeout(t *testing.T) {
+	s := lockSetup(50 * time.Millisecond)
+	pid := page.NewPageID(1, 7)
+
+	holder, waiter := s.Begin(), s.Begin()
+	if err := s.acquire(holder, pid, lockS); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.acquire(waiter, pid, lockX); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("X against a held S: err = %v, want ErrLockTimeout", err)
+	}
+	// The waiter gave up; the holder keeps the lock alive.
+	if n := lockCount(s); n != 1 {
+		t.Fatalf("%d locks tracked with one holder, want 1", n)
+	}
+	if err := s.Abort(holder); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abort(waiter); err != nil {
+		t.Fatal(err)
+	}
+	if n := lockCount(s); n != 0 {
+		t.Fatalf("%d locks tracked after last holder finished, want 0", n)
+	}
+
+	// And the inverse order: the waiter times out *after* the holder is
+	// gone — its deferred cleanup is then the one that deletes the entry.
+	holder2, waiter2 := s.Begin(), s.Begin()
+	if err := s.acquire(holder2, pid, lockX); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.acquire(waiter2, pid, lockX) }()
+	waitXOn(t, s, pid, 1)
+	if err := s.Abort(holder2); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after holder aborted: %v", err)
+	}
+	if err := s.Commit(waiter2); err != nil {
+		t.Fatal(err)
+	}
+	if n := lockCount(s); n != 0 {
+		t.Fatalf("%d locks tracked at the end, want 0", n)
+	}
+}

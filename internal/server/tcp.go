@@ -62,6 +62,9 @@ const (
 	opHello
 	opLookupBatch
 	opReadPages
+	// Snapshot extension (featureSnapshot): begins a read-only snapshot
+	// transaction whose reads are lock-free at a frozen read-LSN.
+	opTxBeginSnapshot
 )
 
 const (
@@ -344,6 +347,8 @@ func rpcOpOf(op byte) metrics.RPCOp {
 		return metrics.RPCLookupBatch
 	case opReadPages:
 		return metrics.RPCReadPages
+	case opTxBeginSnapshot:
+		return metrics.RPCTxBeginSnapshot
 	}
 	return -1
 }
@@ -587,7 +592,7 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 			resp, _, herr := s.helloResponse(req)
 			putBuf(body)
 			respond(op, id, resp, herr)
-		case opTxBegin, opTxCommit, opTxAbort:
+		case opTxBegin, opTxBeginSnapshot, opTxCommit, opTxAbort:
 			// Transaction boundaries order after the connection's
 			// outstanding data operations: a pipelined commit must not
 			// overtake the writes it is meant to commit.
@@ -659,6 +664,20 @@ func (s *TCPServer) handle(cs *connState, op byte, payload []byte) ([]byte, erro
 		cs.sess = s.tx.Session(cs.tx)
 		out := make([]byte, 8)
 		binary.LittleEndian.PutUint64(out, uint64(cs.tx))
+		return out, nil
+	case opTxBeginSnapshot:
+		if s.tx == nil {
+			return nil, errors.New("server: not a transactional server")
+		}
+		if cs.sess != nil {
+			return nil, errors.New("server: transaction already open on this connection")
+		}
+		tx, readLSN := s.tx.BeginSnapshot()
+		cs.tx = tx
+		cs.sess = s.tx.Session(tx)
+		out := make([]byte, 16)
+		binary.LittleEndian.PutUint64(out, uint64(tx))
+		binary.LittleEndian.PutUint64(out[8:], readLSN)
 		return out, nil
 	case opTxCommit, opTxAbort:
 		if s.tx == nil || cs.sess == nil {

@@ -11,9 +11,15 @@ import "gom/internal/trace"
 // never suffixed — the client already knows the context it sent.
 const featureTrace = 1 << 1
 
+// featureSnapshot advertises the snapshot extension: opTxBeginSnapshot
+// opens a read-only snapshot transaction whose reads are served lock-free
+// at a frozen read-LSN (MVCC page versions; see server/txn.go and
+// storage/versions.go).
+const featureSnapshot = 1 << 2
+
 // clientSpanNames and serverSpanNames are indexed by wire opcode;
 // precomputed so starting a span never builds a string.
-var clientSpanNames = [opReadPages + 1]string{
+var clientSpanNames = [opTxBeginSnapshot + 1]string{
 	opLookup:       "rpc:lookup",
 	opReadPage:     "rpc:read_page",
 	opWritePage:    "rpc:write_page",
@@ -27,9 +33,11 @@ var clientSpanNames = [opReadPages + 1]string{
 	opHello:        "rpc:hello",
 	opLookupBatch:  "rpc:lookup_batch",
 	opReadPages:    "rpc:read_pages",
+
+	opTxBeginSnapshot: "rpc:tx_begin_snapshot",
 }
 
-var serverSpanNames = [opReadPages + 1]string{
+var serverSpanNames = [opTxBeginSnapshot + 1]string{
 	opLookup:       "server:lookup",
 	opReadPage:     "server:read_page",
 	opWritePage:    "server:write_page",
@@ -43,9 +51,11 @@ var serverSpanNames = [opReadPages + 1]string{
 	opHello:        "server:hello",
 	opLookupBatch:  "server:lookup_batch",
 	opReadPages:    "server:read_pages",
+
+	opTxBeginSnapshot: "server:tx_begin_snapshot",
 }
 
-func spanName(tab *[opReadPages + 1]string, op byte) string {
+func spanName(tab *[opTxBeginSnapshot + 1]string, op byte) string {
 	if int(op) < len(tab) {
 		return tab[op]
 	}
@@ -97,8 +107,9 @@ const featureMaskValid = 1 << 31
 // Exported names for the feature bits, for SetFeatures callers (tests
 // emulating down-level peers).
 const (
-	FeatureBatch = featureBatch
-	FeatureTrace = featureTrace
+	FeatureBatch    = featureBatch
+	FeatureTrace    = featureTrace
+	FeatureSnapshot = featureSnapshot
 )
 
 // serverFeatures returns the feature bits this server offers.
@@ -106,5 +117,5 @@ func (s *TCPServer) serverFeatures() uint32 {
 	if v := s.featureOverride.Load(); v&featureMaskValid != 0 {
 		return v &^ featureMaskValid
 	}
-	return featureBatch | featureTrace
+	return featureBatch | featureTrace | featureSnapshot
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gom/internal/metrics"
@@ -37,6 +38,8 @@ var (
 	ErrLockTimeout = errors.New("server: lock wait timeout (possible deadlock; abort the transaction)")
 	ErrNoTx        = errors.New("server: no such transaction")
 	ErrTxDone      = errors.New("server: transaction already finished")
+	// ErrSnapshotReadOnly rejects writes through a snapshot session.
+	ErrSnapshotReadOnly = errors.New("server: snapshot transaction is read-only")
 )
 
 // TxID identifies a transaction.
@@ -92,6 +95,13 @@ type txState struct {
 	// belongs to the fsync. A failed flush clears the flag — the
 	// transaction stays alive and undoable.
 	committing bool
+	// Snapshot transactions (BeginSnapshot) read a frozen past state
+	// through the version store and never take page locks; snapDone lets
+	// the lock-free snapSession observe Commit/Abort without s.mu.
+	snap     bool
+	snapID   uint64
+	readLSN  uint64
+	snapDone *atomic.Bool
 }
 
 // TxServer provides transactional sessions over one storage manager. It
@@ -120,6 +130,15 @@ func NewTxServer(mgr *storage.Manager, timeout time.Duration) *TxServer {
 		txs:     make(map[TxID]*txState),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if w := mgr.WAL(); w != nil {
+		// Publish MVCC versions the moment a commit batch is durable —
+		// inside the flush, before any committer wakes and releases page
+		// locks, so a snapshot never observes half a batch and a later
+		// writer re-dirtying a page always finds the previous before-image
+		// already published. Failed/poisoned batches never reach the hook.
+		vs := mgr.Versions()
+		w.SetCommitHook(func(txs []uint64) { vs.Publish(txs) })
+	}
 	return s
 }
 
@@ -135,6 +154,27 @@ func (s *TxServer) Begin() TxID {
 	tx := s.next
 	s.txs[tx] = &txState{locks: make(map[page.PageID]lockMode)}
 	return tx
+}
+
+// BeginSnapshot starts a read-only snapshot transaction. Its read-LSN is
+// the version store's current stable point — the latest durable commit
+// batch boundary — and is returned so clients can tag cached pages.
+// Reads under the snapshot take no page locks and never block behind (or
+// deadlock with) writers; writes are rejected with ErrSnapshotReadOnly.
+func (s *TxServer) BeginSnapshot() (TxID, uint64) {
+	sid, lsn := s.mgr.Versions().AcquireSnapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	tx := s.next
+	s.txs[tx] = &txState{
+		locks:    make(map[page.PageID]lockMode),
+		snap:     true,
+		snapID:   sid,
+		readLSN:  lsn,
+		snapDone: &atomic.Bool{},
+	}
+	return tx, lsn
 }
 
 // Live returns the number of unfinished transactions.
@@ -245,10 +285,21 @@ func (s *TxServer) Commit(tx TxID) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrTxDone, tx)
 	}
+	if st.snap {
+		st.snapDone.Store(true)
+		s.finish(tx, st)
+		s.mu.Unlock()
+		s.mgr.Versions().ReleaseSnapshot(st.snapID)
+		return nil
+	}
 	w := s.mgr.WAL()
 	if w == nil || len(st.undo) == 0 {
 		if w != nil {
 			w.Metrics().Inc(metrics.CtrTxReadOnlyCommit)
+		} else if len(st.undo) > 0 {
+			// Non-durable writer: no WAL hook will fire, publish the
+			// staged before-images here, before the locks drop.
+			s.mgr.Versions().Publish([]uint64{uint64(tx)})
 		}
 		s.finish(tx, st)
 		s.mu.Unlock()
@@ -296,6 +347,13 @@ func (s *TxServer) Abort(tx TxID) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrTxDone, tx)
 	}
+	if st.snap {
+		st.snapDone.Store(true)
+		s.finish(tx, st)
+		s.mu.Unlock()
+		s.mgr.Versions().ReleaseSnapshot(st.snapID)
+		return nil
+	}
 	st.done = true
 	undo := st.undo
 	st.undo = nil
@@ -307,6 +365,10 @@ func (s *TxServer) Abort(tx TxID) error {
 			errs = append(errs, err)
 		}
 	}
+	// Undo ran: drop (or, where undo re-placed state elsewhere, publish)
+	// this transaction's staged before-images while its page locks still
+	// shield the pages — see VersionStore.Discard.
+	s.mgr.Versions().Discard(uint64(tx))
 	if w := s.mgr.WAL(); w != nil {
 		// Informational: replay discards uncommitted transactions with or
 		// without the marker, so a failed append is not an abort failure.
@@ -367,10 +429,17 @@ func (s *TxServer) logUndo(tx TxID, fn undoFn) error {
 	return nil
 }
 
-// Session returns a Server scoped to the transaction: every page it
-// touches is locked under strict 2PL, and every modification is undoable
-// until Commit.
+// Session returns a Server scoped to the transaction: every page a 2PL
+// transaction touches is locked under strict 2PL, and every modification
+// is undoable until Commit. For a snapshot transaction the session is a
+// lock-free read-only view at its read-LSN.
 func (s *TxServer) Session(tx TxID) Server {
+	s.mu.Lock()
+	st := s.txs[tx]
+	s.mu.Unlock()
+	if st != nil && st.snap {
+		return &snapSession{srv: s, readLSN: st.readLSN, done: st.snapDone}
+	}
 	return &txSession{srv: s, tx: tx}
 }
 
@@ -448,6 +517,11 @@ func (c *txSession) WritePage(pid page.PageID, img []byte) error {
 	}); err != nil {
 		return err
 	}
+	// Stage the before-image for snapshot readers before the dirty bytes
+	// hit the disk (writers mutate the disk at operation time here, so
+	// the pending image is the newest committed content until commit
+	// publishes it).
+	c.srv.mgr.Versions().StagePage(uint64(c.tx), pid, before)
 	if err := c.srv.mgr.Disk().WritePage(pid, img); err != nil {
 		return err
 	}
@@ -494,6 +568,11 @@ func (c *txSession) lockAllocation(id oid.OID, addr storage.PAddr) error {
 	}); err != nil {
 		return err
 	}
+	// Snapshots begun before this commit must not resolve the fresh OID:
+	// stage its absence. The fill page itself is not staged — the new
+	// slot is unreachable through a snapshot's versioned POT, and
+	// inserts never move other slots' directory entries.
+	c.srv.mgr.Versions().StagePot(uint64(c.tx), id, storage.PAddr{}, false)
 	return c.walLogAlloc(id, addr)
 }
 
@@ -517,6 +596,24 @@ func (c *txSession) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) 
 	if err := c.srv.acquire(c.tx, addr.Page, lockX); err != nil {
 		return storage.PAddr{}, err
 	}
+	// Register the undo and stage the snapshot before-images ahead of the
+	// update: restoring `before` is correct whether or not the update
+	// lands, and the staged page/POT state must be the pre-update one. A
+	// relocation target page is deliberately not staged (its new slot is
+	// unreachable through the snapshot's versioned POT mapping below).
+	if err := c.srv.logUndo(c.tx, func(mgr *storage.Manager) error {
+		_, uerr := mgr.Update(id, before)
+		return uerr
+	}); err != nil {
+		return storage.PAddr{}, err
+	}
+	vs := c.srv.mgr.Versions()
+	oldImg, err := c.srv.mgr.Disk().ReadPage(addr.Page)
+	if err != nil {
+		return storage.PAddr{}, err
+	}
+	vs.StagePage(uint64(c.tx), addr.Page, oldImg)
+	vs.StagePot(uint64(c.tx), id, addr, true)
 	newAddr, err := c.srv.mgr.Update(id, rec)
 	if err != nil {
 		return storage.PAddr{}, err
@@ -525,12 +622,6 @@ func (c *txSession) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) 
 		if err := c.srv.acquire(c.tx, newAddr.Page, lockX); err != nil {
 			return storage.PAddr{}, err
 		}
-	}
-	if err := c.srv.logUndo(c.tx, func(mgr *storage.Manager) error {
-		_, uerr := mgr.Update(id, before)
-		return uerr
-	}); err != nil {
-		return storage.PAddr{}, err
 	}
 	if w := c.wal(); w != nil {
 		// A relocating update may have grown the segment and touches two
@@ -601,4 +692,118 @@ var (
 	_ Server        = (*txSession)(nil)
 	_ BatchLookuper = (*txSession)(nil)
 	_ PageRunReader = (*txSession)(nil)
+)
+
+// snapSession is the Server view of a snapshot transaction: reads resolve
+// through the version store at the snapshot's read-LSN and take no page
+// locks at all — a snapshot read never blocks behind a writer's X-lock
+// and never deadlocks. Writes are rejected. The done flag (shared with
+// the TxServer's txState) is the only transaction state consulted, so the
+// hot read path costs two atomic loads on top of the storage access.
+type snapSession struct {
+	srv     *TxServer
+	readLSN uint64
+	done    *atomic.Bool
+}
+
+func (c *snapSession) err() error {
+	if c.done.Load() {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// Lookup implements Server against the snapshot's versioned POT overlay.
+func (c *snapSession) Lookup(id oid.OID) (storage.PAddr, error) {
+	if err := c.err(); err != nil {
+		return storage.PAddr{}, err
+	}
+	return c.srv.mgr.SnapshotLookup(c.readLSN, id)
+}
+
+// ReadPage implements Server, lock-free (see VersionStore.ReadPage).
+func (c *snapSession) ReadPage(pid page.PageID) ([]byte, error) {
+	if err := c.err(); err != nil {
+		return nil, err
+	}
+	return c.srv.mgr.SnapshotReadPage(c.readLSN, pid)
+}
+
+// WritePage implements Server: snapshots are read-only.
+func (c *snapSession) WritePage(page.PageID, []byte) error { return ErrSnapshotReadOnly }
+
+// Allocate implements Server: snapshots are read-only.
+func (c *snapSession) Allocate(uint16, []byte) (oid.OID, storage.PAddr, error) {
+	return oid.Nil, storage.PAddr{}, ErrSnapshotReadOnly
+}
+
+// AllocateNear implements Server: snapshots are read-only.
+func (c *snapSession) AllocateNear(uint16, oid.OID, []byte) (oid.OID, storage.PAddr, error) {
+	return oid.Nil, storage.PAddr{}, ErrSnapshotReadOnly
+}
+
+// UpdateObject implements Server: snapshots are read-only.
+func (c *snapSession) UpdateObject(oid.OID, []byte) (storage.PAddr, error) {
+	return storage.PAddr{}, ErrSnapshotReadOnly
+}
+
+// NumPages implements Server. Segments only grow; pages past the
+// snapshot point hold no slot a versioned Lookup can reach.
+func (c *snapSession) NumPages(seg uint16) (int, error) {
+	if err := c.err(); err != nil {
+		return 0, err
+	}
+	return c.srv.mgr.Disk().NumPages(seg)
+}
+
+// LookupBatch implements BatchLookuper: the live batch resolution with
+// the snapshot's POT overlay applied per entry.
+func (c *snapSession) LookupBatch(ids []oid.OID) ([]storage.PAddr, []bool, error) {
+	if err := c.err(); err != nil {
+		return nil, nil, err
+	}
+	addrs, ok := c.srv.mgr.LookupBatch(ids)
+	vs := c.srv.mgr.Versions()
+	for i, id := range ids {
+		if a, present, hit := vs.Lookup(c.readLSN, id); hit {
+			addrs[i], ok[i] = a, present
+		}
+	}
+	return addrs, ok, nil
+}
+
+// ReadPages implements PageRunReader without locks: each page of the run
+// is resolved through the version store independently — exactly as
+// consistent as the equivalent sequence of snapshot ReadPage calls.
+func (c *snapSession) ReadPages(pid page.PageID, n int) ([][]byte, error) {
+	if err := c.err(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("server: read run of %d pages", n)
+	}
+	total, err := c.srv.mgr.Disk().NumPages(pid.Segment())
+	if err != nil {
+		return nil, err
+	}
+	if pid.No() >= uint64(total) {
+		return nil, fmt.Errorf("%w: %v", storage.ErrNoPage, pid)
+	}
+	if rest := uint64(total) - pid.No(); uint64(n) > rest {
+		n = int(rest)
+	}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		out[i], err = c.srv.mgr.SnapshotReadPage(c.readLSN, page.NewPageID(pid.Segment(), pid.No()+uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+var (
+	_ Server        = (*snapSession)(nil)
+	_ BatchLookuper = (*snapSession)(nil)
+	_ PageRunReader = (*snapSession)(nil)
 )

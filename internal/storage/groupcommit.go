@@ -74,7 +74,9 @@ type groupCommitter struct {
 	closed  bool
 	senders sync.WaitGroup
 
-	pending atomic.Int64
+	pending  atomic.Int64
+	entrants atomic.Int64 // committers currently inside commit()
+	inline   atomic.Bool  // a lone committer is flushing on its own stack
 
 	// Adaptive-linger state, touched only by the writer goroutine.
 	avgFlushNS int64 // EWMA of flush duration
@@ -95,10 +97,25 @@ func (g *groupCommitter) commit(tx uint64) (ok bool, err error) {
 	}
 	g.senders.Add(1)
 	g.enterMu.Unlock()
+	g.entrants.Add(1)
+	if g.tryInline() {
+		// The inline committer is acting as the log writer, so writer
+		// faults (slow/descheduled log writer) apply here too: commits
+		// arriving during the stall enqueue — the entrants count keeps
+		// them out of the inline path — and coalesce behind the writer
+		// goroutine exactly as they would behind a stalled flush.
+		_ = faultpoint.Check(faultpoint.WALWriterStall)
+		err := g.w.appendCommitBatch([]uint64{tx})
+		g.inline.Store(false)
+		g.entrants.Add(-1)
+		g.senders.Done()
+		return true, err
+	}
 	req := commitReq{tx: tx, done: make(chan error, 1)}
 	select {
 	case g.reqs <- req:
 	case <-g.stop:
+		g.entrants.Add(-1)
 		g.senders.Done()
 		return false, nil
 	}
@@ -106,7 +123,48 @@ func (g *groupCommitter) commit(tx uint64) (ok bool, err error) {
 	g.senders.Done()
 	err = <-req.done
 	g.pending.Add(-1)
+	g.entrants.Add(-1)
 	return true, err
+}
+
+// tryInline decides whether a committer may flush on its own stack
+// instead of handing off to the writer goroutine. A lone committer —
+// adaptive mode, no other committer inside commit(), nothing pending or
+// queued, no test hold — pays one append+fsync directly, skipping the
+// channel round trip and the writer wake-up (the queue-handoff penalty
+// the single-committer benchmark row used to show). Any doubt sends it
+// through the queue: concurrent appendCommitBatch calls are safe (w.mu
+// serializes, synced advances by max), so a lost race costs only a
+// missed coalescing opportunity, never correctness. The entrants count
+// is the load-bearing signal — a committer blocked in its inline fsync
+// keeps it elevated, so arrivals during that fsync enqueue and coalesce
+// behind the writer instead of serializing through here one fsync each.
+// The caller holds a senders slot, so shutdown cannot pass it by.
+func (g *groupCommitter) tryInline() bool {
+	if g.opts.Budget != 0 {
+		return false // an explicit linger budget asks for coalescing
+	}
+	if g.entrants.Load() != 1 || g.pending.Load() != 0 || len(g.reqs) != 0 || g.holding() {
+		return false
+	}
+	if !g.inline.CompareAndSwap(false, true) {
+		return false
+	}
+	// Re-check under the flag: a committer may have arrived between the
+	// first look and the CAS; join the batch instead of racing it.
+	if g.entrants.Load() != 1 || g.pending.Load() != 0 || len(g.reqs) != 0 || g.holding() {
+		g.inline.Store(false)
+		return false
+	}
+	return true
+}
+
+// holding reports whether the test hold is armed.
+func (g *groupCommitter) holding() bool {
+	g.holdMu.Lock()
+	h := g.hold != nil
+	g.holdMu.Unlock()
+	return h
 }
 
 // shutdown stops the writer after flushing everything already queued.

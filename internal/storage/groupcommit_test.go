@@ -108,7 +108,16 @@ func TestGroupCommitBatchesOneFsync(t *testing.T) {
 
 // TestGroupCommitNaturalBatchingUnderStall arms a writer stall so commits
 // arriving during the stall coalesce: 32 concurrent committers must need
-// far fewer than 32 fsyncs.
+// far fewer than 32 fsyncs. The start barrier makes the committers truly
+// concurrent — without it a scheduling hiccup can split the burst, and
+// commits that genuinely arrive one at a time are entitled to one fsync
+// each (the inline lone-committer path); that is not what this test is
+// about. The stall covers whichever committer acts as the log writer
+// first — the writer goroutine or an inline committer — and everyone
+// else piles into the next batch while it sleeps. Times is 2 because the
+// first fire may be consumed by an inline committer: the second then
+// catches the writer goroutine's first flush, and by the time either
+// 20ms stall ends every remaining committer has enqueued.
 func TestGroupCommitNaturalBatchingUnderStall(t *testing.T) {
 	defer faultpoint.Reset()
 	w, err := CreateWAL(t.TempDir())
@@ -120,17 +129,23 @@ func TestGroupCommitNaturalBatchingUnderStall(t *testing.T) {
 	w.SetMetrics(reg)
 	w.EnableGroupCommit(GroupCommitOptions{})
 
-	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALWriterStall, Delay: 20 * time.Millisecond, Times: 1})
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALWriterStall, Delay: 20 * time.Millisecond, Times: 2})
 	const n = 32
-	var wg sync.WaitGroup
+	var ready, wg sync.WaitGroup
+	start := make(chan struct{})
 	errs := make([]error, n)
 	for i := 0; i < n; i++ {
+		ready.Add(1)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			ready.Done()
+			<-start
 			errs[i] = w.CommitDurable(uint64(i + 1))
 		}(i)
 	}
+	ready.Wait()
+	close(start)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {

@@ -34,6 +34,9 @@ type Manager struct {
 	gen  *oid.Generator
 	wal  *WAL // nil unless durability is attached
 
+	// versions retains page/POT before-images for snapshot (MVCC) reads.
+	versions *VersionStore
+
 	// segMu guards the allocator table; each segment allocator then has
 	// its own lock.
 	segMu  sync.Mutex
@@ -49,12 +52,14 @@ type segAlloc struct {
 // NewManager returns a manager allocating OIDs on the given volume over a
 // fresh disk.
 func NewManager(volume uint16) *Manager {
-	return &Manager{
+	m := &Manager{
 		disk:   NewDisk(),
 		pot:    NewPOT(),
 		gen:    oid.NewGenerator(volume),
 		allocs: make(map[uint16]*segAlloc),
 	}
+	m.versions = newVersionStore(m.disk, m.pot)
+	return m
 }
 
 // Disk exposes the underlying disk (the page server serves from it).
@@ -72,6 +77,35 @@ func (m *Manager) AttachWAL(w *WAL) { m.wal = w }
 // WAL returns the attached write-ahead log, nil when the manager is not
 // durable.
 func (m *Manager) WAL() *WAL { return m.wal }
+
+// Versions returns the MVCC page-version store backing snapshot reads.
+func (m *Manager) Versions() *VersionStore { return m.versions }
+
+// SnapshotReadPage serves a page as of the snapshot read point readLSN,
+// without taking any page lock (see VersionStore.ReadPage).
+func (m *Manager) SnapshotReadPage(readLSN uint64, pid page.PageID) ([]byte, error) {
+	m.quiesce.RLock()
+	defer m.quiesce.RUnlock()
+	return m.versions.ReadPage(readLSN, pid)
+}
+
+// SnapshotLookup resolves an OID as of the snapshot read point readLSN:
+// the version-store overlay first, the live POT otherwise.
+func (m *Manager) SnapshotLookup(readLSN uint64, id oid.OID) (PAddr, error) {
+	m.quiesce.RLock()
+	defer m.quiesce.RUnlock()
+	if addr, ok, hit := m.versions.Lookup(readLSN, id); hit {
+		if !ok {
+			return PAddr{}, fmt.Errorf("%w: %v", ErrNoObject, id)
+		}
+		return addr, nil
+	}
+	addr, ok := m.pot.Get(id)
+	if !ok {
+		return PAddr{}, fmt.Errorf("%w: %v", ErrNoObject, id)
+	}
+	return addr, nil
+}
 
 // CreateSegment creates an empty segment.
 func (m *Manager) CreateSegment(seg uint16) error {
@@ -372,6 +406,7 @@ func LoadManager(r io.Reader) (*Manager, error) {
 		gen:    oid.NewGeneratorAt(volume, nextSerial),
 		allocs: make(map[uint16]*segAlloc),
 	}
+	m.versions = newVersionStore(m.disk, m.pot)
 	for i := uint64(0); i < n; i++ {
 		var id, pid uint64
 		var slot uint16

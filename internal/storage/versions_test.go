@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gom/internal/page"
+)
+
+// TestVersionStoreSnapshotProperty drives the version store through a
+// randomized schedule of writer rounds (stage before-image, mutate the
+// live page, publish) interleaved with snapshot acquire/release, and
+// checks the two load-bearing invariants after every round:
+//
+//   - every active snapshot reads exactly the page images that were live
+//     when it was acquired (frozen, repeatable reads), and
+//   - once no snapshot needs a version it is retired — with all
+//     snapshots released the store drains to zero entries.
+func TestVersionStoreSnapshotProperty(t *testing.T) {
+	m := NewManager(1)
+	if err := m.CreateSegment(1); err != nil {
+		t.Fatal(err)
+	}
+	// A handful of pages via real allocations, so the images are honest
+	// slotted pages rather than synthetic byte soup.
+	rec := make([]byte, 300)
+	for i := 0; i < 48; i++ {
+		rec[0] = byte(i)
+		if _, _, err := m.Allocate(1, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := m.Disk().NumPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Fatalf("want several pages for the property to bite, got %d", n)
+	}
+	pids := make([]page.PageID, 0, n)
+	for i := 0; i < n; i++ {
+		pids = append(pids, page.NewPageID(1, uint64(i)))
+	}
+
+	vs := m.Versions()
+	rng := rand.New(rand.NewSource(41))
+
+	type snapState struct {
+		id      uint64
+		readLSN uint64
+		want    map[page.PageID][]byte // live image at acquire time
+	}
+	var active []snapState
+
+	capture := func() map[page.PageID][]byte {
+		want := make(map[page.PageID][]byte, len(pids))
+		for _, pid := range pids {
+			img, err := m.Disk().ReadPage(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[pid] = img
+		}
+		return want
+	}
+	check := func(round int) {
+		t.Helper()
+		for _, s := range active {
+			for _, pid := range pids {
+				got, err := vs.ReadPage(s.readLSN, pid)
+				if err != nil {
+					t.Fatalf("round %d: snapshot %d read %v: %v", round, s.id, pid, err)
+				}
+				if !bytes.Equal(got, s.want[pid]) {
+					t.Fatalf("round %d: snapshot %d (read-LSN %d) sees a drifted image of %v",
+						round, s.id, s.readLSN, pid)
+				}
+			}
+		}
+	}
+
+	const rounds = 60
+	for r := 1; r <= rounds; r++ {
+		// Sometimes open a snapshot of the current state.
+		if rng.Intn(3) == 0 {
+			id, lsn := vs.AcquireSnapshot()
+			active = append(active, snapState{id: id, readLSN: lsn, want: capture()})
+		}
+
+		// A writer round: stage before-images, mutate the live pages,
+		// publish at one commit boundary (what the WAL hook does).
+		tx := uint64(r)
+		k := 1 + rng.Intn(3)
+		for i := 0; i < k; i++ {
+			pid := pids[rng.Intn(len(pids))]
+			img, err := m.Disk().ReadPage(pid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs.StagePage(tx, pid, img)
+			mutated := append([]byte(nil), img...)
+			// Flip payload bytes well past the header; the image only has
+			// to differ, not to stay a parseable page.
+			mutated[len(mutated)-1-i] ^= 0xa5
+			if err := m.Disk().WritePage(pid, mutated); err != nil {
+				t.Fatal(err)
+			}
+		}
+		vs.Publish([]uint64{tx})
+		check(r)
+
+		// Sometimes retire a random snapshot; the rest must be unaffected.
+		if len(active) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(active))
+			vs.ReleaseSnapshot(active[i].id)
+			active = append(active[:i], active[i+1:]...)
+			check(r)
+		}
+
+		// Retirement safety: nothing an active snapshot can reach may be
+		// gone, and with no snapshots the store must not hoard history.
+		st := vs.Stats()
+		if len(active) == 0 && st.Entries != 0 {
+			t.Fatalf("round %d: no active snapshots but %d version entries retained (%+v)", r, st.Entries, st)
+		}
+		if st.Watermark > st.Stable {
+			t.Fatalf("round %d: watermark %d ahead of stable %d", r, st.Watermark, st.Stable)
+		}
+	}
+
+	for _, s := range active {
+		vs.ReleaseSnapshot(s.id)
+	}
+	if st := vs.Stats(); st.Entries != 0 || st.Bytes != 0 || st.Snapshots != 0 {
+		t.Fatalf("store not drained after releasing every snapshot: %+v", st)
+	}
+}
+
+// TestVersionStoreLoneliness: with no snapshots ever taken, publishing
+// retires immediately — the store must stay empty so the no-snapshot
+// read path keeps its zero-cost fast path.
+func TestVersionStoreNoSnapshotStaysEmpty(t *testing.T) {
+	m := NewManager(1)
+	if err := m.CreateSegment(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Allocate(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	vs := m.Versions()
+	pid := page.NewPageID(1, 0)
+	for r := 1; r <= 10; r++ {
+		img, err := m.Disk().ReadPage(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs.StagePage(uint64(r), pid, img)
+		vs.Publish([]uint64{uint64(r)})
+		if st := vs.Stats(); st.Entries != 0 {
+			t.Fatalf("round %d: %d entries retained with no snapshot active", r, st.Entries)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gom/internal/faultpoint"
@@ -97,6 +98,13 @@ type WAL struct {
 	nosync bool  // benchmark hook: count but skip fsyncs
 	obs    *metrics.Registry
 
+	// commitHook, when set, runs after a commit append is durable and
+	// before the committer is released — the MVCC version store publishes
+	// its staged before-images here, so publication happens strictly
+	// before the committer's page locks drop. Failed or poisoned appends
+	// never invoke it.
+	commitHook atomic.Pointer[func(txs []uint64)]
+
 	// Group-commit pipeline (groupcommit.go). gcConfigured distinguishes
 	// "never touched" (CommitDurable starts the writer with defaults) from
 	// "explicitly disabled" (CommitDurable stays on the serial path).
@@ -154,6 +162,24 @@ func (w *WAL) SetMetrics(r *metrics.Registry) {
 	w.mu.Lock()
 	w.obs = r
 	w.mu.Unlock()
+}
+
+// SetCommitHook installs (or removes, with nil) a callback invoked with
+// each durable commit's transaction ids — one call per commit batch,
+// after the fsync succeeded and before the committers are released. The
+// transaction server publishes MVCC versions through it.
+func (w *WAL) SetCommitHook(fn func(txs []uint64)) {
+	if fn == nil {
+		w.commitHook.Store(nil)
+		return
+	}
+	w.commitHook.Store(&fn)
+}
+
+func (w *WAL) fireCommitHook(txs []uint64) {
+	if fn := w.commitHook.Load(); fn != nil {
+		(*fn)(txs)
+	}
 }
 
 // SetNoSync disables fsync (benchmark hook isolating append cost from
@@ -378,6 +404,10 @@ func (w *WAL) appendCommitBatch(txs []uint64) error {
 	w.obs.Inc(metrics.CtrWALGroupBatch)
 	w.obs.ObserveHist(metrics.HistWALBatchSize, int64(len(txs)))
 	w.obs.ObserveHist(metrics.HistWALFlushLatency, int64(time.Since(start)))
+	// The batch is durable: publish MVCC versions before any committer in
+	// it wakes and releases page locks. One hook call for the whole batch
+	// is what makes the batch a single visibility unit for snapshots.
+	w.fireCommitHook(txs)
 	return nil
 }
 
@@ -444,6 +474,7 @@ func (w *WAL) AppendCommit(tx uint64) error {
 		return err
 	}
 	w.obs.Inc(metrics.CtrWALCommit)
+	w.fireCommitHook([]uint64{tx})
 	return nil
 }
 
