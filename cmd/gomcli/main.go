@@ -227,6 +227,7 @@ func cmdServe(args []string) error {
 	commitBudget := fs.Duration("commit-budget", 0, "fixed group-commit linger: wait this long for more committers before each fsync (0 = adaptive, capped at 1ms; requires -wal)")
 	commitBatch := fs.Int("commit-batch", 0, "cap on commit records per group-commit fsync (0 = default 256; requires -wal)")
 	serialCommit := fs.Bool("serial-commit", false, "disable group commit: every transaction appends and fsyncs its own commit record (requires -wal)")
+	snapshotCap := fs.Int64("snapshot-cap", 0, "retained version-store bytes cap: new snapshot transactions are refused while more history is pinned (0 = unbounded; requires -tx)")
 	debug := fs.String("debug", "", "also serve /debug/metrics, /debug/vars and /debug/pprof on this address")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -240,6 +241,9 @@ func cmdServe(args []string) error {
 	}
 	if *serialCommit && (*commitBudget != 0 || *commitBatch != 0) {
 		return fmt.Errorf("serve: -serial-commit excludes -commit-budget and -commit-batch")
+	}
+	if *snapshotCap != 0 && !*tx {
+		return fmt.Errorf("serve: -snapshot-cap requires -tx (snapshots are a property of the transaction layer)")
 	}
 	db, err := loadDB(fs.Arg(0))
 	if err != nil {
@@ -278,6 +282,9 @@ func cmdServe(args []string) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *snapshotCap > 0 {
+		mgr.Versions().SetCapBytes(*snapshotCap)
 	}
 	var srv *server.TCPServer
 	if *tx {

@@ -183,7 +183,7 @@ func snapshotMode(snap bool, readers, writers int, dur time.Duration, seed int64
 					s  server.Server
 				)
 				if snap {
-					tx, _ = ts.BeginSnapshot()
+					tx, _, _ = ts.BeginSnapshot()
 				} else {
 					tx = ts.Begin()
 				}

@@ -83,6 +83,9 @@ const (
 	CtrVersionPublish
 	CtrVersionRetire
 	CtrBufferStaleRefresh
+	CtrDiskReadBytes
+	CtrPageZeroCopyHit
+	CtrVersionCapRefusal
 	NumCounters
 )
 
@@ -130,6 +133,9 @@ var counterNames = [NumCounters]string{
 	"version_published",
 	"version_retired",
 	"buffer_stale_refresh",
+	"disk_read_bytes",
+	"page_zero_copy_hits",
+	"version_store_cap_refusals",
 }
 
 // String returns the counter's snake_case event name.

@@ -120,6 +120,30 @@ func FromImage(img []byte) (*Page, error) {
 // page's internal buffer; callers that retain it must copy.
 func (p *Page) Image() []byte { return p.buf[:] }
 
+// ReadRecordInImage returns the record stored in slot of a raw page image,
+// without materializing a Page (no 4 KiB copy — the point of the server's
+// borrow-a-reference read path). The returned slice aliases img; callers
+// that retain or mutate it must copy.
+func ReadRecordInImage(img []byte, slot int) ([]byte, error) {
+	if len(img) != Size {
+		return nil, fmt.Errorf("%w: image is %d bytes, want %d", ErrCorruptPage, len(img), Size)
+	}
+	n := int(binary.LittleEndian.Uint16(img[offSlotCount:]))
+	if slot < 0 || slot >= n {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, slot, n)
+	}
+	pos := Size - (slot+1)*slotSize
+	off := int(binary.LittleEndian.Uint16(img[pos:]))
+	length := int(binary.LittleEndian.Uint16(img[pos+2:]))
+	if off == deletedSlot {
+		return nil, fmt.Errorf("%w: %d is deleted", ErrBadSlot, slot)
+	}
+	if off < headerSize || off+length > Size {
+		return nil, fmt.Errorf("%w: slot %d spans [%d,%d)", ErrCorruptPage, slot, off, off+length)
+	}
+	return img[off : off+length], nil
+}
+
 // CloneImage returns a fresh copy of the page image.
 func (p *Page) CloneImage() []byte {
 	out := make([]byte, Size)

@@ -199,6 +199,16 @@ func (c *Client) Close() error {
 	err := c.conn.Close()
 	if c.pipelined {
 		c.wg.Wait()
+		// Both loops are done; release any frame a caller managed to
+		// enqueue after the write loop's own shutdown drain.
+		for {
+			select {
+			case frame := <-c.sendCh:
+				putBuf(frame)
+			default:
+				return err
+			}
+		}
 	}
 	return err
 }
@@ -230,7 +240,20 @@ func (c *Client) errOr(fallback error) error {
 // writeLoop streams request frames, draining whatever callers have queued
 // before each flush so concurrent requests coalesce into fewer packets.
 func (c *Client) writeLoop() {
-	defer c.wg.Done()
+	// On exit — transport error or shutdown — release whatever frames are
+	// still queued: nothing will ever write them, and pooled buffers must
+	// not be stranded in the channel.
+	defer func() {
+		for {
+			select {
+			case frame := <-c.sendCh:
+				putBuf(frame)
+			default:
+				c.wg.Done()
+				return
+			}
+		}
+	}()
 	for {
 		select {
 		case frame := <-c.sendCh:

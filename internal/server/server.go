@@ -11,6 +11,8 @@
 package server
 
 import (
+	"sync/atomic"
+
 	"gom/internal/faultpoint"
 	"gom/internal/metrics"
 	"gom/internal/oid"
@@ -61,9 +63,18 @@ type PageRunReader interface {
 }
 
 // Local serves pages directly from a storage manager in the same process.
+//
+// Read results follow the storage layer's borrow contract: the image
+// returned by ReadPage/ReadPages is a shared reference to the immutable
+// published page (under `go test` seal mode, a defensive copy) and must
+// not be mutated by the caller. Every in-tree consumer — the client
+// buffer pool, readahead, the TCP response path — either copies into its
+// own frame (page.FromImage) or ships the bytes without touching them.
 type Local struct {
 	mgr *storage.Manager
-	obs *metrics.Registry // nil unless observability is installed
+	// obs is atomic so the TCP server can share one cached Local across
+	// connections and still install metrics while serving.
+	obs atomic.Pointer[metrics.Registry]
 }
 
 // NewLocal returns an in-process server over the manager.
@@ -71,13 +82,16 @@ func NewLocal(mgr *storage.Manager) *Local { return &Local{mgr: mgr} }
 
 // SetMetrics installs (or removes, with nil) the observability registry
 // recording per-operation latency histograms, and wires the underlying
-// disk's I/O counters to the same registry. Install before serving
-// traffic. Returns the receiver for chaining.
+// disk's I/O counters to the same registry. Safe to call while serving.
+// Returns the receiver for chaining.
 func (l *Local) SetMetrics(r *metrics.Registry) *Local {
-	l.obs = r
+	l.obs.Store(r)
 	l.mgr.Disk().SetMetrics(r)
 	return l
 }
+
+// reg returns the installed registry, or nil.
+func (l *Local) reg() *metrics.Registry { return l.obs.Load() }
 
 // Manager exposes the underlying storage manager (generation code uses it).
 func (l *Local) Manager() *storage.Manager { return l.mgr }
@@ -87,7 +101,7 @@ func (l *Local) Lookup(id oid.OID) (storage.PAddr, error) {
 	if err := faultpoint.Check(faultpoint.ServerLookup); err != nil {
 		return storage.PAddr{}, err
 	}
-	defer l.obs.RPCSince(metrics.RPCLookup, l.obs.Now())
+	defer l.reg().RPCSince(metrics.RPCLookup, l.reg().Now())
 	return l.mgr.Lookup(id)
 }
 
@@ -96,7 +110,7 @@ func (l *Local) ReadPage(pid page.PageID) ([]byte, error) {
 	if err := faultpoint.Check(faultpoint.ServerReadPage); err != nil {
 		return nil, err
 	}
-	defer l.obs.RPCSince(metrics.RPCReadPage, l.obs.Now())
+	defer l.reg().RPCSince(metrics.RPCReadPage, l.reg().Now())
 	return l.mgr.Disk().ReadPage(pid)
 }
 
@@ -105,7 +119,7 @@ func (l *Local) WritePage(pid page.PageID, img []byte) error {
 	if err := faultpoint.Check(faultpoint.ServerWritePage); err != nil {
 		return err
 	}
-	defer l.obs.RPCSince(metrics.RPCWritePage, l.obs.Now())
+	defer l.reg().RPCSince(metrics.RPCWritePage, l.reg().Now())
 	return l.mgr.Disk().WritePage(pid, img)
 }
 
@@ -114,7 +128,7 @@ func (l *Local) Allocate(seg uint16, rec []byte) (oid.OID, storage.PAddr, error)
 	if err := faultpoint.Check(faultpoint.ServerAllocate); err != nil {
 		return oid.Nil, storage.PAddr{}, err
 	}
-	defer l.obs.RPCSince(metrics.RPCAllocate, l.obs.Now())
+	defer l.reg().RPCSince(metrics.RPCAllocate, l.reg().Now())
 	return l.mgr.Allocate(seg, rec)
 }
 
@@ -123,7 +137,7 @@ func (l *Local) AllocateNear(seg uint16, neighbor oid.OID, rec []byte) (oid.OID,
 	if err := faultpoint.Check(faultpoint.ServerAllocateNear); err != nil {
 		return oid.Nil, storage.PAddr{}, err
 	}
-	defer l.obs.RPCSince(metrics.RPCAllocateNear, l.obs.Now())
+	defer l.reg().RPCSince(metrics.RPCAllocateNear, l.reg().Now())
 	return l.mgr.AllocateNear(seg, neighbor, rec)
 }
 
@@ -132,7 +146,7 @@ func (l *Local) UpdateObject(id oid.OID, rec []byte) (storage.PAddr, error) {
 	if err := faultpoint.Check(faultpoint.ServerUpdateObject); err != nil {
 		return storage.PAddr{}, err
 	}
-	defer l.obs.RPCSince(metrics.RPCUpdateObject, l.obs.Now())
+	defer l.reg().RPCSince(metrics.RPCUpdateObject, l.reg().Now())
 	return l.mgr.Update(id, rec)
 }
 
@@ -141,7 +155,7 @@ func (l *Local) NumPages(seg uint16) (int, error) {
 	if err := faultpoint.Check(faultpoint.ServerNumPages); err != nil {
 		return 0, err
 	}
-	defer l.obs.RPCSince(metrics.RPCNumPages, l.obs.Now())
+	defer l.reg().RPCSince(metrics.RPCNumPages, l.reg().Now())
 	return l.mgr.Disk().NumPages(seg)
 }
 
@@ -150,9 +164,9 @@ func (l *Local) LookupBatch(ids []oid.OID) ([]storage.PAddr, []bool, error) {
 	if err := faultpoint.Check(faultpoint.ServerLookupBatch); err != nil {
 		return nil, nil, err
 	}
-	defer l.obs.RPCSince(metrics.RPCLookupBatch, l.obs.Now())
-	l.obs.Inc(metrics.CtrBatchLookup)
-	l.obs.AddN(metrics.CtrBatchLookupOIDs, int64(len(ids)))
+	defer l.reg().RPCSince(metrics.RPCLookupBatch, l.reg().Now())
+	l.reg().Inc(metrics.CtrBatchLookup)
+	l.reg().AddN(metrics.CtrBatchLookupOIDs, int64(len(ids)))
 	addrs, ok := l.mgr.LookupBatch(ids)
 	return addrs, ok, nil
 }
@@ -162,7 +176,7 @@ func (l *Local) ReadPages(pid page.PageID, n int) ([][]byte, error) {
 	if err := faultpoint.Check(faultpoint.ServerReadPages); err != nil {
 		return nil, err
 	}
-	defer l.obs.RPCSince(metrics.RPCReadPages, l.obs.Now())
+	defer l.reg().RPCSince(metrics.RPCReadPages, l.reg().Now())
 	return l.mgr.Disk().ReadRun(pid, n)
 }
 

@@ -61,7 +61,7 @@ func TestSnapshotReadDoesNotBlockOnWriterLock(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snap, _ := ts.BeginSnapshot()
+	snap, _, _ := ts.BeginSnapshot()
 	done := make(chan []byte, 1)
 	go func() { done <- readObject(t, ts.Session(snap), id) }()
 	select {
@@ -83,7 +83,7 @@ func TestSnapshotReadDoesNotBlockOnWriterLock(t *testing.T) {
 	if err := ts.Commit(snap); err != nil {
 		t.Fatal(err)
 	}
-	snap2, _ := ts.BeginSnapshot()
+	snap2, _, _ := ts.BeginSnapshot()
 	if rec := readObject(t, ts.Session(snap2), id); string(rec) != "uncommitted!" {
 		t.Fatalf("fresh snapshot read %q, want committed update", rec)
 	}
@@ -105,7 +105,7 @@ func TestSnapshotWritesRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snap, _ := ts.BeginSnapshot()
+	snap, _, _ := ts.BeginSnapshot()
 	s := ts.Session(snap)
 	if _, _, err := s.Allocate(1, []byte("x")); !errors.Is(err, ErrSnapshotReadOnly) {
 		t.Fatalf("Allocate err = %v, want ErrSnapshotReadOnly", err)
@@ -176,7 +176,7 @@ func TestSnapshotBatchBoundaryVisibility(t *testing.T) {
 		time.Sleep(100 * time.Microsecond)
 	}
 
-	mid, _ := ts.BeginSnapshot()
+	mid, _, _ := ts.BeginSnapshot()
 	if rec := readObject(t, ts.Session(mid), idA); string(rec) != "a-v1" {
 		t.Fatalf("mid-batch snapshot reads A=%q, want a-v1", rec)
 	}
@@ -201,7 +201,7 @@ func TestSnapshotBatchBoundaryVisibility(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	after, _ := ts.BeginSnapshot()
+	after, _, _ := ts.BeginSnapshot()
 	gotA := readObject(t, ts.Session(after), idA)
 	gotB := readObject(t, ts.Session(after), idB)
 	if string(gotA) != "a-v2" || string(gotB) != "b-v2" {
@@ -230,7 +230,7 @@ func TestSnapshotAcrossWriterAbort(t *testing.T) {
 	if _, err := ts.Session(writer).UpdateObject(id, []byte("doomed!")); err != nil {
 		t.Fatal(err)
 	}
-	snap, _ := ts.BeginSnapshot()
+	snap, _, _ := ts.BeginSnapshot()
 	if rec := readObject(t, ts.Session(snap), id); string(rec) != "keep-me" {
 		t.Fatalf("snapshot under uncommitted writer reads %q", rec)
 	}
@@ -243,7 +243,7 @@ func TestSnapshotAcrossWriterAbort(t *testing.T) {
 	if err := ts.Commit(snap); err != nil {
 		t.Fatal(err)
 	}
-	snap2, _ := ts.BeginSnapshot()
+	snap2, _, _ := ts.BeginSnapshot()
 	if rec := readObject(t, ts.Session(snap2), id); string(rec) != "keep-me" {
 		t.Fatalf("fresh snapshot after abort reads %q", rec)
 	}
@@ -256,7 +256,7 @@ func TestSnapshotAcrossWriterAbort(t *testing.T) {
 // its session answers ErrTxDone.
 func TestSnapshotSessionAfterFinish(t *testing.T) {
 	ts, _, _ := durableSetup(t, t.TempDir())
-	snap, _ := ts.BeginSnapshot()
+	snap, _, _ := ts.BeginSnapshot()
 	s := ts.Session(snap)
 	if err := ts.Commit(snap); err != nil {
 		t.Fatal(err)
@@ -302,7 +302,7 @@ func TestSnapshotCrashMidPublish(t *testing.T) {
 	if got := mgr.Versions().StablePoint(); got != stableBefore {
 		t.Fatalf("failed batch moved the stable point %d -> %d", stableBefore, got)
 	}
-	snap, _ := ts.BeginSnapshot()
+	snap, _, _ := ts.BeginSnapshot()
 	if rec := readObject(t, ts.Session(snap), id); string(rec) != "durable-v1" {
 		t.Fatalf("snapshot after failed flush reads %q", rec)
 	}
@@ -329,7 +329,7 @@ func TestSnapshotCrashMidPublish(t *testing.T) {
 	if st := m2.Versions().Stats(); st.Entries != 0 || st.Snapshots != 0 {
 		t.Fatalf("recovered version store not empty: %+v", st)
 	}
-	snap2, _ := ts2.BeginSnapshot()
+	snap2, _, _ := ts2.BeginSnapshot()
 	if rec := readObject(t, ts2.Session(snap2), id); string(rec) != "durable-v1" {
 		t.Fatalf("post-recovery snapshot reads %q, want durable prefix only", rec)
 	}

@@ -140,8 +140,40 @@ var _ net.Error = (*rpcTimeoutError)(nil)
 // client hot loops, so steady-state serving does not allocate per frame.
 var msgBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// Pool leak accounting (debug mode): when enabled, every getBuf/getFrame
+// increments and every putBuf/putFrame decrements an outstanding counter,
+// so tests can assert that traffic — including error paths — returns every
+// pooled object. Off by default; the counters cost nothing when disabled.
+var (
+	poolDebug         atomic.Bool
+	bufsOutstanding   atomic.Int64
+	framesOutstanding atomic.Int64
+)
+
+// SetPoolDebug switches pool leak accounting on or off, returning the
+// previous setting. Enabling it resets the outstanding balances to zero,
+// so call it before generating the traffic under test.
+func SetPoolDebug(on bool) bool {
+	prev := poolDebug.Swap(on)
+	if on && !prev {
+		bufsOutstanding.Store(0)
+		framesOutstanding.Store(0)
+	}
+	return prev
+}
+
+// PoolOutstanding reports the message-buffer and response-frame balances
+// accumulated since pool debugging was enabled. Both are zero when every
+// pooled object taken has been returned.
+func PoolOutstanding() (bufs, frames int64) {
+	return bufsOutstanding.Load(), framesOutstanding.Load()
+}
+
 // getBuf returns a pooled buffer of length n.
 func getBuf(n int) *[]byte {
+	if poolDebug.Load() {
+		bufsOutstanding.Add(1)
+	}
 	bp := msgBufPool.Get().(*[]byte)
 	if cap(*bp) < n {
 		*bp = make([]byte, n)
@@ -153,9 +185,97 @@ func getBuf(n int) *[]byte {
 
 // putBuf recycles a buffer obtained from getBuf.
 func putBuf(bp *[]byte) {
-	if bp != nil && cap(*bp) <= maxMessage {
+	if bp == nil {
+		return
+	}
+	if poolDebug.Load() {
+		bufsOutstanding.Add(-1)
+	}
+	if cap(*bp) <= maxMessage {
 		msgBufPool.Put(bp)
 	}
+}
+
+// respFrame is a pipelined response assembled for scatter-gather writing:
+// a pooled header buffer (length word, status, request ID, and any small
+// inline payload) followed by zero or more page images borrowed straight
+// from the copy-on-write page store. The writer hands the pieces to
+// net.Buffers, so a page read is shipped without ever being copied into a
+// contiguous response buffer.
+type respFrame struct {
+	head   *[]byte  // pooled: length + status + id + inline payload
+	inline []byte   // small payload encoded into head (may alias scratch)
+	pages  [][]byte // borrowed page images, shipped after head
+	// scratch gives fixed-size payloads (counts, LSNs) inline space so
+	// building them does not allocate.
+	scratch [16]byte
+}
+
+var respFramePool = sync.Pool{
+	New: func() any { return &respFrame{pages: make([][]byte, 0, maxReadRun)} },
+}
+
+// getFrame returns an empty pooled response frame.
+func getFrame() *respFrame {
+	if poolDebug.Load() {
+		framesOutstanding.Add(1)
+	}
+	return respFramePool.Get().(*respFrame)
+}
+
+// putFrame releases a frame: the header returns to the buffer pool and the
+// borrowed page references are dropped so the pool never pins page images.
+func putFrame(f *respFrame) {
+	if f == nil {
+		return
+	}
+	if poolDebug.Load() {
+		framesOutstanding.Add(-1)
+	}
+	putBuf(f.head)
+	f.head = nil
+	f.inline = nil
+	for i := range f.pages {
+		f.pages[i] = nil
+	}
+	f.pages = f.pages[:0]
+	respFramePool.Put(f)
+}
+
+// encode finalizes the frame: the pooled header is built with the total
+// payload length (inline plus all attached pages), the status code, and
+// the request ID. The inline payload is copied into the header so the
+// frame owns every byte it ships except the borrowed pages.
+func (f *respFrame) encode(code byte, id uint64) {
+	pageBytes := 0
+	for _, p := range f.pages {
+		pageBytes += len(p)
+	}
+	f.head = getBuf(4 + 1 + 8 + len(f.inline))
+	b := *f.head
+	binary.LittleEndian.PutUint32(b, uint32(1+8+len(f.inline)+pageBytes))
+	b[4] = code
+	binary.LittleEndian.PutUint64(b[5:], id)
+	copy(b[13:], f.inline)
+}
+
+// wireLen is the frame's total on-wire size. Valid after encode.
+func (f *respFrame) wireLen() int {
+	n := len(*f.head)
+	for _, p := range f.pages {
+		n += len(p)
+	}
+	return n
+}
+
+// payloadLen is the logical response payload size (what a v1 contiguous
+// response body would have held, excluding the request ID).
+func (f *respFrame) payloadLen() int {
+	n := len(f.inline)
+	for _, p := range f.pages {
+		n += len(p)
+	}
+	return n
 }
 
 func writeMsg(w *bufio.Writer, code byte, payload []byte) error {
@@ -261,6 +381,10 @@ func getPAddr(b []byte) storage.PAddr {
 type TCPServer struct {
 	mgr *storage.Manager
 	tx  *TxServer // nil when serving non-transactionally
+	// local is the shared non-transactional backend for every connection.
+	// It is stateless (the manager carries all state), so one instance
+	// serves all goroutines and the dispatch path allocates nothing.
+	local *Local
 
 	ln net.Listener
 
@@ -284,7 +408,7 @@ type TCPServer struct {
 // Serve starts serving the manager on the listener. It returns immediately;
 // use Close to stop.
 func Serve(ln net.Listener, mgr *storage.Manager) *TCPServer {
-	s := &TCPServer{mgr: mgr, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{mgr: mgr, local: NewLocal(mgr), ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -294,7 +418,7 @@ func Serve(ln net.Listener, mgr *storage.Manager) *TCPServer {
 // BeginTx/CommitTx/AbortTx. A connection that drops mid-transaction has
 // its transaction aborted.
 func ServeTx(ln net.Listener, tx *TxServer) *TCPServer {
-	s := &TCPServer{mgr: tx.Manager(), tx: tx, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{mgr: tx.Manager(), tx: tx, local: NewLocal(tx.Manager()), ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -458,7 +582,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 				return
 			}
 			// The connection switches to pipelined framing from here on.
-			s.servePipelined(conn, r, w, cs, negotiated&featureTrace != 0)
+			// writeMsg flushed the bufio writer, so the pipelined writer
+			// can take over the raw connection for vectored writes.
+			s.servePipelined(conn, r, cs, negotiated&featureTrace != 0)
 			return
 		}
 		obs := s.obs.Load()
@@ -495,29 +621,31 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 // servePipelined runs the v2 framing on an upgraded connection: the reader
 // dispatches each data request to its own goroutine (bounded by
 // pipelineWorkers), a writer goroutine streams responses back as they
-// complete, coalescing flushes, and transaction boundaries wait for the
-// connection's outstanding data operations so 2PL session routing stays
-// well defined.
-func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writer, cs *connState, traceOn bool) {
-	respCh := make(chan *[]byte, pipelineWorkers*2)
+// complete, and transaction boundaries wait for the connection's
+// outstanding data operations so 2PL session routing stays well defined.
+//
+// Responses travel as respFrames: a pooled header plus page images
+// borrowed from the copy-on-write page store. The writer gathers every
+// frame already queued into one net.Buffers vectored write (writev), so a
+// burst of pipelined responses reaches the socket in a single syscall
+// without ever being re-buffered into a contiguous stream.
+func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, cs *connState, traceOn bool) {
+	respCh := make(chan *respFrame, pipelineWorkers*2)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
 		var werr error
+		batch := make([]*respFrame, 0, pipelineWorkers)
+		vecs := make([][]byte, 0, 2*pipelineWorkers)
 		for frame := range respCh {
 			if werr != nil {
-				putBuf(frame) // drain so dispatchers never block
+				putFrame(frame) // drain so dispatchers never block
 				continue
 			}
-			if _, werr = w.Write(*frame); werr != nil {
-				putBuf(frame)
-				conn.Close() // unblocks the reader
-				continue
-			}
-			putBuf(frame)
-			// Coalesce: drain whatever is already queued before flushing,
-			// so a burst of pipelined responses costs one flush.
+			batch = append(batch[:0], frame)
+			// Coalesce: gather whatever is already queued so the burst
+			// goes out in one vectored write.
 		coalesce:
 			for {
 				select {
@@ -525,38 +653,54 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 					if !ok {
 						break coalesce
 					}
-					if _, werr = w.Write(*next); werr != nil {
-						putBuf(next)
-						conn.Close()
-						break coalesce
-					}
-					putBuf(next)
+					batch = append(batch, next)
 				default:
 					break coalesce
 				}
 			}
-			if werr == nil {
-				if werr = w.Flush(); werr != nil {
-					conn.Close()
-				}
+			vecs = vecs[:0]
+			for _, f := range batch {
+				vecs = append(vecs, *f.head)
+				vecs = append(vecs, f.pages...)
+			}
+			// net.Buffers.WriteTo advances its receiver as it consumes the
+			// vectors; vecs itself is rebuilt each round, so the mutation
+			// is harmless.
+			nb := net.Buffers(vecs)
+			if _, werr = nb.WriteTo(conn); werr != nil {
+				conn.Close() // unblocks the reader
+			}
+			for _, f := range batch {
+				putFrame(f)
 			}
 		}
 	}()
 
-	respond := func(op byte, id uint64, resp []byte, err error) {
+	// respond finalizes the frame with the outcome and queues it for the
+	// writer, which releases it after the bytes are on the wire.
+	respond := func(op byte, id uint64, f *respFrame, err error) {
 		if err != nil {
 			obs := s.obs.Load()
 			obs.Inc(metrics.CtrRPCError)
-			if rpc := rpcOpOf(op); rpc >= 0 {
-				obs.RPCFrame(rpc, true, 4+1+8+len(err.Error()))
+			// Drop any partial payload: an error response carries only
+			// the message.
+			for i := range f.pages {
+				f.pages[i] = nil
 			}
-			respCh <- encodeFrame(statusOf(err), id, []byte(err.Error()))
+			f.pages = f.pages[:0]
+			f.inline = []byte(err.Error())
+			f.encode(statusOf(err), id)
+			if rpc := rpcOpOf(op); rpc >= 0 {
+				obs.RPCFrame(rpc, true, f.wireLen())
+			}
+			respCh <- f
 			return
 		}
+		f.encode(statusOK, id)
 		if rpc := rpcOpOf(op); rpc >= 0 {
-			s.obs.Load().RPCFrame(rpc, true, 4+1+8+len(resp))
+			s.obs.Load().RPCFrame(rpc, true, f.wireLen())
 		}
-		respCh <- encodeFrame(statusOK, id, resp)
+		respCh <- f
 	}
 
 	sem := make(chan struct{}, pipelineWorkers)
@@ -591,7 +735,9 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 		case opHello:
 			resp, _, herr := s.helloResponse(req)
 			putBuf(body)
-			respond(op, id, resp, herr)
+			f := getFrame()
+			f.inline = resp
+			respond(op, id, f, herr)
 		case opTxBegin, opTxBeginSnapshot, opTxCommit, opTxAbort:
 			// Transaction boundaries order after the connection's
 			// outstanding data operations: a pipelined commit must not
@@ -606,7 +752,9 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 				obs.RPCSince(rpc, start)
 			}
 			putBuf(body)
-			respond(op, id, resp, herr)
+			f := getFrame()
+			f.inline = resp
+			respond(op, id, f, herr)
 		default:
 			// The backend is resolved at dispatch time on the reader
 			// goroutine, so a request pipelined inside a transaction uses
@@ -624,16 +772,17 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, w *bufio.Writ
 				}()
 				start := obs.Now()
 				sp := s.tracer.Load().StartChild(spanName(&serverSpanNames, op), tctx)
-				resp, herr := s.handleData(backend, op, req)
+				f := getFrame()
+				herr := s.handleDataFrame(backend, op, req, f)
 				if sp.Sampled() {
-					sp.SetArgs(uint64(len(req)), uint64(len(resp)))
+					sp.SetArgs(uint64(len(req)), uint64(f.payloadLen()))
 					sp.Finish()
 				}
 				if rpc := rpcOpOf(op); rpc >= 0 {
 					obs.RPCSince(rpc, start)
 				}
 				putBuf(body)
-				respond(op, id, resp, herr)
+				respond(op, id, f, herr)
 			}(op, id, body, req, tctx)
 		}
 	}
@@ -648,7 +797,7 @@ func (s *TCPServer) backend(cs *connState) Server {
 	if cs.sess != nil {
 		return cs.sess
 	}
-	return NewLocal(s.mgr)
+	return s.local
 }
 
 func (s *TCPServer) handle(cs *connState, op byte, payload []byte) ([]byte, error) {
@@ -672,7 +821,13 @@ func (s *TCPServer) handle(cs *connState, op byte, payload []byte) ([]byte, erro
 		if cs.sess != nil {
 			return nil, errors.New("server: transaction already open on this connection")
 		}
-		tx, readLSN := s.tx.BeginSnapshot()
+		tx, readLSN, err := s.tx.BeginSnapshot()
+		if err != nil {
+			// Typically storage.ErrVersionCapExceeded: the version store
+			// is retaining more than its configured cap, so new snapshots
+			// are refused until retirement catches up.
+			return nil, err
+		}
 		cs.tx = tx
 		cs.sess = s.tx.Session(tx)
 		out := make([]byte, 16)
@@ -835,4 +990,84 @@ func (s *TCPServer) handleData(backend Server, op byte, payload []byte) ([]byte,
 	default:
 		return nil, fmt.Errorf("%w: opcode %d", errProtocol, op)
 	}
+}
+
+// handleDataFrame is the zero-copy variant of handleData used by the
+// pipelined path: page-shipping opcodes attach the borrowed page images to
+// the response frame instead of copying them into a contiguous payload
+// (the wire bytes are identical — the writer scatter-gathers the pieces).
+// Every other opcode falls through to handleData and rides in the frame's
+// inline payload.
+func (s *TCPServer) handleDataFrame(backend Server, op byte, payload []byte, f *respFrame) error {
+	switch op {
+	case opReadPage:
+		if len(payload) != 8 {
+			return errProtocol
+		}
+		pid := page.PageID(binary.LittleEndian.Uint64(payload))
+		img, err := backend.ReadPage(pid)
+		if err != nil {
+			return err
+		}
+		f.pages = append(f.pages, img)
+		return nil
+	case opReadPages:
+		if len(payload) != 12 {
+			return errProtocol
+		}
+		pid := page.PageID(binary.LittleEndian.Uint64(payload))
+		n := binary.LittleEndian.Uint32(payload[8:])
+		if n == 0 || n > maxReadRun {
+			return errProtocol
+		}
+		pr, ok := backend.(PageRunReader)
+		if !ok {
+			return fmt.Errorf("%w: page runs unsupported", errProtocol)
+		}
+		imgs, err := pr.ReadPages(pid, int(n))
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(f.scratch[:4], uint32(len(imgs)))
+		f.inline = f.scratch[:4]
+		f.pages = append(f.pages, imgs...)
+		return nil
+	default:
+		resp, err := s.handleData(backend, op, payload)
+		if err != nil {
+			return err
+		}
+		f.inline = resp
+		return nil
+	}
+}
+
+// ServeReadPageFrame drives the server's pipelined ReadPage response path
+// — request decode, page read, frame assembly, release — without a
+// socket, returning the frame's on-wire size. req is the 8-byte ReadPage
+// request payload (the page ID). With legacyCopy the response is encoded
+// the pre-zero-copy way, with the page image copied into a contiguous
+// pooled frame; otherwise the image is attached to the frame by
+// reference. Benchmarks and the zero-alloc guard use it to measure the
+// hot read path in isolation.
+func ServeReadPageFrame(backend Server, req []byte, legacyCopy bool) (int, error) {
+	if len(req) != 8 {
+		return 0, errProtocol
+	}
+	img, err := backend.ReadPage(page.PageID(binary.LittleEndian.Uint64(req)))
+	if err != nil {
+		return 0, err
+	}
+	if legacyCopy {
+		bp := encodeFrame(statusOK, 1, img)
+		n := len(*bp)
+		putBuf(bp)
+		return n, nil
+	}
+	f := getFrame()
+	f.pages = append(f.pages, img)
+	f.encode(statusOK, 1)
+	n := f.wireLen()
+	putFrame(f)
+	return n, nil
 }

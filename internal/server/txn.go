@@ -161,8 +161,13 @@ func (s *TxServer) Begin() TxID {
 // batch boundary — and is returned so clients can tag cached pages.
 // Reads under the snapshot take no page locks and never block behind (or
 // deadlock with) writers; writes are rejected with ErrSnapshotReadOnly.
-func (s *TxServer) BeginSnapshot() (TxID, uint64) {
-	sid, lsn := s.mgr.Versions().AcquireSnapshot()
+// With a version-store byte cap configured and exceeded, it fails with
+// storage.ErrVersionCapExceeded (retryable once old snapshots release).
+func (s *TxServer) BeginSnapshot() (TxID, uint64, error) {
+	sid, lsn, err := s.mgr.Versions().AcquireSnapshot()
+	if err != nil {
+		return 0, 0, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.next++
@@ -174,7 +179,7 @@ func (s *TxServer) BeginSnapshot() (TxID, uint64) {
 		readLSN:  lsn,
 		snapDone: &atomic.Bool{},
 	}
-	return tx, lsn
+	return tx, lsn, nil
 }
 
 // Live returns the number of unfinished transactions.

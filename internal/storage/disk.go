@@ -15,6 +15,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"testing"
 
 	"gom/internal/faultpoint"
 	"gom/internal/metrics"
@@ -33,42 +35,108 @@ var (
 // Disk is a simulated disk: page images addressable by PageID, grouped into
 // segments. It is safe for concurrent use (it sits on the server side and
 // serves multiple clients).
+//
+// Reads are lock-free and copy-free. Every page slot holds an atomically
+// published *immutable* image: WritePage allocates a fresh image and
+// atomic-stores it (copy-on-write), so a reader does one atomic load and
+// hands out the reference — no lock, no copy, and any reference obtained
+// earlier keeps observing the bytes it was published with. The price is
+// one page-sized allocation per write instead of one per read, the right
+// trade for a page *server* (reads dominate, and the borrowed image goes
+// straight onto the wire; see DESIGN.md "Zero-copy read path").
+//
+// Borrow contract: the slice returned by ReadPage/ReadRun is shared and
+// MUST NOT be mutated or grown by the caller; it stays valid (and frozen)
+// indefinitely. Under `go test` the contract is enforced by seal mode
+// (SetSealReads): reads hand out defensive copies so an accidental mutation
+// is harmless in tests that don't opt out, while the -race-visible tests
+// that do opt out (torn-read property, zero-alloc guards) exercise true
+// sharing.
 type Disk struct {
-	mu   sync.RWMutex
-	segs map[uint16][][]byte // segment -> page images, index = page number
-	obs  *metrics.Registry   // nil unless observability is installed
+	// createMu serializes segment creation (a copy-on-write update of the
+	// segment table); it is never taken on a read or write of page bytes.
+	createMu sync.Mutex
+	segs     atomic.Pointer[map[uint16]*diskSegment]
+	obs      atomic.Pointer[metrics.Registry] // nil unless observability is installed
 }
+
+// diskSegment is one segment: an atomically published page directory whose
+// slots are stable once created (AllocPage copy-appends the directory; the
+// slots themselves are shared across directory versions, so a concurrent
+// reader holding an older directory still observes later writes).
+type diskSegment struct {
+	// mu serializes directory growth (AllocPage); reads never take it.
+	mu  sync.Mutex
+	dir atomic.Pointer[[]*pageSlot]
+}
+
+// pageSlot holds the atomically published immutable image of one page.
+type pageSlot struct {
+	img atomic.Pointer[[]byte]
+}
+
+// sealReads selects the debug read mode: when set, ReadPage/ReadRun return
+// defensive copies instead of borrowed references, so callers that violate
+// the no-mutation contract corrupt only their copy. It defaults to on under
+// `go test` and off in production binaries.
+var sealReads atomic.Bool
+
+func init() { sealReads.Store(testing.Testing()) }
+
+// SealReads reports whether reads currently return sealed copies.
+func SealReads() bool { return sealReads.Load() }
+
+// SetSealReads toggles sealed reads and returns the previous setting.
+// Tests that need the production borrow semantics (torn-read property,
+// zero-alloc guards, the readpath benchmark) disable it and restore the
+// previous value when done.
+func SetSealReads(on bool) bool { return sealReads.Swap(on) }
 
 // NewDisk returns an empty disk.
 func NewDisk() *Disk {
-	return &Disk{segs: make(map[uint16][][]byte)}
+	d := &Disk{}
+	segs := make(map[uint16]*diskSegment)
+	d.segs.Store(&segs)
+	return d
 }
 
 // SetMetrics installs (or removes, with nil) the observability registry
 // recording page-level I/O against this disk.
-func (d *Disk) SetMetrics(r *metrics.Registry) {
-	d.mu.Lock()
-	d.obs = r
-	d.mu.Unlock()
+func (d *Disk) SetMetrics(r *metrics.Registry) { d.obs.Store(r) }
+
+func (d *Disk) reg() *metrics.Registry { return d.obs.Load() }
+
+// segment returns the named segment, or nil.
+func (d *Disk) segment(seg uint16) *diskSegment {
+	return (*d.segs.Load())[seg]
 }
 
-// CreateSegment creates an empty segment.
+// CreateSegment creates an empty segment. The segment table is updated
+// copy-on-write so concurrent readers never see it mid-change.
 func (d *Disk) CreateSegment(seg uint16) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.segs[seg]; ok {
+	d.createMu.Lock()
+	defer d.createMu.Unlock()
+	old := *d.segs.Load()
+	if _, ok := old[seg]; ok {
 		return fmt.Errorf("%w: %d", ErrSegmentExist, seg)
 	}
-	d.segs[seg] = nil
+	next := make(map[uint16]*diskSegment, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	s := &diskSegment{}
+	dir := make([]*pageSlot, 0)
+	s.dir.Store(&dir)
+	next[seg] = s
+	d.segs.Store(&next)
 	return nil
 }
 
 // Segments returns the existing segment numbers, sorted.
 func (d *Disk) Segments() []uint16 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]uint16, 0, len(d.segs))
-	for s := range d.segs {
+	segs := *d.segs.Load()
+	out := make([]uint16, 0, len(segs))
+	for s := range segs {
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -77,81 +145,127 @@ func (d *Disk) Segments() []uint16 {
 
 // NumPages returns the number of pages in a segment.
 func (d *Disk) NumPages(seg uint16) (int, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	pages, ok := d.segs[seg]
-	if !ok {
+	s := d.segment(seg)
+	if s == nil {
 		return 0, fmt.Errorf("%w: %d", ErrNoSegment, seg)
 	}
-	return len(pages), nil
+	return len(*s.dir.Load()), nil
 }
 
 // AllocPage appends a freshly formatted page to the segment and returns its
-// id.
+// id. The directory is grown copy-on-write under the segment's mutex; the
+// existing slots are shared with the new directory, so readers holding the
+// old one stay coherent.
 func (d *Disk) AllocPage(seg uint16) (page.PageID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	pages, ok := d.segs[seg]
-	if !ok {
+	s := d.segment(seg)
+	if s == nil {
 		return page.NilPage, fmt.Errorf("%w: %d", ErrNoSegment, seg)
 	}
-	id := page.NewPageID(seg, uint64(len(pages)))
-	d.segs[seg] = append(pages, page.New(id).CloneImage())
-	d.obs.Inc(metrics.CtrDiskPageAlloc)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.dir.Load()
+	id := page.NewPageID(seg, uint64(len(old)))
+	slot := &pageSlot{}
+	img := page.New(id).CloneImage()
+	slot.img.Store(&img)
+	next := make([]*pageSlot, len(old)+1)
+	copy(next, old)
+	next[len(old)] = slot
+	s.dir.Store(&next)
+	d.reg().Inc(metrics.CtrDiskPageAlloc)
 	return id, nil
 }
 
-// ReadPage returns a copy of the page image.
+// slot resolves a page id to its slot: two atomic loads, no locks.
+func (d *Disk) slot(id page.PageID) (*pageSlot, error) {
+	s := d.segment(id.Segment())
+	if s == nil {
+		return nil, fmt.Errorf("%w: segment %d", ErrNoSegment, id.Segment())
+	}
+	dir := *s.dir.Load()
+	no := id.No()
+	if no >= uint64(len(dir)) {
+		return nil, fmt.Errorf("%w: %v", ErrNoPage, id)
+	}
+	return dir[no], nil
+}
+
+// ReadPage returns the page image. The returned slice is a borrowed
+// reference to the immutable published image — the caller must not mutate
+// it (see the Disk doc comment); it remains valid and frozen even across
+// concurrent WritePage calls, which publish fresh images instead of
+// touching this one. With sealed reads on (the `go test` default) a
+// defensive copy is returned instead.
 func (d *Disk) ReadPage(id page.PageID) ([]byte, error) {
 	if err := faultpoint.Check(faultpoint.DiskRead); err != nil {
 		return nil, err
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	img, err := d.lookupLocked(id)
+	slot, err := d.slot(id)
 	if err != nil {
 		return nil, err
 	}
-	d.obs.Inc(metrics.CtrDiskPageRead)
-	out := make([]byte, page.Size)
-	copy(out, img)
-	return out, nil
+	img := *slot.img.Load()
+	r := d.reg()
+	r.Inc(metrics.CtrDiskPageRead)
+	r.AddN(metrics.CtrDiskReadBytes, page.Size)
+	if sealReads.Load() {
+		out := make([]byte, page.Size)
+		copy(out, img)
+		return out, nil
+	}
+	r.Inc(metrics.CtrPageZeroCopyHit)
+	return img, nil
 }
 
-// ReadRun returns copies of up to n contiguous pages starting at id,
-// truncated at the end of the segment, under a single lock acquisition —
-// the server-side half of a batched page fetch (one round trip ships a
-// clustered run, cf. the sequential page runs clustering produces).
+// ReadRun returns up to n contiguous pages starting at id, truncated at the
+// end of the segment — the server-side half of a batched page fetch (one
+// round trip ships a clustered run, cf. the sequential page runs clustering
+// produces). Each image is resolved by one atomic load under the borrow
+// contract of ReadPage; the run is atomic per page, not across pages — a
+// transactional caller wanting cross-page consistency locks the run first
+// (see txSession.ReadPages).
 func (d *Disk) ReadRun(id page.PageID, n int) ([][]byte, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("storage: read run of %d pages", n)
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	pages, ok := d.segs[id.Segment()]
-	if !ok {
+	s := d.segment(id.Segment())
+	if s == nil {
 		return nil, fmt.Errorf("%w: segment %d", ErrNoSegment, id.Segment())
 	}
+	dir := *s.dir.Load()
 	no := id.No()
-	if no >= uint64(len(pages)) {
+	if no >= uint64(len(dir)) {
 		return nil, fmt.Errorf("%w: %v", ErrNoPage, id)
 	}
-	if rest := uint64(len(pages)) - no; uint64(n) > rest {
+	if rest := uint64(len(dir)) - no; uint64(n) > rest {
 		n = int(rest)
 	}
+	sealed := sealReads.Load()
 	out := make([][]byte, n)
 	for i := range out {
-		img := make([]byte, page.Size)
-		copy(img, pages[no+uint64(i)])
+		img := *dir[no+uint64(i)].img.Load()
+		if sealed {
+			cp := make([]byte, page.Size)
+			copy(cp, img)
+			img = cp
+		}
 		out[i] = img
 	}
-	d.obs.AddN(metrics.CtrDiskPageRead, int64(n))
-	d.obs.Inc(metrics.CtrReadRun)
-	d.obs.AddN(metrics.CtrReadRunPages, int64(n))
+	r := d.reg()
+	r.AddN(metrics.CtrDiskPageRead, int64(n))
+	r.AddN(metrics.CtrDiskReadBytes, int64(n)*page.Size)
+	if !sealed {
+		r.AddN(metrics.CtrPageZeroCopyHit, int64(n))
+	}
+	r.Inc(metrics.CtrReadRun)
+	r.AddN(metrics.CtrReadRunPages, int64(n))
 	return out, nil
 }
 
-// WritePage replaces the page image.
+// WritePage replaces the page image, copy-on-write: the bytes are copied
+// into a fresh image which is atomically published, so references handed
+// out by earlier reads keep observing the previous content. img itself is
+// not retained.
 func (d *Disk) WritePage(id page.PageID, img []byte) error {
 	if err := faultpoint.Check(faultpoint.DiskWrite); err != nil {
 		return err
@@ -159,68 +273,56 @@ func (d *Disk) WritePage(id page.PageID, img []byte) error {
 	if len(img) != page.Size {
 		return fmt.Errorf("storage: image is %d bytes, want %d", len(img), page.Size)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	dst, err := d.lookupLocked(id)
+	slot, err := d.slot(id)
 	if err != nil {
 		return err
 	}
-	d.obs.Inc(metrics.CtrDiskPageWrite)
-	copy(dst, img)
+	fresh := make([]byte, page.Size)
+	copy(fresh, img)
+	slot.img.Store(&fresh)
+	d.reg().Inc(metrics.CtrDiskPageWrite)
 	return nil
-}
-
-func (d *Disk) lookupLocked(id page.PageID) ([]byte, error) {
-	pages, ok := d.segs[id.Segment()]
-	if !ok {
-		return nil, fmt.Errorf("%w: segment %d", ErrNoSegment, id.Segment())
-	}
-	no := id.No()
-	if no >= uint64(len(pages)) {
-		return nil, fmt.Errorf("%w: %v", ErrNoPage, id)
-	}
-	return pages[no], nil
 }
 
 // TotalPages returns the page count over all segments.
 func (d *Disk) TotalPages() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	n := 0
-	for _, pages := range d.segs {
-		n += len(pages)
+	for _, s := range *d.segs.Load() {
+		n += len(*s.dir.Load())
 	}
 	return n
 }
 
 // Save serializes the disk to w. Format: magic, segment count, then per
-// segment: number, page count, raw page images.
+// segment: number, page count, raw page images. Concurrent writers should
+// be quiesced for a consistent image (Manager.Save holds its quiesce lock
+// exclusively); each page is still read by one atomic load, so a racing
+// writer can never produce a torn page in the output.
 func (d *Disk) Save(w io.Writer) error {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	segMap := *d.segs.Load()
 	hdr := make([]byte, 8)
 	copy(hdr, "GOMDISK1")
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	segs := make([]uint16, 0, len(d.segs))
-	for s := range d.segs {
+	segs := make([]uint16, 0, len(segMap))
+	for s := range segMap {
 		segs = append(segs, s)
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(segs))); err != nil {
 		return err
 	}
-	for _, s := range segs {
-		pages := d.segs[s]
-		if err := binary.Write(w, binary.LittleEndian, s); err != nil {
+	for _, sno := range segs {
+		dir := *segMap[sno].dir.Load()
+		if err := binary.Write(w, binary.LittleEndian, sno); err != nil {
 			return err
 		}
-		if err := binary.Write(w, binary.LittleEndian, uint64(len(pages))); err != nil {
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(dir))); err != nil {
 			return err
 		}
-		for _, img := range pages {
-			if _, err := w.Write(img); err != nil {
+		for _, slot := range dir {
+			if _, err := w.Write(*slot.img.Load()); err != nil {
 				return err
 			}
 		}
@@ -242,6 +344,7 @@ func LoadDisk(r io.Reader) (*Disk, error) {
 		return nil, err
 	}
 	d := NewDisk()
+	segs := make(map[uint16]*diskSegment, nseg)
 	for i := uint32(0); i < nseg; i++ {
 		var seg uint16
 		var npages uint64
@@ -251,15 +354,20 @@ func LoadDisk(r io.Reader) (*Disk, error) {
 		if err := binary.Read(r, binary.LittleEndian, &npages); err != nil {
 			return nil, err
 		}
-		pages := make([][]byte, npages)
-		for j := range pages {
+		dir := make([]*pageSlot, npages)
+		for j := range dir {
 			img := make([]byte, page.Size)
 			if _, err := io.ReadFull(r, img); err != nil {
 				return nil, err
 			}
-			pages[j] = img
+			slot := &pageSlot{}
+			slot.img.Store(&img)
+			dir[j] = slot
 		}
-		d.segs[seg] = pages
+		s := &diskSegment{}
+		s.dir.Store(&dir)
+		segs[seg] = s
 	}
+	d.segs.Store(&segs)
 	return d, nil
 }

@@ -262,6 +262,8 @@ func (m *Manager) LookupBatch(ids []oid.OID) ([]PAddr, []bool) {
 }
 
 // Read returns a copy of an object's persistent record and its address.
+// The record is sliced straight out of the borrowed page image (no page
+// copy); only the record bytes themselves are copied for the caller.
 func (m *Manager) Read(id oid.OID) ([]byte, PAddr, error) {
 	addr, err := m.Lookup(id)
 	if err != nil {
@@ -271,11 +273,7 @@ func (m *Manager) Read(id oid.OID) ([]byte, PAddr, error) {
 	if err != nil {
 		return nil, PAddr{}, err
 	}
-	p, err := page.FromImage(img)
-	if err != nil {
-		return nil, PAddr{}, err
-	}
-	rec, err := p.Read(int(addr.Slot))
+	rec, err := page.ReadRecordInImage(img, int(addr.Slot))
 	if err != nil {
 		return nil, PAddr{}, fmt.Errorf("storage: object %v at %v/%d: %w", id, addr.Page, addr.Slot, err)
 	}

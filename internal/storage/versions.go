@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +12,13 @@ import (
 	"gom/internal/oid"
 	"gom/internal/page"
 )
+
+// ErrVersionCapExceeded refuses a new snapshot while the version store's
+// retained before-images exceed the configured byte cap: admitting another
+// snapshot would pin the watermark and let history grow without bound.
+// Existing snapshots are unaffected; once they release and retirement
+// drains the backlog below the cap, BeginSnapshot succeeds again.
+var ErrVersionCapExceeded = errors.New("storage: version store over retained-bytes cap")
 
 // VersionStore keeps page-level before-images so snapshot transactions can
 // read a consistent past state without taking page locks (MVCC for reads;
@@ -60,6 +69,12 @@ type VersionStore struct {
 	// latest durable publish.
 	stable atomic.Uint64
 	obs    atomic.Pointer[metrics.Registry]
+
+	// capBytes bounds the retained before-image bytes; at or below 0 the
+	// store is unbounded. Enforced by AcquireSnapshot, not by stagers:
+	// writers must always be able to stage (their locks are already held),
+	// so the bound works by refusing to admit new history pinners.
+	capBytes atomic.Int64
 
 	mu       sync.RWMutex
 	nextLSN  uint64
@@ -140,18 +155,32 @@ func (vs *VersionStore) reg() *metrics.Registry { return vs.obs.Load() }
 // StablePoint returns the read-LSN a snapshot begun now would get.
 func (vs *VersionStore) StablePoint() uint64 { return vs.stable.Load() }
 
+// SetCapBytes bounds the retained before-image bytes (0 or negative =
+// unbounded). While the store holds more than the cap, AcquireSnapshot
+// refuses with ErrVersionCapExceeded until retirement drains the backlog.
+func (vs *VersionStore) SetCapBytes(n int64) { vs.capBytes.Store(n) }
+
+// CapBytes returns the configured retained-bytes cap (0 = unbounded).
+func (vs *VersionStore) CapBytes() int64 { return vs.capBytes.Load() }
+
 // AcquireSnapshot registers a new snapshot and returns its id and
-// read-LSN (the current stable point).
-func (vs *VersionStore) AcquireSnapshot() (id, readLSN uint64) {
+// read-LSN (the current stable point). With a retained-bytes cap set and
+// exceeded, it refuses with ErrVersionCapExceeded instead of pinning the
+// retirement watermark under even more history.
+func (vs *VersionStore) AcquireSnapshot() (id, readLSN uint64, err error) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
+	if limit := vs.capBytes.Load(); limit > 0 && vs.bytes > limit {
+		vs.reg().Inc(metrics.CtrVersionCapRefusal)
+		return 0, 0, fmt.Errorf("%w: %d bytes retained, cap %d", ErrVersionCapExceeded, vs.bytes, limit)
+	}
 	vs.nextSnap++
 	id = vs.nextSnap
 	readLSN = vs.stable.Load()
 	vs.snaps[id] = readLSN
 	vs.updateLagLocked()
 	vs.reg().Inc(metrics.CtrSnapshotBegin)
-	return id, readLSN
+	return id, readLSN, nil
 }
 
 // ReleaseSnapshot drops a snapshot, possibly advancing the retirement
@@ -403,10 +432,16 @@ func (vs *VersionStore) ReadPage(readLSN uint64, pid page.PageID) ([]byte, error
 	if img == nil {
 		return vs.disk.ReadPage(pid)
 	}
-	// Retained images are immutable once stored; copy outside the lock.
-	out := make([]byte, len(img))
-	copy(out, img)
-	return out, nil
+	// Retained images are immutable once stored, so the reference itself is
+	// the answer — same borrow contract as Disk.ReadPage. Sealed reads (the
+	// `go test` default) still hand out a defensive copy.
+	if sealReads.Load() {
+		out := make([]byte, len(img))
+		copy(out, img)
+		return out, nil
+	}
+	vs.reg().Inc(metrics.CtrPageZeroCopyHit)
+	return img, nil
 }
 
 // Lookup resolves OID id's POT mapping as of readLSN. ok=false with

@@ -84,7 +84,7 @@ func TestVersionStoreSnapshotProperty(t *testing.T) {
 	for r := 1; r <= rounds; r++ {
 		// Sometimes open a snapshot of the current state.
 		if rng.Intn(3) == 0 {
-			id, lsn := vs.AcquireSnapshot()
+			id, lsn, _ := vs.AcquireSnapshot()
 			active = append(active, snapState{id: id, readLSN: lsn, want: capture()})
 		}
 

@@ -929,7 +929,5 @@ func replayWAL(m *Manager, recs []walRec, info *RecoverInfo) error {
 // obs returns the disk's registry (the manager has no registry of its own;
 // WAL replay counters ride on the same registry as disk I/O).
 func (m *Manager) obs() *metrics.Registry {
-	m.disk.mu.RLock()
-	defer m.disk.mu.RUnlock()
-	return m.disk.obs
+	return m.disk.obs.Load()
 }
