@@ -279,7 +279,14 @@ func (p *Pool) Get(pid page.PageID) (*Frame, error) {
 // Serialized under evictMu like eviction, so the refresh hook and the
 // eviction hook never run concurrently for one frame. A locally dirty
 // frame is not clobbered: the client's own writes take precedence and the
-// frame is simply stamped current.
+// frame is simply stamped current. A pinned frame is not refreshed
+// either: the Pin contract is that the page stays put, so the refresh is
+// skipped — the stale image is served (its pinner is reading those same
+// bytes concurrently anyway) and the epoch is left old, so the first hit
+// after the pins drain retries the refresh. The decisive pins check
+// happens under the shard's write lock, which Pin's increment (under the
+// read lock) cannot cross, so a frame can never be pinned and have its
+// image swapped at the same time.
 func (p *Pool) refreshStale(pid page.PageID, f *Frame, e uint64) error {
 	p.evictMu.Lock()
 	defer p.evictMu.Unlock()
@@ -288,6 +295,11 @@ func (p *Pool) refreshStale(pid page.PageID, f *Frame, e uint64) error {
 	}
 	if f.dirty.Load() {
 		f.epoch.Store(e)
+		return nil
+	}
+	if f.pins.Load() > 0 {
+		// Early out before the hook runs and the replacement image is
+		// fetched for nothing; the authoritative re-check is below.
 		return nil
 	}
 	if p.onRefresh != nil {
@@ -313,6 +325,13 @@ func (p *Pool) refreshStale(pid page.PageID, f *Frame, e uint64) error {
 	}
 	sh := p.shard(pid)
 	sh.mu.Lock()
+	if f.pins.Load() > 0 {
+		// Pinned while the fresh image was fetched: keep the old image
+		// (stale, but stable under the pin) and the old epoch so a later
+		// hit retries.
+		sh.mu.Unlock()
+		return nil
+	}
 	f.Page = pg
 	sh.mu.Unlock()
 	f.epoch.Store(e)

@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"sync"
 	"testing"
 
 	"gom/internal/page"
@@ -107,6 +108,98 @@ func TestEpochRefreshesStaleFrame(t *testing.T) {
 	}
 	if got := slot0(t, f4); got != 0xee {
 		t.Fatalf("same-epoch hit = %#x, want cached 0xee", got)
+	}
+}
+
+// TestEpochPinnedFrameNotRefreshed: a pinned frame's image must stay put
+// (the Pin contract), so an epoch advance does not swap it — the stale
+// image is served with the epoch left old, and the first hit after the
+// pins drain performs the deferred refresh.
+func TestEpochPinnedFrameNotRefreshed(t *testing.T) {
+	pool, mgr, pids := epochSetup(t, 1, 1)
+	f, err := pool.Get(pids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Pin(pids[0]); err != nil {
+		t.Fatal(err)
+	}
+	rewrite(t, mgr, pids[0], 0xee)
+	pool.SetEpoch(1)
+
+	f2, err := pool.Get(pids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Fatal("pinned hit returned a different frame")
+	}
+	if got := slot0(t, f2); got != 0 {
+		t.Fatalf("pinned frame's image was swapped under its pin: %#x", got)
+	}
+
+	if err := pool.Unpin(pids[0]); err != nil {
+		t.Fatal(err)
+	}
+	f3, err := pool.Get(pids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := slot0(t, f3); got != 0xee {
+		t.Fatalf("deferred refresh after unpin = %#x, want 0xee", got)
+	}
+}
+
+// TestEpochRefreshPinRace races a pinning reader against epoch advances
+// under -race: the refresh path must never replace a frame's image while
+// a pin is held (the decisive pins check runs under the shard's write
+// lock, which Pin's increment cannot cross).
+func TestEpochRefreshPinRace(t *testing.T) {
+	pool, mgr, pids := epochSetup(t, 2, 2)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := pool.Get(pids[0]); err != nil {
+				errCh <- err
+				return
+			}
+			if err := pool.Pin(pids[0]); err != nil {
+				continue // frame mid-eviction; retry
+			}
+			f := pool.Peek(pids[0])
+			if _, err := f.Page.Read(0); err != nil {
+				pool.Unpin(pids[0])
+				errCh <- err
+				return
+			}
+			if err := pool.Unpin(pids[0]); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for e := uint64(1); e <= 200; e++ {
+		rewrite(t, mgr, pids[0], byte(e))
+		pool.SetEpoch(e)
+		if _, err := pool.Get(pids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
 	}
 }
 

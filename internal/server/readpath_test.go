@@ -34,6 +34,9 @@ func readpathFixture(t testing.TB) (*Local, page.PageID) {
 // this test on every push; a regression here is a performance bug even
 // while all functional tests stay green.
 func TestServerReadPageHotZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool deliberately bypasses pooling under the race detector; the zero-alloc guard holds only in non-race builds")
+	}
 	prev := storage.SetSealReads(false)
 	defer storage.SetSealReads(prev)
 

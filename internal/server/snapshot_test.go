@@ -92,6 +92,54 @@ func TestSnapshotReadDoesNotBlockOnWriterLock(t *testing.T) {
 	}
 }
 
+// TestSnapshotSeesCommitsWithLateAttachedWAL: the version-publication
+// commit hook is wired by Manager.AttachWAL, so a WAL attached after the
+// transaction server was built still publishes staged before-images with
+// every durable commit — a snapshot begun after such a commit reads the
+// committed content, not a frozen pre-commit state.
+func TestSnapshotSeesCommitsWithLateAttachedWAL(t *testing.T) {
+	mgr := storage.NewManager(1)
+	if err := mgr.CreateSegment(1); err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTxServer(mgr, 2*time.Second)
+
+	// The WAL arrives only after the transaction server was built.
+	w, err := storage.CreateWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	mgr.AttachWAL(w)
+
+	setup := ts.Begin()
+	id, _, err := ts.Session(setup).Allocate(1, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Commit(setup); err != nil {
+		t.Fatal(err)
+	}
+	writer := ts.Begin()
+	if _, err := ts.Session(writer).UpdateObject(id, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Commit(writer); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, _, err := ts.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := readObject(t, ts.Session(snap), id); string(rec) != "v2" {
+		t.Fatalf("snapshot after commit read %q, want published %q", rec, "v2")
+	}
+	if err := ts.Commit(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSnapshotWritesRejected: every mutating session call on a snapshot
 // transaction fails with ErrSnapshotReadOnly and changes nothing.
 func TestSnapshotWritesRejected(t *testing.T) {

@@ -130,15 +130,9 @@ func NewTxServer(mgr *storage.Manager, timeout time.Duration) *TxServer {
 		txs:     make(map[TxID]*txState),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	if w := mgr.WAL(); w != nil {
-		// Publish MVCC versions the moment a commit batch is durable —
-		// inside the flush, before any committer wakes and releases page
-		// locks, so a snapshot never observes half a batch and a later
-		// writer re-dirtying a page always finds the previous before-image
-		// already published. Failed/poisoned batches never reach the hook.
-		vs := mgr.Versions()
-		w.SetCommitHook(func(txs []uint64) { vs.Publish(txs) })
-	}
+	// MVCC version publication on durable commit is wired by
+	// Manager.AttachWAL (not here), so a WAL attached after this server is
+	// built still publishes staged before-images with every commit batch.
 	return s
 }
 

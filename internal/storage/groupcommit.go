@@ -50,6 +50,12 @@ const (
 	defaultGroupMaxBatch = 256
 	maxGroupBudget       = time.Millisecond
 	groupQueueDepth      = 1024
+	// spinLingerMax bounds the busy-wait linger: up to this budget the
+	// writer spins with Gosched (runtime timers cannot resolve the
+	// microsecond gaps being waited out); above it the wait blocks on a
+	// timer so a sustained commit load does not pin a core for up to 1ms
+	// per flush.
+	spinLingerMax = 100 * time.Microsecond
 )
 
 // commitReq is one transaction waiting for its commit record to be
@@ -239,11 +245,14 @@ func (g *groupCommitter) gather(batch []commitReq, busy bool) []commitReq {
 		// The linger is gap-based: each arrival proves more committers
 		// are in flight and extends the wait; the first pause in the
 		// stream ends it, and the total budget bounds the added latency
-		// even under a continuous trickle. The wait yields the
-		// processor rather than arming a timer — runtime timers fire
-		// with near-millisecond latency, which would dwarf the
-		// microsecond gaps being waited out — and exits immediately
-		// once the previous flush's cohort has fully re-arrived.
+		// even under a continuous trickle. Small budgets (under
+		// spinLingerMax) yield the processor rather than arming a timer —
+		// runtime timers cannot resolve the microsecond gaps being waited
+		// out — while larger budgets block on a timer so the writer does
+		// not burn a core for up to 1ms per flush under sustained load.
+		// Either way the wait exits immediately once the previous flush's
+		// cohort has fully re-arrived.
+		spin := budget <= spinLingerMax
 		gap := budget / 4
 		deadline := time.Now().Add(budget)
 		gapEnd := time.Now().Add(gap)
@@ -254,18 +263,41 @@ func (g *groupCommitter) gather(batch []commitReq, busy bool) []commitReq {
 				// is aboard; lingering further only adds latency.
 				break
 			}
+			if spin {
+				select {
+				case r := <-g.reqs:
+					batch = append(batch, r)
+					gapEnd = time.Now().Add(gap)
+				case <-g.quit:
+					return g.drainQueued(batch)
+				default:
+					now := time.Now()
+					if !now.Before(gapEnd) || !now.Before(deadline) {
+						break linger
+					}
+					runtime.Gosched()
+				}
+				continue
+			}
+			wake := gapEnd
+			if deadline.Before(wake) {
+				wake = deadline
+			}
+			wait := time.Until(wake)
+			if wait <= 0 {
+				break linger
+			}
+			t := time.NewTimer(wait)
 			select {
 			case r := <-g.reqs:
+				t.Stop()
 				batch = append(batch, r)
 				gapEnd = time.Now().Add(gap)
+			case <-t.C:
+				break linger
 			case <-g.quit:
+				t.Stop()
 				return g.drainQueued(batch)
-			default:
-				now := time.Now()
-				if !now.Before(gapEnd) || !now.Before(deadline) {
-					break linger
-				}
-				runtime.Gosched()
 			}
 		}
 	}

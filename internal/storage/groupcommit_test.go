@@ -166,9 +166,10 @@ func TestGroupCommitNaturalBatchingUnderStall(t *testing.T) {
 
 // TestGroupCommitBatchTornWriteSweep tears the batch append at every byte
 // offset of a three-commit batch: every commit in the batch must report
-// failure, the WAL must be poisoned, and recovery of the torn image must
-// surface exactly the whole records before the tear — never a partial
-// record.
+// failure, the WAL must be poisoned, and — because poisoning truncates
+// the unsynced tail — the file must hold none of the batch's records:
+// every commit was reported failed, so not even the records wholly
+// written before the tear may survive for recovery to replay.
 func TestGroupCommitBatchTornWriteSweep(t *testing.T) {
 	defer faultpoint.Reset()
 	const n = 3
@@ -194,22 +195,23 @@ func TestGroupCommitBatchTornWriteSweep(t *testing.T) {
 			path := w.Path()
 			w.Close()
 
-			// The torn image holds exactly the records wholly written
-			// before the tear; a reader must never see a partial one.
+			// Poisoning truncated the unsynced tail: no record of the
+			// failed batch — whole or partial — remains in the file.
 			recs, _, err := ScanLogFile(path)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if want := tornAt / frameLen; len(recs) != want {
-				t.Fatalf("torn at %d: %d whole records visible, want %d", tornAt, len(recs), want)
+			if len(recs) != 0 {
+				t.Fatalf("torn at %d: %d records of a failed batch survive in the file", tornAt, len(recs))
 			}
-			for i, r := range recs {
-				if r.Kind != RecordCommit || r.Tx != uint64(i+1) {
-					t.Fatalf("torn at %d: record %d = kind %d tx %d", tornAt, i, r.Kind, r.Tx)
-				}
-			}
-			if _, _, _, err := RecoverManager(dir, 1); err != nil {
+			m, w2, info, err := RecoverManager(dir, 1)
+			if err != nil {
 				t.Fatalf("torn at %d: recovery refused the image: %v", tornAt, err)
+			}
+			w2.Close()
+			_ = m
+			if info.TornBytes != 0 {
+				t.Fatalf("torn at %d: recovery saw %d torn bytes, want a clean (pre-truncated) log", tornAt, info.TornBytes)
 			}
 		})
 	}
@@ -308,6 +310,110 @@ func TestGroupCommitLostFsyncLosesBatch(t *testing.T) {
 	defer w2.Close()
 	if info.Committed != 0 {
 		t.Fatalf("lost-fsync batch survived the crash: %d committed", info.Committed)
+	}
+}
+
+// waitOffsetPast polls until the log's logical end moves past off — the
+// sign that a concurrent committer's append has landed and it is now in
+// (or headed into) its fsync.
+func waitOffsetPast(t *testing.T, w *WAL, off int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Offset() <= off {
+		if time.Now().After(deadline) {
+			t.Fatalf("log end stuck at %d", w.Offset())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestGroupCommitFailedFsyncCoveredByConcurrentSync: batch A's fsync
+// stalls and then fails, but while it is on the device a serial commit
+// appends after A's records and fsyncs successfully. fsync covers the
+// whole file, so that sync made A's commit records durable before A's own
+// failed verdict arrived — A must report success (failing it would be the
+// resurrection bug in reverse: a transaction reported failed whose commit
+// record recovery replays), the WAL stays healthy, and recovery sees both
+// transactions committed.
+func TestGroupCommitFailedFsyncCoveredByConcurrentSync(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	w, err := CreateWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := w.Offset()
+
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALBatchSync, Delay: 100 * time.Millisecond, Times: 1})
+	aErr := make(chan error, 1)
+	go func() { aErr <- w.CommitDurable(1) }()
+	waitOffsetPast(t, w, start)
+
+	// A's record is in the file and A is stalled in its doomed fsync; the
+	// serial path now syncs the whole log — A's record included.
+	if err := w.AppendCommit(2); err != nil {
+		t.Fatalf("concurrent serial commit: %v", err)
+	}
+	if err := <-aErr; err != nil {
+		t.Fatalf("batch covered by a concurrent successful fsync must report success, got %v", err)
+	}
+	if w.SyncedOffset() != w.Offset() {
+		t.Fatalf("durable prefix %d does not cover the log end %d", w.SyncedOffset(), w.Offset())
+	}
+	w.Close()
+
+	_, w2, info, err := RecoverManager(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Committed != 2 {
+		t.Fatalf("recovered %d committed transactions, want 2", info.Committed)
+	}
+}
+
+// TestGroupCommitPoisonedWhileFsyncInFlight: batch A's fsync is in flight
+// (and will report success — a skip fault stands in for it) when a serial
+// commit's fsync fails, poisoning the WAL and truncating the unsynced
+// tail — A's commit record included. A must report ErrWALBroken despite
+// its own fsync verdict: its records are no longer in the file, so
+// reporting success would claim durability for bytes recovery will never
+// see.
+func TestGroupCommitPoisonedWhileFsyncInFlight(t *testing.T) {
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	w, err := CreateWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := w.Offset()
+
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALBatchSync, Skip: true, Delay: 100 * time.Millisecond, Times: 1})
+	aErr := make(chan error, 1)
+	go func() { aErr <- w.CommitDurable(1) }()
+	waitOffsetPast(t, w, start)
+
+	// While A stalls, a serial commit's fsync fails: the WAL is poisoned
+	// and the unsynced tail — A's record and this one — is truncated.
+	faultpoint.Arm(faultpoint.Fault{Site: faultpoint.WALSync, Times: 1})
+	if err := w.AppendCommit(2); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("serial commit under a failing fsync = %v, want injected error", err)
+	}
+	if err := <-aErr; !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("batch whose records were truncated mid-fsync = %v, want ErrWALBroken", err)
+	}
+	if w.Offset() != start || w.SyncedOffset() != start {
+		t.Fatalf("poisoned tail not truncated: off %d synced %d, want %d", w.Offset(), w.SyncedOffset(), start)
+	}
+	path := w.Path()
+	w.Close()
+
+	recs, _, err := ScanLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("%d records of failed commits survive in the truncated log", len(recs))
 	}
 }
 

@@ -72,7 +72,23 @@ func (m *Manager) POT() *POT { return m.pot }
 // system records, and the transaction layer above logs everything else
 // (see server.TxServer). Recovery attaches the WAL itself; only fresh
 // managers need this call.
-func (m *Manager) AttachWAL(w *WAL) { m.wal = w }
+//
+// Attaching also wires the WAL's commit hook to the MVCC version store:
+// the moment a commit batch is durable — inside the flush, before any
+// committer wakes and releases page locks — the batch's staged
+// before-images are published, so a snapshot never observes half a batch
+// and a later writer re-dirtying a page always finds the previous
+// before-image already published. Wiring it here (not in NewTxServer)
+// means publication accompanies every durable commit regardless of
+// whether the WAL was attached before or after the transaction server
+// was built. Failed or poisoned batches never reach the hook.
+func (m *Manager) AttachWAL(w *WAL) {
+	m.wal = w
+	if w != nil {
+		vs := m.versions
+		w.SetCommitHook(func(txs []uint64) { vs.Publish(txs) })
+	}
+}
 
 // WAL returns the attached write-ahead log, nil when the manager is not
 // durable.

@@ -245,6 +245,28 @@ func (w *WAL) Close() error {
 	return err
 }
 
+// poisonLocked marks the WAL broken and truncates the unsynced tail.
+// Everything above the durable prefix includes, at minimum, the records
+// whose append or fsync just failed — records whose durability was (or is
+// about to be) reported failed. Leaving them in the file would let a
+// later successful fsync — a concurrent commit batch's, or the OS
+// flushing dirty pages on its own — silently make them durable, and
+// recovery would then replay commits the system reported failed.
+// Truncation is best-effort (the device may be the reason we are here):
+// the post-truncate sync that persists the new length ignores errors, and
+// a crash before it lands leaves at worst the old tail, which is no worse
+// than not truncating. Caller holds w.mu.
+func (w *WAL) poisonLocked() {
+	w.broken = true
+	if w.f == nil {
+		return
+	}
+	if err := w.f.Truncate(w.synced); err == nil {
+		_ = w.f.Sync()
+	}
+	w.off = w.synced
+}
+
 // frame wraps a payload in length+CRC framing.
 func walFrame(payload []byte) []byte {
 	out := make([]byte, walFrameHdr+len(payload))
@@ -277,7 +299,7 @@ func (w *WAL) append(payload []byte, sync bool) error {
 		}
 	}
 	if ferr != nil {
-		w.broken = true
+		w.poisonLocked()
 		return ferr
 	}
 	w.obs.Inc(metrics.CtrWALAppend)
@@ -307,20 +329,21 @@ func (w *WAL) syncLocked() error {
 // without advancing the durable prefix: a later crash loses the tail.
 func (w *WAL) syncSiteLocked(site string) error {
 	if w.broken {
-		// A poisoned tail holds records whose durability was already
-		// reported failed; syncing would resurrect them.
+		// The poisoned (and truncated) tail held records whose durability
+		// was already reported failed; nothing past the durable prefix
+		// may be synced into existence again.
 		return ErrWALBroken
 	}
 	skip, err := faultpoint.CheckSync(site)
 	if err != nil {
-		w.broken = true
+		w.poisonLocked()
 		return err
 	}
 	if skip || w.nosync {
 		return nil
 	}
 	if err := w.f.Sync(); err != nil {
-		w.broken = true
+		w.poisonLocked()
 		return err
 	}
 	w.synced = w.off
@@ -333,8 +356,16 @@ func (w *WAL) syncSiteLocked(site string) error {
 // group-commit pipeline (groupcommit.go). The faultpoint.WALBatchAppend
 // site can tear the write at any byte — including inside any record of
 // the batch, the partial-batch torn write — and faultpoint.WALBatchSync
-// can fail or skip the shared fsync. Any failure poisons the WAL and
-// fails every transaction in the batch.
+// can fail or skip the shared fsync. Any failure poisons the WAL —
+// truncating the unsynced tail, see poisonLocked — and fails every
+// transaction in the batch, with two concurrency refinements resolved in
+// the post-fsync critical section: a batch whose fsync failed after a
+// concurrent batch's successful fsync already covered its records is
+// durable and reports success, and a batch that finds the WAL poisoned
+// (its records truncated out from under its in-flight fsync) reports
+// ErrWALBroken even if its own fsync succeeded. Either way no
+// transaction is ever reported failed while its commit record remains in
+// the file for a later sync — or the OS's own writeback — to resurrect.
 //
 // The fsync itself runs with w.mu released: committers mid-transaction
 // keep appending redo records (and reaching their own commit points)
@@ -371,7 +402,7 @@ func (w *WAL) appendCommitBatch(txs []uint64) error {
 		}
 	}
 	if ferr != nil {
-		w.broken = true
+		w.poisonLocked()
 		w.mu.Unlock()
 		return ferr
 	}
@@ -387,11 +418,37 @@ func (w *WAL) appendCommitBatch(txs []uint64) error {
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.broken {
+		// Poisoned while our fsync was in flight: the poisoner truncated
+		// the unsynced tail, which may include this batch's records, so
+		// even a successful fsync here proves nothing about them. Report
+		// failure without advancing synced or firing the hook — the
+		// records are gone from the file, so recovery cannot resurrect
+		// these transactions either.
+		return ErrWALBroken
+	}
 	if serr != nil {
-		// Same poisoning rule as syncSiteLocked: the batch's commit
-		// records are in the file but their durability was reported
-		// failed; a later successful sync must never resurrect them.
-		w.broken = true
+		if end <= w.synced {
+			// A concurrent batch appended after us, fsynced successfully,
+			// and advanced the durable prefix past our records before our
+			// own (failed) fsync verdict arrived. fsync covers the whole
+			// file, so our commit records are provably durable — report
+			// success; failing them here would be the resurrection bug in
+			// reverse (transactions reported failed yet replayed as
+			// committed after a crash). The WAL stays usable: the durable
+			// prefix already covers everything this batch wrote.
+			w.obs.AddN(metrics.CtrWALCommit, int64(len(txs)))
+			w.obs.Inc(metrics.CtrWALGroupBatch)
+			w.obs.ObserveHist(metrics.HistWALBatchSize, int64(len(txs)))
+			w.obs.ObserveHist(metrics.HistWALFlushLatency, int64(time.Since(start)))
+			w.fireCommitHook(txs)
+			return nil
+		}
+		// First to observe the failure: poison and truncate the unsynced
+		// tail (see poisonLocked) so the batch's commit records — whose
+		// durability is being reported failed right here — can never be
+		// made durable by a later sync.
+		w.poisonLocked()
 		return serr
 	}
 	if !skip && !nosync {

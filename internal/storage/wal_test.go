@@ -359,7 +359,8 @@ func TestWALTornAppendPoisonsLog(t *testing.T) {
 	if err := w.AppendCommit(2); !errors.Is(err, faultpoint.ErrInjected) {
 		t.Fatalf("torn append: %v", err)
 	}
-	// The torn bytes are on disk; the WAL refuses further appends.
+	// Poisoned: the WAL refuses further appends, and the torn bytes were
+	// truncated away with the rest of the unsynced tail.
 	if err := w.AppendCommit(3); !errors.Is(err, ErrWALBroken) {
 		t.Fatalf("append on broken WAL: %v", err)
 	}
@@ -370,8 +371,8 @@ func TestWALTornAppendPoisonsLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w2.Close()
-	if info.TornBytes != 3 {
-		t.Fatalf("torn bytes %d, want 3", info.TornBytes)
+	if info.TornBytes != 0 {
+		t.Fatalf("torn bytes %d, want 0 (poisoning truncates the tail)", info.TornBytes)
 	}
 	if _, _, err := m.Read(id); err != nil {
 		t.Fatalf("committed prefix lost: %v", err)
