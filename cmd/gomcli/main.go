@@ -24,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -228,7 +230,8 @@ func cmdServe(args []string) error {
 	commitBatch := fs.Int("commit-batch", 0, "cap on commit records per group-commit fsync (0 = default 256; requires -wal)")
 	serialCommit := fs.Bool("serial-commit", false, "disable group commit: every transaction appends and fsyncs its own commit record (requires -wal)")
 	snapshotCap := fs.Int64("snapshot-cap", 0, "retained version-store bytes cap: new snapshot transactions are refused while more history is pinned (0 = unbounded; requires -tx)")
-	debug := fs.String("debug", "", "also serve /debug/metrics, /debug/vars and /debug/pprof on this address")
+	debug := fs.String("debug", "", "also serve /debug/metrics, /healthz, /debug/slow, /debug/vars and /debug/pprof on this address")
+	slowMS := fs.Float64("slow-ms", 0, "slow-op threshold in milliseconds: commits and reads at or over it are logged to stderr and retained at /debug/slow (0 = off; requires -debug)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("serve: need a base file")
@@ -244,6 +247,12 @@ func cmdServe(args []string) error {
 	}
 	if *snapshotCap != 0 && !*tx {
 		return fmt.Errorf("serve: -snapshot-cap requires -tx (snapshots are a property of the transaction layer)")
+	}
+	if *slowMS != 0 && *debug == "" {
+		return fmt.Errorf("serve: -slow-ms requires -debug (the slow-op log is served at /debug/slow)")
+	}
+	if *slowMS < 0 {
+		return fmt.Errorf("serve: -slow-ms must be >= 0")
 	}
 	db, err := loadDB(fs.Arg(0))
 	if err != nil {
@@ -295,7 +304,14 @@ func cmdServe(args []string) error {
 		fmt.Printf("serving %v on %v (ctrl-c to stop)\n", db.Cfg, srv.Addr())
 	}
 	if *debug != "" {
-		srv.SetMetrics(metrics.New())
+		reg := metrics.New()
+		if *slowMS > 0 {
+			threshold := time.Duration(*slowMS * float64(time.Millisecond))
+			logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+			reg.SetSlowLog(metrics.NewSlowLog(threshold, metrics.DefaultSlowLogDepth, logger))
+			fmt.Printf("slow-op log armed at %v (stderr + /debug/slow)\n", threshold)
+		}
+		srv.SetMetrics(reg)
 		// Server-side span ring for /debug/trace. Spans record only for
 		// requests whose (v2, featureTrace) client shipped a sampled
 		// context, so this is free for untraced traffic.
@@ -305,7 +321,7 @@ func cmdServe(args []string) error {
 			srv.Close()
 			return err
 		}
-		fmt.Printf("debug endpoint on http://%v/debug/metrics (also /metrics, /debug/trace, /debug/vars, /debug/pprof)\n", dbgAddr)
+		fmt.Printf("debug endpoint on http://%v/debug/metrics (also /metrics, /healthz, /debug/slow, /debug/trace, /debug/vars, /debug/pprof)\n", dbgAddr)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -380,6 +396,7 @@ func cmdTraverse(args []string) error {
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	addr := fs.String("addr", "", "debug address of a running server (host:port); omit for local mode")
+	raw := fs.Bool("raw", false, "remote mode: print the raw JSON snapshot instead of the rendered report")
 	workload := fs.String("workload", "traversal", "local mode: traversal|lookups")
 	depth := fs.Int("depth", 4, "traversal depth (local mode)")
 	ops := fs.Int("ops", 500, "lookup count (local mode)")
@@ -389,7 +406,7 @@ func cmdStats(args []string) error {
 	fs.Parse(args)
 
 	if *addr != "" {
-		return statsRemote(*addr)
+		return statsRemote(*addr, *raw)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("stats: need -addr or a base file")
@@ -465,8 +482,9 @@ func cmdTrace(args []string) error {
 }
 
 // statsRemote fetches the JSON registry snapshot from a serve -debug
-// endpoint and re-indents it for the terminal.
-func statsRemote(addr string) error {
+// endpoint and renders it as a human-readable report (raw re-indents
+// the JSON unrendered instead).
+func statsRemote(addr string, raw bool) error {
 	url := "http://" + addr + "/debug/metrics"
 	cl := &http.Client{Timeout: 5 * time.Second}
 	resp, err := cl.Get(url)
@@ -481,11 +499,102 @@ func statsRemote(addr string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("stats: %s returned %s", url, resp.Status)
 	}
-	var buf bytes.Buffer
-	if err := json.Indent(&buf, body, "", "  "); err != nil {
+	if raw {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, body, "", "  "); err != nil {
+			return fmt.Errorf("stats: bad JSON from %s: %w", url, err)
+		}
+		buf.WriteByte('\n')
+		_, err = buf.WriteTo(os.Stdout)
+		return err
+	}
+	var snap remoteSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
 		return fmt.Errorf("stats: bad JSON from %s: %w", url, err)
 	}
-	buf.WriteByte('\n')
-	_, err = buf.WriteTo(os.Stdout)
-	return err
+	renderRemote(os.Stdout, snap)
+	return nil
+}
+
+// remoteSnapshot mirrors the JSON shape of /debug/metrics (the fields
+// the rendered report uses; unknown fields are ignored).
+type remoteSnapshot struct {
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Counters      map[string]int64       `json:"counters"`
+	Gauges        map[string]remoteGauge `json:"gauges"`
+	RPC           map[string]remoteHist  `json:"rpc"`
+	Hists         map[string]remoteHist  `json:"hists"`
+}
+
+type remoteGauge struct {
+	Value int64 `json:"value"`
+	Peak  int64 `json:"peak"`
+}
+
+type remoteHist struct {
+	Count       int64  `json:"count"`
+	SumNS       int64  `json:"sum_ns"`
+	MeanNS      int64  `json:"mean_ns"`
+	P50NS       int64  `json:"p50_ns"`
+	P99NS       int64  `json:"p99_ns"`
+	TailTraceID uint64 `json:"tail_trace_id"`
+}
+
+// countHists names the histograms whose observations are plain counts,
+// not durations (their *_ns JSON fields hold raw values).
+var countHists = map[string]bool{"wal_batch_size": true}
+
+// renderRemote prints a remote snapshot the way local `stats` does:
+// sorted non-zero counters, gauges with peaks, then latency tables. A
+// histogram's tail exemplar — the trace ID last observed in its highest
+// populated bucket — is appended when present, ready for
+// `gomcli trace dump`.
+func renderRemote(w io.Writer, s remoteSnapshot) {
+	fmt.Fprintf(w, "server up %s\n", (time.Duration(s.UptimeSeconds * float64(time.Second))).Round(time.Second))
+	for _, name := range sortedNonZero(s.Counters, func(v int64) bool { return v != 0 }) {
+		fmt.Fprintf(w, "  %-26s %12d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedNonZero(s.Gauges, func(g remoteGauge) bool { return g.Value != 0 || g.Peak != 0 }) {
+		g := s.Gauges[name]
+		fmt.Fprintf(w, "  gauge{%-20s %12d   peak %d\n", name+"}", g.Value, g.Peak)
+	}
+	for _, name := range sortedNonZero(s.RPC, func(h remoteHist) bool { return h.Count != 0 }) {
+		fmt.Fprintf(w, "  server_rpc{%-14s %12d   mean %-10v p50 %-10v p99 %v%s\n",
+			name+"}", s.RPC[name].Count,
+			time.Duration(s.RPC[name].MeanNS).Round(100*time.Nanosecond),
+			time.Duration(s.RPC[name].P50NS), time.Duration(s.RPC[name].P99NS),
+			tailRef(s.RPC[name]))
+	}
+	for _, name := range sortedNonZero(s.Hists, func(h remoteHist) bool { return h.Count != 0 }) {
+		h := s.Hists[name]
+		if countHists[name] {
+			fmt.Fprintf(w, "  hist{%-20s %12d   mean %-10.1f p50 %-10d p99 %d%s\n",
+				name+"}", h.Count, float64(h.SumNS)/float64(h.Count), h.P50NS, h.P99NS, tailRef(h))
+			continue
+		}
+		fmt.Fprintf(w, "  hist{%-20s %12d   mean %-10v p50 %-10v p99 %v%s\n",
+			name+"}", h.Count,
+			time.Duration(h.MeanNS).Round(100*time.Nanosecond),
+			time.Duration(h.P50NS), time.Duration(h.P99NS), tailRef(h))
+	}
+}
+
+// tailRef renders a histogram's tail exemplar as a suffix, or nothing.
+func tailRef(h remoteHist) string {
+	if h.TailTraceID == 0 {
+		return ""
+	}
+	return fmt.Sprintf("   tail trace %d", h.TailTraceID)
+}
+
+// sortedNonZero returns the map's keys with live values, sorted.
+func sortedNonZero[V any](m map[string]V, live func(V) bool) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if live(v) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -18,13 +18,23 @@
 // would now choose differently:
 //
 //	swizzlemon advise -workload traversal -strategy NOS
+//
+// The health subcommand watches a running `gomcli serve -debug` server:
+// it scrapes /healthz for the watchdog verdict and /debug/metrics for
+// the commit-pipeline phase breakdown:
+//
+//	swizzlemon health -addr 127.0.0.1:7071
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"time"
 
 	"gom/internal/advisor"
 	"gom/internal/core"
@@ -38,6 +48,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "advise" {
 		if err := runAdvise(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "swizzlemon:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "health" {
+		if err := runHealth(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "swizzlemon:", err)
 			os.Exit(1)
 		}
@@ -249,6 +266,130 @@ func printObsSnapshot(label string, s metrics.Snapshot) {
 		fmt.Printf("  fault coalescing (%s): merged=%d ratio=%.2f\n",
 			label, merged, s.CoalesceRatio())
 	}
+	if zc := s.Count(metrics.CtrPageZeroCopyHit); zc > 0 {
+		fmt.Printf("  read path (%s): zero_copy_hits=%d\n", label, zc)
+	}
+	if s.Gauges[metrics.GaugeVersionPages] != 0 || s.GaugePeaks[metrics.GaugeVersionPages] != 0 {
+		fmt.Printf("  version store (%s): pages=%d (peak %d) bytes=%d (peak %d) snapshot_lag=%d\n",
+			label,
+			s.Gauges[metrics.GaugeVersionPages], s.GaugePeaks[metrics.GaugeVersionPages],
+			s.Gauges[metrics.GaugeVersionBytes], s.GaugePeaks[metrics.GaugeVersionBytes],
+			s.Gauges[metrics.GaugeSnapshotLag])
+	}
+	if bs := s.Hists[metrics.HistWALBatchSize]; bs.Count > 0 {
+		fl := s.Hists[metrics.HistWALFlushLatency]
+		fmt.Printf("  wal (%s): %d group flushes, batch p50=%d p99=%d, flush p50=%v p99=%v\n",
+			label, bs.Count, int64(bs.Quantile(0.50)), int64(bs.Quantile(0.99)),
+			fl.Quantile(0.50), fl.Quantile(0.99))
+	}
+}
+
+// commitPhaseHists are the commit-pipeline stage histograms rendered by
+// the health subcommand's phase breakdown, in pipeline order.
+var commitPhaseHists = []metrics.Hist{
+	metrics.HistPhaseEnqueueWait,
+	metrics.HistPhaseLinger,
+	metrics.HistPhaseAppend,
+	metrics.HistPhaseFsync,
+	metrics.HistPhasePublish,
+	metrics.HistPhaseLockRelease,
+}
+
+// runHealth scrapes a serve -debug endpoint: the watchdog verdict from
+// /healthz (a 503 is a report, not a scrape failure) and the commit
+// phase breakdown from /debug/metrics.
+func runHealth(argv []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	addr := fs.String("addr", "", "debug address of a running server (host:port)")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("health: need -addr")
+	}
+	cl := &http.Client{Timeout: 5 * time.Second}
+
+	hz, status, err := fetch(cl, "http://"+*addr+"/healthz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK && status != http.StatusServiceUnavailable {
+		return fmt.Errorf("health: /healthz returned HTTP %d", status)
+	}
+	var verdict struct {
+		Status        string `json:"status"`
+		CheckedUnixNS int64  `json:"checked_unix_ns"`
+		Checks        []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Detail string `json:"detail"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal(hz, &verdict); err != nil {
+		return fmt.Errorf("health: bad JSON from /healthz: %w", err)
+	}
+	fmt.Printf("health: %s (checked %v ago)\n", verdict.Status,
+		time.Since(time.Unix(0, verdict.CheckedUnixNS)).Round(time.Millisecond))
+	for _, c := range verdict.Checks {
+		fmt.Printf("  %-16s %-10s %s\n", c.Name, c.Status, c.Detail)
+	}
+
+	mj, status, err := fetch(cl, "http://"+*addr+"/debug/metrics")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("health: /debug/metrics returned HTTP %d", status)
+	}
+	var snap struct {
+		Hists map[string]struct {
+			Count       int64  `json:"count"`
+			MeanNS      int64  `json:"mean_ns"`
+			P50NS       int64  `json:"p50_ns"`
+			P99NS       int64  `json:"p99_ns"`
+			TailTraceID uint64 `json:"tail_trace_id"`
+		} `json:"hists"`
+	}
+	if err := json.Unmarshal(mj, &snap); err != nil {
+		return fmt.Errorf("health: bad JSON from /debug/metrics: %w", err)
+	}
+	e2e, haveE2E := snap.Hists[metrics.HistCommitE2E.String()]
+	if !haveE2E || e2e.Count == 0 {
+		fmt.Println("commit pipeline: no durable commits observed")
+		return nil
+	}
+	fmt.Printf("commit pipeline: %d durable commits, e2e p50=%v p99=%v",
+		e2e.Count, time.Duration(e2e.P50NS), time.Duration(e2e.P99NS))
+	if e2e.TailTraceID != 0 {
+		fmt.Printf(" (tail trace %d)", e2e.TailTraceID)
+	}
+	fmt.Println()
+	for _, h := range commitPhaseHists {
+		ph, ok := snap.Hists[h.String()]
+		if !ok || ph.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-24s %10d   mean %-10v p50 %-10v p99 %v\n",
+			h.String(), ph.Count,
+			time.Duration(ph.MeanNS).Round(100*time.Nanosecond),
+			time.Duration(ph.P50NS), time.Duration(ph.P99NS))
+	}
+	return nil
+}
+
+// fetch GETs url and returns the body and HTTP status (an error only
+// for transport failures — non-200 statuses are the caller's call).
+func fetch(cl *http.Client, url string) ([]byte, int, error) {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
 }
 
 // runAdvise is the online pipeline: no monitor, no training run. The

@@ -1,0 +1,206 @@
+// Package health is the runtime watchdog of a page-server deployment: a
+// small set of named checks (WAL writer heartbeat, commit-queue depth,
+// version-store retention, pooled-frame accounting) evaluated on a fixed
+// interval, each yielding an ok / degraded / stalled verdict, served as
+// JSON at /healthz with an HTTP status a load balancer can act on.
+//
+// The package is deliberately generic — checks are closures over
+// whatever subsystem they watch — so the server wires its own check set
+// (internal/server) and tests wire synthetic ones. Checks must be cheap
+// (atomic loads, a mutex at worst): they run on the watchdog ticker and
+// again inline when a scrape finds the last round stale, so /healthz
+// always reflects state no older than one interval.
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Status is a check verdict, ordered by severity.
+type Status int
+
+const (
+	// OK: the subsystem is operating normally.
+	OK Status = iota
+	// Degraded: operating, but a watched level is abnormal (deep queue,
+	// retention near cap) — worth paging about before it becomes a stall.
+	Degraded
+	// Stalled: the subsystem has stopped making progress.
+	Stalled
+)
+
+// String returns the verdict's lowercase name.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Degraded:
+		return "degraded"
+	case Stalled:
+		return "stalled"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the verdict as its name.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Check is one named probe. Run must be cheap and safe for concurrent
+// use; it returns the verdict and a human-readable detail line.
+type Check struct {
+	Name string
+	Run  func() (Status, string)
+}
+
+// CheckResult is one check's outcome from the latest round.
+type CheckResult struct {
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultInterval is the check cadence used when New is given a
+// non-positive interval.
+const DefaultInterval = 500 * time.Millisecond
+
+// Watchdog evaluates a check set on an interval and serves the latest
+// round. The zero value is not usable; construct with New.
+type Watchdog struct {
+	interval time.Duration
+	checks   []Check
+
+	mu      sync.Mutex
+	last    []CheckResult
+	lastRun time.Time
+
+	startMu sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New returns a watchdog over checks, re-evaluating every interval
+// (<=0 selects DefaultInterval). Call Start to run the ticker; serving
+// ServeHTTP alone also works — a scrape re-runs checks whose last round
+// is older than the interval.
+func New(interval time.Duration, checks ...Check) *Watchdog {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Watchdog{interval: interval, checks: checks}
+}
+
+// Interval returns the check cadence.
+func (w *Watchdog) Interval() time.Duration { return w.interval }
+
+// Start launches the ticker goroutine (idempotent). An immediate first
+// round runs before Start returns.
+func (w *Watchdog) Start() {
+	w.startMu.Lock()
+	defer w.startMu.Unlock()
+	if w.stop != nil {
+		return
+	}
+	w.RunOnce()
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go w.loop(w.stop, w.done)
+}
+
+// Stop halts the ticker goroutine (idempotent; safe without Start).
+func (w *Watchdog) Stop() {
+	w.startMu.Lock()
+	defer w.startMu.Unlock()
+	if w.stop == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+	w.stop, w.done = nil, nil
+}
+
+func (w *Watchdog) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.RunOnce()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// RunOnce evaluates every check now and returns the round.
+func (w *Watchdog) RunOnce() []CheckResult {
+	results := make([]CheckResult, len(w.checks))
+	for i, c := range w.checks {
+		st, detail := c.Run()
+		results[i] = CheckResult{Name: c.Name, Status: st, Detail: detail}
+	}
+	w.mu.Lock()
+	w.last = results
+	w.lastRun = time.Now()
+	w.mu.Unlock()
+	return results
+}
+
+// Results returns the latest round and when it ran (nil and zero before
+// any round).
+func (w *Watchdog) Results() ([]CheckResult, time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last, w.lastRun
+}
+
+// Verdict folds a round into its worst status.
+func Verdict(results []CheckResult) Status {
+	v := OK
+	for _, r := range results {
+		if r.Status > v {
+			v = r.Status
+		}
+	}
+	return v
+}
+
+// healthDump is the JSON shape of /healthz.
+type healthDump struct {
+	Status        Status        `json:"status"`
+	CheckedUnixNS int64         `json:"checked_unix_ns"`
+	IntervalMS    int64         `json:"interval_ms"`
+	Checks        []CheckResult `json:"checks"`
+}
+
+// ServeHTTP serves the latest round as JSON — HTTP 200 when every check
+// is ok, 503 otherwise — re-running the checks first when the last round
+// is older than one interval, so a scrape never reads stale health.
+func (w *Watchdog) ServeHTTP(rw http.ResponseWriter, _ *http.Request) {
+	results, ran := w.Results()
+	if time.Since(ran) > w.interval {
+		results = w.RunOnce()
+		_, ran = w.Results()
+	}
+	dump := healthDump{
+		Status:        Verdict(results),
+		CheckedUnixNS: ran.UnixNano(),
+		IntervalMS:    w.interval.Milliseconds(),
+		Checks:        results,
+	}
+	if dump.Checks == nil {
+		dump.Checks = []CheckResult{}
+	}
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if dump.Status != OK {
+		rw.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(dump)
+}

@@ -1,0 +1,135 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func scrape(t *testing.T, w *Watchdog) (int, map[string]any) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	w.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var dump map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("/healthz served invalid JSON: %v\n%s", err, rr.Body.String())
+	}
+	return rr.Code, dump
+}
+
+func TestVerdictWorstOf(t *testing.T) {
+	if v := Verdict(nil); v != OK {
+		t.Fatalf("empty round verdict = %v", v)
+	}
+	v := Verdict([]CheckResult{{Status: OK}, {Status: Stalled}, {Status: Degraded}})
+	if v != Stalled {
+		t.Fatalf("verdict = %v, want stalled (the worst)", v)
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	b, err := json.Marshal([]Status{OK, Degraded, Stalled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b); got != `["ok","degraded","stalled"]` {
+		t.Fatalf("status JSON = %s", got)
+	}
+}
+
+// TestServeHTTPStatusCodes: 200 only when every check is ok; any
+// degraded or stalled check turns the scrape into a 503.
+func TestServeHTTPStatusCodes(t *testing.T) {
+	var st atomic.Int64
+	w := New(time.Hour, Check{Name: "synthetic", Run: func() (Status, string) {
+		return Status(st.Load()), "detail"
+	}})
+
+	if code, dump := scrape(t, w); code != http.StatusOK || dump["status"] != "ok" {
+		t.Fatalf("ok check: code %d, dump %v", code, dump)
+	}
+	st.Store(int64(Degraded))
+	w.RunOnce() // interval is an hour: force a fresh round
+	if code, dump := scrape(t, w); code != http.StatusServiceUnavailable || dump["status"] != "degraded" {
+		t.Fatalf("degraded check: code %d, dump %v", code, dump)
+	}
+	st.Store(int64(Stalled))
+	w.RunOnce()
+	if code, dump := scrape(t, w); code != http.StatusServiceUnavailable || dump["status"] != "stalled" {
+		t.Fatalf("stalled check: code %d, dump %v", code, dump)
+	}
+}
+
+// TestScrapeRerunsStaleChecks: a scrape must never serve a round older
+// than one interval — /healthz stays fresh even without the ticker.
+func TestScrapeRerunsStaleChecks(t *testing.T) {
+	var runs atomic.Int64
+	w := New(10*time.Millisecond, Check{Name: "count", Run: func() (Status, string) {
+		runs.Add(1)
+		return OK, ""
+	}})
+	// Never started: the first scrape finds no round at all and runs one.
+	if code, _ := scrape(t, w); code != http.StatusOK {
+		t.Fatal("scrape without Start did not serve a fresh round")
+	}
+	if runs.Load() == 0 {
+		t.Fatal("scrape did not run the checks")
+	}
+	n := runs.Load()
+	time.Sleep(25 * time.Millisecond)
+	scrape(t, w)
+	if runs.Load() <= n {
+		t.Fatal("scrape served a stale round without re-running checks")
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	var runs atomic.Int64
+	w := New(5*time.Millisecond, Check{Name: "tick", Run: func() (Status, string) {
+		runs.Add(1)
+		return OK, ""
+	}})
+	w.Start()
+	w.Start() // second Start is a no-op
+	if runs.Load() == 0 {
+		t.Fatal("Start did not run an immediate first round")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runs.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if runs.Load() < 3 {
+		t.Fatal("ticker rounds never accumulated")
+	}
+	w.Stop()
+	w.Stop() // second Stop is a no-op
+	n := runs.Load()
+	time.Sleep(25 * time.Millisecond)
+	if runs.Load() != n {
+		t.Fatal("checks still running after Stop")
+	}
+	// Restartable after Stop.
+	w.Start()
+	defer w.Stop()
+	if runs.Load() <= n {
+		t.Fatal("restart did not resume checks")
+	}
+}
+
+func TestChecksFieldNeverNull(t *testing.T) {
+	w := New(time.Hour) // no checks at all
+	rr := httptest.NewRecorder()
+	w.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var dump struct {
+		Checks []CheckResult `json:"checks"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Checks == nil {
+		t.Fatalf("checks serialized as null: %s", rr.Body.String())
+	}
+}

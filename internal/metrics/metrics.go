@@ -253,17 +253,51 @@ const (
 	// HistWALFlushLatency records the wall-clock duration of one
 	// group-commit flush: batch append plus the shared fsync.
 	HistWALFlushLatency
+	// The wal_phase_* family decomposes every durable commit into the
+	// named stages of the transaction pipeline (the flight recorder).
+	// Enqueue wait and lock release are observed once per commit; linger,
+	// append, fsync and publish are observed once per flushed batch, so
+	// summed phase time stays below summed end-to-end commit time (a batch
+	// amortizes its flush across every member).
+	//
+	// HistPhaseEnqueueWait is the time a commit spent queued before its
+	// batch's flush began (near zero on the inline lone-committer path).
+	HistPhaseEnqueueWait
+	// HistPhaseLinger is how long the group-commit writer held a batch
+	// open gathering cohort members before flushing it.
+	HistPhaseLinger
+	// HistPhaseAppend covers WAL lock acquisition, commit-frame
+	// construction and the buffered write, up to the start of fsync.
+	HistPhaseAppend
+	// HistPhaseFsync is the shared fsync of the batch.
+	HistPhaseFsync
+	// HistPhasePublish is the version-store publish (the commit hook) that
+	// makes the batch's pages visible to snapshot readers.
+	HistPhasePublish
+	// HistPhaseLockRelease is the post-durability bookkeeping: undo-log
+	// discard and write-lock release under the transaction server's mutex.
+	HistPhaseLockRelease
+	// HistCommitE2E is the end-to-end durable commit latency as the
+	// transaction server saw it, enclosing all of the above.
+	HistCommitE2E
 	NumHists
 )
 
 var histNames = [NumHists]string{
 	"wal_batch_size",
 	"wal_flush_latency",
+	"wal_phase_enqueue_wait",
+	"wal_phase_linger",
+	"wal_phase_append",
+	"wal_phase_fsync",
+	"wal_phase_publish",
+	"wal_phase_lock_release",
+	"commit_e2e_latency",
 }
 
 // histDuration reports whether the histogram's values are nanoseconds
 // (rendered as seconds in OpenMetrics) rather than plain counts.
-var histDuration = [NumHists]bool{false, true}
+var histDuration = [NumHists]bool{false, true, true, true, true, true, true, true, true}
 
 // String returns the histogram's snake_case name.
 func (h Hist) String() string {
@@ -290,10 +324,14 @@ func BucketBound(i int) time.Duration {
 
 // Histogram is a fixed power-of-two-bucket latency histogram. The zero
 // value is ready for use; all methods are safe for concurrent use.
+// Each bucket additionally remembers the trace ID of the last traced
+// observation that landed in it (an exemplar), so a histogram tail links
+// back to a concrete flight-recorded request.
 type Histogram struct {
-	count   atomic.Int64
-	sum     atomic.Int64 // nanoseconds
-	buckets [NumHistBuckets]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64 // nanoseconds
+	buckets   [NumHistBuckets]atomic.Int64
+	exemplars [NumHistBuckets]atomic.Uint64
 }
 
 // Observe records one duration.
@@ -304,6 +342,12 @@ func (h *Histogram) Observe(d time.Duration) {
 // ObserveN records one raw value (a duration in nanoseconds, or a plain
 // count for size histograms — the buckets are powers of two either way).
 func (h *Histogram) ObserveN(v int64) {
+	h.ObserveTrace(v, 0)
+}
+
+// ObserveTrace records one raw value and, when traceID is nonzero, stamps
+// it as the bucket's exemplar.
+func (h *Histogram) ObserveTrace(v int64, traceID uint64) {
 	if v < 0 {
 		v = 0
 	}
@@ -314,13 +358,19 @@ func (h *Histogram) ObserveN(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[b].Add(1)
+	if traceID != 0 {
+		h.exemplars[b].Store(traceID)
+	}
 }
 
-// HistSnapshot is a point-in-time copy of a histogram.
+// HistSnapshot is a point-in-time copy of a histogram. Exemplars carry
+// each bucket's last traced observation (0 = none); like gauges they are
+// levels, not rates, and are carried over (not differenced) by Delta.
 type HistSnapshot struct {
-	Count   int64
-	SumNS   int64
-	Buckets [NumHistBuckets]int64
+	Count     int64
+	SumNS     int64
+	Buckets   [NumHistBuckets]int64
+	Exemplars [NumHistBuckets]uint64
 }
 
 func (h *Histogram) snapshot() HistSnapshot {
@@ -329,8 +379,21 @@ func (h *Histogram) snapshot() HistSnapshot {
 	s.SumNS = h.sum.Load()
 	for i := range s.Buckets {
 		s.Buckets[i] = h.buckets[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	return s
+}
+
+// TailExemplar returns the trace ID stamped on the highest bucket that
+// has one — the most recently traced observation in the histogram's tail
+// — or 0 when no traced observation was recorded.
+func (s HistSnapshot) TailExemplar() uint64 {
+	for i := NumHistBuckets - 1; i >= 0; i-- {
+		if s.Exemplars[i] != 0 {
+			return s.Exemplars[i]
+		}
+	}
+	return 0
 }
 
 // Mean returns the mean observed duration, or 0 with no observations.
@@ -362,11 +425,13 @@ func (s HistSnapshot) Quantile(q float64) time.Duration {
 }
 
 // Delta returns the histogram activity since an earlier snapshot.
+// Exemplars are carried from the current snapshot, not differenced.
 func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
 	d := HistSnapshot{Count: s.Count - prev.Count, SumNS: s.SumNS - prev.SumNS}
 	for i := range d.Buckets {
 		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
 	}
+	d.Exemplars = s.Exemplars
 	return d
 }
 
@@ -387,6 +452,7 @@ type Registry struct {
 	tracer *Tracer
 	scores scoreboard
 	drift  atomic.Pointer[DriftSource]
+	slow   atomic.Pointer[SlowLog]
 }
 
 // ioCount is one (direction, opcode) frame/byte pair.
@@ -511,6 +577,16 @@ func (r *Registry) ObserveHist(h Hist, v int64) {
 	r.hists[h].ObserveN(v)
 }
 
+// ObserveHistTrace records one raw value into a general-purpose histogram
+// and, when traceID is nonzero, stamps it as the landing bucket's
+// exemplar.
+func (r *Registry) ObserveHistTrace(h Hist, v int64, traceID uint64) {
+	if r == nil {
+		return
+	}
+	r.hists[h].ObserveTrace(v, traceID)
+}
+
 // HistSnapshotOf returns a point-in-time copy of one general-purpose
 // histogram (zero value on a nil registry).
 func (r *Registry) HistSnapshotOf(h Hist) HistSnapshot {
@@ -533,12 +609,46 @@ func (r *Registry) Now() time.Time {
 }
 
 // RPCSince records the latency of an operation started at start; a zero
-// start (from Now on a nil registry) is ignored.
-func (r *Registry) RPCSince(op RPCOp, start time.Time) {
+// start (from Now on a nil registry) is ignored. It returns the measured
+// duration (0 when nothing was recorded) so callers needing the latency
+// again — the slow-op gate, say — reuse it instead of paying a second
+// clock read.
+func (r *Registry) RPCSince(op RPCOp, start time.Time) time.Duration {
 	if r == nil || start.IsZero() {
+		return 0
+	}
+	d := time.Since(start)
+	r.rpc[op].Observe(d)
+	return d
+}
+
+// RPCSinceTrace is RPCSince with an exemplar: when traceID is nonzero the
+// landing bucket remembers it, linking the latency tail to a trace.
+func (r *Registry) RPCSinceTrace(op RPCOp, start time.Time, traceID uint64) time.Duration {
+	if r == nil || start.IsZero() {
+		return 0
+	}
+	d := time.Since(start)
+	r.rpc[op].ObserveTrace(int64(d), traceID)
+	return d
+}
+
+// SetSlowLog installs (or, with nil, removes) the slow-operation log.
+func (r *Registry) SetSlowLog(l *SlowLog) {
+	if r == nil {
 		return
 	}
-	r.rpc[op].Observe(time.Since(start))
+	r.slow.Store(l)
+}
+
+// Slow returns the installed slow-operation log, nil when none (and on a
+// nil registry). A nil *SlowLog is itself safe to use, so callers may
+// chain: reg.Slow().Note(...).
+func (r *Registry) Slow() *SlowLog {
+	if r == nil {
+		return nil
+	}
+	return r.slow.Load()
 }
 
 // Trace appends an event to the ring-buffer tracer (no-op when the
@@ -729,6 +839,9 @@ type jsonRPC struct {
 	MeanNS int64 `json:"mean_ns"`
 	P50NS  int64 `json:"p50_ns"`
 	P99NS  int64 `json:"p99_ns"`
+	// TailTraceID is the exemplar of the highest populated bucket — the
+	// trace ID of the last traced observation in the tail, 0 when none.
+	TailTraceID uint64 `json:"tail_trace_id,omitempty"`
 }
 
 type jsonEvent struct {
@@ -765,11 +878,12 @@ func (r *Registry) jsonValue() jsonSnapshot {
 			continue
 		}
 		out.RPC[RPCOp(i).String()] = jsonRPC{
-			Count:  h.Count,
-			SumNS:  h.SumNS,
-			MeanNS: int64(h.Mean()),
-			P50NS:  int64(h.Quantile(0.50)),
-			P99NS:  int64(h.Quantile(0.99)),
+			Count:       h.Count,
+			SumNS:       h.SumNS,
+			MeanNS:      int64(h.Mean()),
+			P50NS:       int64(h.Quantile(0.50)),
+			P99NS:       int64(h.Quantile(0.99)),
+			TailTraceID: h.TailExemplar(),
 		}
 	}
 	for i, h := range s.Hists {
@@ -780,11 +894,12 @@ func (r *Registry) jsonValue() jsonSnapshot {
 			out.Hists = make(map[string]jsonRPC, NumHists)
 		}
 		out.Hists[Hist(i).String()] = jsonRPC{
-			Count:  h.Count,
-			SumNS:  h.SumNS,
-			MeanNS: int64(h.Mean()),
-			P50NS:  int64(h.Quantile(0.50)),
-			P99NS:  int64(h.Quantile(0.99)),
+			Count:       h.Count,
+			SumNS:       h.SumNS,
+			MeanNS:      int64(h.Mean()),
+			P50NS:       int64(h.Quantile(0.50)),
+			P99NS:       int64(h.Quantile(0.99)),
+			TailTraceID: h.TailExemplar(),
 		}
 	}
 	for i := 0; i < int(NumRPCOps); i++ {

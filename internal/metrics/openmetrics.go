@@ -68,9 +68,9 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 		for bk := 0; bk < NumHistBuckets-1; bk++ {
 			cum += h.Buckets[bk]
 			le := fmtFloat(float64(int64(BucketBound(bk))) / 1e9)
-			fmt.Fprintf(&b, "gom_rpc_latency_seconds_bucket{op=%q,le=%q} %d\n", op, le, cum)
+			fmt.Fprintf(&b, "gom_rpc_latency_seconds_bucket{op=%q,le=%q} %d%s\n", op, le, cum, exemplar(h, bk, 1e9))
 		}
-		fmt.Fprintf(&b, "gom_rpc_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", op, h.Count)
+		fmt.Fprintf(&b, "gom_rpc_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d%s\n", op, h.Count, exemplar(h, NumHistBuckets-1, 1e9))
 		fmt.Fprintf(&b, "gom_rpc_latency_seconds_sum{op=%q} %s\n", op, fmtFloat(float64(h.SumNS)/1e9))
 		fmt.Fprintf(&b, "gom_rpc_latency_seconds_count{op=%q} %d\n", op, h.Count)
 	}
@@ -90,9 +90,9 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 		for bk := 0; bk < NumHistBuckets-1; bk++ {
 			cum += h.Buckets[bk]
 			le := fmtFloat(float64(int64(BucketBound(bk))) / div)
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, le, cum)
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d%s\n", name, le, cum, exemplar(h, bk, div))
 		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d%s\n", name, h.Count, exemplar(h, NumHistBuckets-1, div))
 		fmt.Fprintf(&b, "%s_sum %s\n", name, fmtFloat(float64(h.SumNS)/div))
 		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
 	}
@@ -138,6 +138,22 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 	b.WriteString("# EOF\n")
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// exemplar renders the OpenMetrics exemplar suffix for bucket bk, or ""
+// when the bucket never saw a traced observation. Only the trace ID is
+// retained, not the exact observation, so the exemplar value reported is
+// the bucket's inclusive lower bound.
+func exemplar(h HistSnapshot, bk int, div float64) string {
+	id := h.Exemplars[bk]
+	if id == 0 {
+		return ""
+	}
+	lo := 0.0
+	if bk > 0 {
+		lo = float64(int64(1)<<(bk-1)) / div
+	}
+	return fmt.Sprintf(" # {trace_id=\"%d\"} %s", id, fmtFloat(lo))
 }
 
 func fmtFloat(f float64) string {

@@ -1,0 +1,183 @@
+// The slow-operation log is the flight recorder's tail capture: any
+// operation whose latency crosses a configurable threshold is recorded
+// into a bounded ring with its phase breakdown and trace ID, and
+// optionally emitted as a structured log/slog record. The ring is served
+// as JSON at /debug/slow; together with histogram exemplars it answers
+// "what, exactly, were the slow ones doing?" without keeping per-op state
+// for the fast majority.
+package metrics
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowLogDepth is the ring capacity used when NewSlowLog is given
+// a non-positive depth.
+const DefaultSlowLogDepth = 256
+
+// SlowPhases is the per-phase breakdown attached to a slow durable
+// commit (reads and other ops carry no phases). All values are
+// nanoseconds except BatchSize.
+type SlowPhases struct {
+	EnqueueWaitNS int64 `json:"enqueue_wait_ns"`
+	LingerNS      int64 `json:"linger_ns"`
+	AppendNS      int64 `json:"append_ns"`
+	FsyncNS       int64 `json:"fsync_ns"`
+	PublishNS     int64 `json:"publish_ns"`
+	LockReleaseNS int64 `json:"lock_release_ns"`
+	BatchSize     int   `json:"batch_size"`
+}
+
+// SlowEntry is one recorded slow operation.
+type SlowEntry struct {
+	UnixNS  int64       `json:"unix_ns"`
+	Op      string      `json:"op"`
+	DurNS   int64       `json:"dur_ns"`
+	TraceID uint64      `json:"trace_id,omitempty"`
+	Phases  *SlowPhases `json:"phases,omitempty"`
+}
+
+// SlowLog is a threshold-gated ring of slow operations. All methods are
+// safe for concurrent use and no-ops on a nil receiver, so hot paths may
+// call reg.Slow().Threshold() unconditionally.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; 0 disables capture
+	total     atomic.Int64 // slow ops ever recorded (ring may have dropped some)
+	logger    *slog.Logger
+
+	mu   sync.Mutex
+	ring []SlowEntry
+	next uint64 // total entries ever written to the ring
+}
+
+// NewSlowLog returns a slow log capturing operations at or above
+// threshold into a ring of the given depth (<=0 selects
+// DefaultSlowLogDepth). A non-nil logger additionally gets one structured
+// record per slow op.
+func NewSlowLog(threshold time.Duration, depth int, logger *slog.Logger) *SlowLog {
+	if depth <= 0 {
+		depth = DefaultSlowLogDepth
+	}
+	l := &SlowLog{logger: logger, ring: make([]SlowEntry, 0, depth)}
+	l.threshold.Store(int64(threshold))
+	return l
+}
+
+// Threshold returns the capture threshold (0 when disabled or nil).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.threshold.Load())
+}
+
+// SetThreshold changes the capture threshold at runtime.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.threshold.Store(int64(d))
+}
+
+// Total returns how many slow operations have ever been recorded,
+// including any the ring has since overwritten.
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.Load()
+}
+
+// Note records e if the log is enabled and e.DurNS is at or above the
+// threshold; callers on hot paths should pre-check Threshold() to skip
+// building the entry. A zero UnixNS is stamped with the current time.
+func (l *SlowLog) Note(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	t := l.threshold.Load()
+	if t <= 0 || e.DurNS < t {
+		return
+	}
+	if e.UnixNS == 0 {
+		e.UnixNS = time.Now().UnixNano()
+	}
+	l.total.Add(1)
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next%uint64(cap(l.ring))] = e
+	}
+	l.next++
+	l.mu.Unlock()
+	if l.logger != nil {
+		attrs := []any{
+			slog.String("op", e.Op),
+			slog.Duration("dur", time.Duration(e.DurNS)),
+		}
+		if e.TraceID != 0 {
+			attrs = append(attrs, slog.Uint64("trace_id", e.TraceID))
+		}
+		if p := e.Phases; p != nil {
+			attrs = append(attrs,
+				slog.Duration("enqueue_wait", time.Duration(p.EnqueueWaitNS)),
+				slog.Duration("linger", time.Duration(p.LingerNS)),
+				slog.Duration("append", time.Duration(p.AppendNS)),
+				slog.Duration("fsync", time.Duration(p.FsyncNS)),
+				slog.Duration("publish", time.Duration(p.PublishNS)),
+				slog.Duration("lock_release", time.Duration(p.LockReleaseNS)),
+				slog.Int("batch_size", p.BatchSize),
+			)
+		}
+		l.logger.Warn("slow op", attrs...)
+	}
+}
+
+// Entries returns the retained slow operations, oldest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.ring))
+	if len(l.ring) == cap(l.ring) {
+		head := int(l.next % uint64(cap(l.ring)))
+		out = append(out, l.ring[head:]...)
+		out = append(out, l.ring[:head]...)
+	} else {
+		out = append(out, l.ring...)
+	}
+	return out
+}
+
+// slowDump is the JSON shape of /debug/slow. Entries is always present
+// (possibly empty) so scrapers can rely on the field.
+type slowDump struct {
+	ThresholdNS int64       `json:"threshold_ns"`
+	Total       int64       `json:"total"`
+	Entries     []SlowEntry `json:"entries"`
+}
+
+// ServeHTTP serves the ring as JSON, making SlowLog an http.Handler for
+// a /debug/slow endpoint. A nil log serves a disabled, empty dump.
+func (l *SlowLog) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	dump := slowDump{Entries: []SlowEntry{}}
+	if l != nil {
+		dump.ThresholdNS = int64(l.Threshold())
+		dump.Total = l.Total()
+		if es := l.Entries(); es != nil {
+			dump.Entries = es
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(dump)
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholdGate(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 8, nil)
+	l.Note(SlowEntry{Op: "fast", DurNS: int64(time.Millisecond) - 1})
+	l.Note(SlowEntry{Op: "slow", DurNS: int64(time.Millisecond)})
+	es := l.Entries()
+	if len(es) != 1 || es[0].Op != "slow" {
+		t.Fatalf("entries = %+v, want exactly the at-threshold op", es)
+	}
+	if l.Total() != 1 {
+		t.Fatalf("total = %d, want 1", l.Total())
+	}
+
+	// Threshold 0 disables capture entirely.
+	l.SetThreshold(0)
+	l.Note(SlowEntry{Op: "ignored", DurNS: int64(time.Hour)})
+	if len(l.Entries()) != 1 {
+		t.Fatal("disabled log still recorded")
+	}
+
+	// Re-arming at runtime resumes capture.
+	l.SetThreshold(time.Microsecond)
+	l.Note(SlowEntry{Op: "resumed", DurNS: int64(time.Microsecond)})
+	if got := len(l.Entries()); got != 2 {
+		t.Fatalf("re-armed log has %d entries, want 2", got)
+	}
+}
+
+func TestSlowLogRingWrapsOldestFirst(t *testing.T) {
+	l := NewSlowLog(1, 4, nil)
+	for i := 1; i <= 10; i++ {
+		l.Note(SlowEntry{Op: "op", DurNS: int64(i)})
+	}
+	es := l.Entries()
+	if len(es) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(es))
+	}
+	for i, e := range es {
+		if want := int64(7 + i); e.DurNS != want {
+			t.Fatalf("entry %d has dur %d, want %d (oldest first)", i, e.DurNS, want)
+		}
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d, want 10 despite ring overwrites", l.Total())
+	}
+}
+
+func TestSlowLogNilSafe(t *testing.T) {
+	var l *SlowLog
+	l.Note(SlowEntry{Op: "x", DurNS: 1}) // must not panic
+	l.SetThreshold(time.Second)
+	if l.Threshold() != 0 || l.Total() != 0 || l.Entries() != nil {
+		t.Fatal("nil slow log not inert")
+	}
+	rr := httptest.NewRecorder()
+	l.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/slow", nil))
+	var dump struct {
+		ThresholdNS int64       `json:"threshold_ns"`
+		Total       int64       `json:"total"`
+		Entries     []SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("nil log served invalid JSON: %v", err)
+	}
+	if dump.Entries == nil {
+		t.Fatal("entries field absent from nil-log dump")
+	}
+}
+
+func TestSlowLogServeHTTPShape(t *testing.T) {
+	l := NewSlowLog(time.Microsecond, 8, nil)
+	l.Note(SlowEntry{
+		Op: "tx_commit", DurNS: int64(3 * time.Millisecond), TraceID: 42,
+		Phases: &SlowPhases{FsyncNS: int64(2 * time.Millisecond), BatchSize: 3},
+	})
+	rr := httptest.NewRecorder()
+	l.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/slow", nil))
+	body := rr.Body.String()
+	for _, want := range []string{`"threshold_ns"`, `"total"`, `"entries"`, `"tx_commit"`, `"trace_id": 42`, `"fsync_ns"`, `"batch_size": 3`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/slow missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	var h Histogram
+	h.ObserveTrace(int64(100*time.Microsecond), 7)
+	h.ObserveTrace(int64(50*time.Millisecond), 9)
+	h.ObserveTrace(int64(3*time.Microsecond), 0) // untraced: no stamp
+
+	s := h.snapshot()
+	if got := s.TailExemplar(); got != 9 {
+		t.Fatalf("tail exemplar = %d, want the slowest traced observation 9", got)
+	}
+	stamped := 0
+	for _, id := range s.Exemplars {
+		if id != 0 {
+			stamped++
+		}
+	}
+	if stamped != 2 {
+		t.Fatalf("%d buckets carry exemplars, want 2", stamped)
+	}
+
+	// A later traced observation in the same bucket replaces the stamp.
+	h.ObserveTrace(int64(51*time.Millisecond), 11)
+	if got := h.snapshot().TailExemplar(); got != 11 {
+		t.Fatalf("tail exemplar = %d after overwrite, want 11", got)
+	}
+}
+
+func TestExemplarsInJSONAndOpenMetrics(t *testing.T) {
+	r := New()
+	r.ObserveHistTrace(HistPhaseFsync, int64(2*time.Millisecond), 123)
+	r.RPCSinceTrace(RPCTxCommit, time.Now().Add(-5*time.Millisecond), 77)
+
+	var dump struct {
+		RPC   map[string]jsonRPC `json:"rpc"`
+		Hists map[string]jsonRPC `json:"hists"`
+	}
+	if err := json.Unmarshal([]byte(r.String()), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if got := dump.Hists[HistPhaseFsync.String()].TailTraceID; got != 123 {
+		t.Errorf("hist tail_trace_id = %d, want 123", got)
+	}
+	if got := dump.RPC[RPCTxCommit.String()].TailTraceID; got != 77 {
+		t.Errorf("rpc tail_trace_id = %d, want 77", got)
+	}
+
+	rr := httptest.NewRecorder()
+	r.OpenMetrics().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	text := rr.Body.String()
+	if !strings.Contains(text, `# {trace_id="123"}`) {
+		t.Errorf("OpenMetrics output carries no exemplar for trace 123:\n%s", text)
+	}
+	if !strings.Contains(text, `# {trace_id="77"}`) {
+		t.Errorf("OpenMetrics output carries no exemplar for trace 77:\n%s", text)
+	}
+}
+
+func TestRegistrySlowLogNilSafe(t *testing.T) {
+	var r *Registry
+	if r.Slow() != nil {
+		t.Fatal("nil registry returned a slow log")
+	}
+	r.SetSlowLog(NewSlowLog(1, 1, nil)) // must not panic
+
+	r2 := New()
+	if r2.Slow() != nil {
+		t.Fatal("fresh registry has a slow log before SetSlowLog")
+	}
+	l := NewSlowLog(time.Millisecond, 4, nil)
+	r2.SetSlowLog(l)
+	if r2.Slow() != l {
+		t.Fatal("SetSlowLog did not install")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"gom/internal/health"
 	"gom/internal/metrics"
 	"gom/internal/trace"
 )
@@ -17,6 +18,9 @@ import (
 //	/metrics        — the registry in OpenMetrics (Prometheus) text format
 //	/debug/metrics  — the observability registry as JSON
 //	/debug/trace    — retained server-side spans as Chrome trace_event JSON
+//	/debug/slow     — the slow-op log: recent over-threshold commits and
+//	                  reads with per-phase breakdowns and trace IDs
+//	/healthz        — the watchdog verdict (200 ok / 503 degraded-stalled)
 //	/debug/vars     — the standard expvar dump (the registry is published
 //	                  there too, under "gom.server")
 //	/debug/pprof/   — the net/http/pprof profiler suite
@@ -41,14 +45,23 @@ func publishExpvar(name string, v expvar.Var) {
 }
 
 // DebugHandler returns the handler tree served by StartDebug: reg at
-// /debug/metrics (JSON) and /metrics (OpenMetrics text), expvar at
-// /debug/vars, pprof under /debug/pprof/. tracer supplies the current
-// span tracer (it may return nil); /debug/trace exports its retained
-// spans as Chrome trace_event JSON.
-func DebugHandler(reg *metrics.Registry, tracer func() *trace.Tracer) http.Handler {
+// /debug/metrics (JSON) and /metrics (OpenMetrics text), the slow-op
+// log at /debug/slow, expvar at /debug/vars, pprof under /debug/pprof/.
+// tracer supplies the current span tracer (it may return nil);
+// /debug/trace exports its retained spans as Chrome trace_event JSON.
+// wd, when non-nil, serves /healthz. The slow-op log is resolved from
+// the registry per request, so installing one after the handler is
+// built still takes effect.
+func DebugHandler(reg *metrics.Registry, tracer func() *trace.Tracer, wd *health.Watchdog) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", reg)
 	mux.Handle("/metrics", reg.OpenMetrics())
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		reg.Slow().ServeHTTP(w, r)
+	})
+	if wd != nil {
+		mux.Handle("/healthz", wd)
+	}
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
 		var t *trace.Tracer
 		if tracer != nil {
@@ -69,17 +82,22 @@ func DebugHandler(reg *metrics.Registry, tracer func() *trace.Tracer) http.Handl
 type debugServer struct {
 	ln net.Listener
 	hs *http.Server
+	wd *health.Watchdog
 }
 
 func (d *debugServer) close() {
 	_ = d.hs.Close()
+	if d.wd != nil {
+		d.wd.Stop()
+	}
 }
 
 // StartDebug starts the profiling/metrics HTTP endpoint on addr (use
 // ":0" for an ephemeral port) and returns its bound address. A registry is
 // created and installed if none is present; it is also published to expvar
-// so /debug/vars carries the snapshot. The endpoint is shut down by
-// TCPServer.Close.
+// so /debug/vars carries the snapshot. A health watchdog over the
+// server's check set is started alongside and served at /healthz. The
+// endpoint and watchdog are shut down by TCPServer.Close.
 func (s *TCPServer) StartDebug(addr string) (net.Addr, error) {
 	reg := s.Metrics()
 	if reg == nil {
@@ -91,8 +109,9 @@ func (s *TCPServer) StartDebug(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
-	hs := &http.Server{Handler: DebugHandler(reg, s.Tracer)}
-	d := &debugServer{ln: ln, hs: hs}
+	wd := health.New(healthInterval, s.HealthChecks(0)...)
+	hs := &http.Server{Handler: DebugHandler(reg, s.Tracer, wd)}
+	d := &debugServer{ln: ln, hs: hs, wd: wd}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -108,6 +127,7 @@ func (s *TCPServer) StartDebug(addr string) (net.Addr, error) {
 	}
 	s.debug = d
 	s.mu.Unlock()
+	wd.Start()
 	go func() { _ = hs.Serve(ln) }()
 	return ln.Addr(), nil
 }

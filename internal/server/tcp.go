@@ -65,6 +65,11 @@ const (
 	// Snapshot extension (featureSnapshot): begins a read-only snapshot
 	// transaction whose reads are lock-free at a frozen read-LSN.
 	opTxBeginSnapshot
+	// numOpcodes is one past the highest opcode. Every opcode below it
+	// must have a latency histogram (rpcOpOf), a name in both span
+	// tables, and per-opcode frame/byte counters; the completeness test
+	// (TestOpcodeMetricsComplete) fails when a new opcode lacks any.
+	numOpcodes
 )
 
 const (
@@ -437,6 +442,9 @@ func (s *TCPServer) SetMetrics(r *metrics.Registry) {
 	if w := s.mgr.WAL(); w != nil {
 		w.SetMetrics(r)
 	}
+	if s.tx != nil {
+		s.tx.SetMetrics(r)
+	}
 }
 
 // Metrics returns the installed registry, or nil.
@@ -592,9 +600,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if rpc := rpcOpOf(op); rpc >= 0 {
 			obs.RPCFrame(rpc, false, len(*body)+4)
 		}
-		resp, err := s.handle(cs, op, payload)
+		resp, err := s.handle(cs, op, payload, trace.Context{})
 		if rpc := rpcOpOf(op); rpc >= 0 {
-			obs.RPCSince(rpc, start)
+			d := obs.RPCSince(rpc, start)
+			if op != opTxCommit {
+				s.noteSlow(obs, rpc, d, trace.Context{})
+			}
 			if err == nil {
 				obs.RPCFrame(rpc, true, 5+len(resp))
 			} else {
@@ -746,10 +757,13 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, cs *connState
 			obs := s.obs.Load()
 			start := obs.Now()
 			sp := s.tracer.Load().StartChild(spanName(&serverSpanNames, op), tctx)
-			resp, herr := s.handle(cs, op, req)
+			resp, herr := s.handle(cs, op, req, sp.Context())
 			sp.Finish()
 			if rpc := rpcOpOf(op); rpc >= 0 {
-				obs.RPCSince(rpc, start)
+				d := obs.RPCSinceTrace(rpc, start, tctx.TraceID)
+				if op != opTxCommit {
+					s.noteSlow(obs, rpc, d, tctx)
+				}
 			}
 			putBuf(body)
 			f := getFrame()
@@ -779,7 +793,8 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, cs *connState
 					sp.Finish()
 				}
 				if rpc := rpcOpOf(op); rpc >= 0 {
-					obs.RPCSince(rpc, start)
+					d := obs.RPCSinceTrace(rpc, start, tctx.TraceID)
+					s.noteSlow(obs, rpc, d, tctx)
 				}
 				putBuf(body)
 				respond(op, id, f, herr)
@@ -800,7 +815,25 @@ func (s *TCPServer) backend(cs *connState) Server {
 	return s.local
 }
 
-func (s *TCPServer) handle(cs *connState, op byte, payload []byte) ([]byte, error) {
+// noteSlow records an over-threshold RPC into the registry's slow-op
+// log. d is the latency already measured by RPCSince/RPCSinceTrace, so
+// the gate costs no extra clock read. Durable commits are excluded at
+// the call sites — CommitCtx records those with their phase breakdown
+// attached.
+func (s *TCPServer) noteSlow(obs *metrics.Registry, rpc metrics.RPCOp, d time.Duration, tctx trace.Context) {
+	sl := obs.Slow()
+	t := sl.Threshold()
+	if t <= 0 || d < t {
+		return
+	}
+	sl.Note(metrics.SlowEntry{Op: rpc.String(), DurNS: int64(d), TraceID: tctx.TraceID})
+}
+
+// handle executes one framed request. tctx is the server-side span
+// context of the enclosing RPC (zero when tracing is off or the caller
+// is the lock-step path); tx commit threads it into the commit pipeline
+// so per-phase spans nest under the server's tx_commit span.
+func (s *TCPServer) handle(cs *connState, op byte, payload []byte, tctx trace.Context) ([]byte, error) {
 	switch op {
 	case opTxBegin:
 		if s.tx == nil {
@@ -840,7 +873,7 @@ func (s *TCPServer) handle(cs *connState, op byte, payload []byte) ([]byte, erro
 		}
 		var err error
 		if op == opTxCommit {
-			err = s.tx.Commit(cs.tx)
+			err = s.tx.CommitCtx(cs.tx, s.tracer.Load(), tctx)
 		} else {
 			err = s.tx.Abort(cs.tx)
 		}

@@ -19,7 +19,7 @@ const featureSnapshot = 1 << 2
 
 // clientSpanNames and serverSpanNames are indexed by wire opcode;
 // precomputed so starting a span never builds a string.
-var clientSpanNames = [opTxBeginSnapshot + 1]string{
+var clientSpanNames = [numOpcodes]string{
 	opLookup:       "rpc:lookup",
 	opReadPage:     "rpc:read_page",
 	opWritePage:    "rpc:write_page",
@@ -37,7 +37,7 @@ var clientSpanNames = [opTxBeginSnapshot + 1]string{
 	opTxBeginSnapshot: "rpc:tx_begin_snapshot",
 }
 
-var serverSpanNames = [opTxBeginSnapshot + 1]string{
+var serverSpanNames = [numOpcodes]string{
 	opLookup:       "server:lookup",
 	opReadPage:     "server:read_page",
 	opWritePage:    "server:write_page",
@@ -55,7 +55,7 @@ var serverSpanNames = [opTxBeginSnapshot + 1]string{
 	opTxBeginSnapshot: "server:tx_begin_snapshot",
 }
 
-func spanName(tab *[opTxBeginSnapshot + 1]string, op byte) string {
+func spanName(tab *[numOpcodes]string, op byte) string {
 	if int(op) < len(tab) {
 		return tab[op]
 	}

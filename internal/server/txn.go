@@ -11,6 +11,7 @@ import (
 	"gom/internal/oid"
 	"gom/internal/page"
 	"gom/internal/storage"
+	"gom/internal/trace"
 )
 
 // Transaction layer (paper §2: "the object manager also provides
@@ -110,6 +111,11 @@ type TxServer struct {
 	mgr     *storage.Manager
 	timeout time.Duration
 
+	// obs records commit-pipeline observability (end-to-end latency, the
+	// lock-release phase, the slow-op log). Atomic so SetMetrics can be
+	// called while serving; nil means uninstrumented.
+	obs atomic.Pointer[metrics.Registry]
+
 	mu    sync.Mutex
 	cond  *sync.Cond
 	next  TxID
@@ -139,6 +145,11 @@ func NewTxServer(mgr *storage.Manager, timeout time.Duration) *TxServer {
 // Manager exposes the underlying storage manager (non-transactional
 // tooling such as generators uses it before serving begins).
 func (s *TxServer) Manager() *storage.Manager { return s.mgr }
+
+// SetMetrics installs (or removes, with nil) the registry recording
+// commit-pipeline observability: end-to-end commit latency, the
+// lock-release phase, and slow-commit capture.
+func (s *TxServer) SetMetrics(r *metrics.Registry) { s.obs.Store(r) }
 
 // Begin starts a transaction.
 func (s *TxServer) Begin() TxID {
@@ -274,6 +285,19 @@ func (s *TxServer) finish(tx TxID, st *txState) {
 // replay; they release their locks immediately and never enter the
 // commit queue.
 func (s *TxServer) Commit(tx TxID) error {
+	return s.CommitCtx(tx, nil, trace.Context{})
+}
+
+// CommitCtx is Commit with flight-recorder context: the durable path
+// records the commit's end-to-end latency and lock-release phase into
+// the registry installed with SetMetrics (exemplar-stamped with the
+// caller's trace ID), re-emits the pipeline's phase stamps as
+// retroactive commit:* spans nested under parent, and captures slow
+// commits — phase breakdown attached — into the slow-op log. Snapshot
+// and read-only commits take none of the pipeline's stages and are not
+// decomposed.
+func (s *TxServer) CommitCtx(tx TxID, tr *trace.Tracer, parent trace.Context) error {
+	start := time.Now()
 	s.mu.Lock()
 	st, ok := s.txs[tx]
 	if !ok {
@@ -307,16 +331,75 @@ func (s *TxServer) Commit(tx TxID) error {
 	st.committing = true
 	s.mu.Unlock()
 
-	err := w.CommitDurable(uint64(tx))
+	ph, err := w.CommitDurablePhases(uint64(tx), parent.TraceID)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err != nil {
 		st.committing = false
+		s.mu.Unlock()
 		return fmt.Errorf("server: commit of tx %d not durable: %w", tx, err)
 	}
+	lockStart := time.Now()
 	s.finish(tx, st)
+	s.mu.Unlock()
+	lockNS := time.Since(lockStart).Nanoseconds()
+
+	obs := s.obs.Load()
+	e2e := time.Since(start)
+	obs.ObserveHistTrace(metrics.HistPhaseLockRelease, lockNS, parent.TraceID)
+	obs.ObserveHistTrace(metrics.HistCommitE2E, int64(e2e), parent.TraceID)
+	emitCommitSpans(tr, parent, tx, ph, lockStart, lockNS)
+	if sl := obs.Slow(); sl.Threshold() > 0 && e2e >= sl.Threshold() {
+		sl.Note(metrics.SlowEntry{
+			Op:      metrics.RPCTxCommit.String(),
+			DurNS:   int64(e2e),
+			TraceID: parent.TraceID,
+			Phases: &metrics.SlowPhases{
+				EnqueueWaitNS: ph.EnqueueWaitNS,
+				LingerNS:      ph.LingerNS,
+				AppendNS:      ph.AppendNS,
+				FsyncNS:       ph.FsyncNS,
+				PublishNS:     ph.PublishNS,
+				LockReleaseNS: lockNS,
+				BatchSize:     ph.BatchSize,
+			},
+		})
+	}
 	return nil
+}
+
+// The retroactive commit phase spans, nested under the serving RPC span.
+const (
+	spanCommitEnqueue     = "commit:enqueue"
+	spanCommitLinger      = "commit:linger"
+	spanCommitAppend      = "commit:append"
+	spanCommitFsync       = "commit:fsync"
+	spanCommitPublish     = "commit:publish"
+	spanCommitLockRelease = "commit:lock_release"
+)
+
+// emitCommitSpans re-emits a durable commit's phase stamps as child
+// spans of parent. The stages already happened — timed in the storage
+// layer and carried back on the CommitPhases record — so the spans are
+// recorded after the fact. Arguments carry (tx, batch size). The serial
+// commit path stamps no stage boundaries; only lock release is emitted.
+func emitCommitSpans(tr *trace.Tracer, parent trace.Context, tx TxID, ph storage.CommitPhases, lockStart time.Time, lockNS int64) {
+	if tr == nil || !parent.Traced() {
+		return
+	}
+	a, b := uint64(tx), uint64(ph.BatchSize)
+	at := func(ns int64) time.Time { return time.Unix(0, ns) }
+	if ph.EnqueuedAt != 0 {
+		tr.RecordSpan(spanCommitEnqueue, parent, at(ph.EnqueuedAt), time.Duration(ph.EnqueueWaitNS), a, b)
+	}
+	if ph.AppendAt != 0 {
+		// The linger interval ends where the flush (append) begins.
+		tr.RecordSpan(spanCommitLinger, parent, at(ph.AppendAt-ph.LingerNS), time.Duration(ph.LingerNS), a, b)
+		tr.RecordSpan(spanCommitAppend, parent, at(ph.AppendAt), time.Duration(ph.AppendNS), a, b)
+		tr.RecordSpan(spanCommitFsync, parent, at(ph.FsyncAt), time.Duration(ph.FsyncNS), a, b)
+		tr.RecordSpan(spanCommitPublish, parent, at(ph.PublishAt), time.Duration(ph.PublishNS), a, b)
+	}
+	tr.RecordSpan(spanCommitLockRelease, parent, lockStart, time.Duration(lockNS), a, b)
 }
 
 // Alive reports whether the transaction is still live (undoable). The

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gom/internal/faultpoint"
+	"gom/internal/metrics"
 )
 
 // Group commit (DESIGN.md "Durability"): a dedicated log-writer goroutine
@@ -58,11 +59,38 @@ const (
 	spinLingerMax = 100 * time.Microsecond
 )
 
+// CommitPhases is one durable commit's flight record: where its time
+// went, stage by stage. Timestamps are Unix nanoseconds so the server
+// can re-emit the stages as retroactive trace spans; the durations are
+// what the wal_phase_* histograms observe. The batch-shared stages
+// (linger, append, fsync, publish) carry the whole batch's timing,
+// identical for every member; enqueue wait is the member's own.
+type CommitPhases struct {
+	EnqueuedAt    int64 // when the commit entered the pipeline
+	EnqueueWaitNS int64 // queued until its batch's flush began
+	LingerNS      int64 // how long the writer gathered the batch
+	AppendAt      int64
+	AppendNS      int64 // WAL lock + frame build + buffered write
+	FsyncAt       int64
+	FsyncNS       int64 // the batch's shared fsync
+	PublishAt     int64
+	PublishNS     int64 // version-store publish (the commit hook)
+	BatchSize     int
+}
+
 // commitReq is one transaction waiting for its commit record to be
 // durable.
 type commitReq struct {
-	tx   uint64
-	done chan error
+	tx      uint64
+	traceID uint64 // exemplar candidate for the batch's histograms
+	enq     time.Time
+	done    chan commitResult
+}
+
+// commitResult is the batch outcome delivered to each waiter.
+type commitResult struct {
+	phases CommitPhases
+	err    error
 }
 
 // groupCommitter is the writer goroutine plus its queue. One per WAL,
@@ -84,6 +112,14 @@ type groupCommitter struct {
 	entrants atomic.Int64 // committers currently inside commit()
 	inline   atomic.Bool  // a lone committer is flushing on its own stack
 
+	// Heartbeat state for the health watchdog (GroupCommitStatus): beat
+	// is the Unix-ns time the writer last completed a cycle; busySince is
+	// nonzero while a flush (writer-goroutine or inline) is in progress,
+	// set before the WALWriterStall faultpoint so injected stalls are
+	// visible as a long-running busy flush.
+	beat      atomic.Int64
+	busySince atomic.Int64
+
 	// Adaptive-linger state, touched only by the writer goroutine.
 	avgFlushNS int64 // EWMA of flush duration
 	lastBatch  int   // size of the previous flush
@@ -95,11 +131,14 @@ type groupCommitter struct {
 // commit enqueues tx and waits for the batch result. ok=false means the
 // committer is shutting down and the caller must retry against the WAL's
 // current configuration (serial fallback or a replacement committer).
-func (g *groupCommitter) commit(tx uint64) (ok bool, err error) {
+// traceID, when nonzero, exemplar-stamps the phase histograms this
+// commit's batch observes.
+func (g *groupCommitter) commit(tx uint64, traceID uint64) (ok bool, ph CommitPhases, err error) {
+	enq := time.Now()
 	g.enterMu.Lock()
 	if g.closed {
 		g.enterMu.Unlock()
-		return false, nil
+		return false, ph, nil
 	}
 	g.senders.Add(1)
 	g.enterMu.Unlock()
@@ -110,27 +149,39 @@ func (g *groupCommitter) commit(tx uint64) (ok bool, err error) {
 		// arriving during the stall enqueue — the entrants count keeps
 		// them out of the inline path — and coalesce behind the writer
 		// goroutine exactly as they would behind a stalled flush.
+		g.busySince.Store(enq.UnixNano())
 		_ = faultpoint.Check(faultpoint.WALWriterStall)
-		err := g.w.appendCommitBatch([]uint64{tx})
+		ph = CommitPhases{
+			EnqueuedAt:    enq.UnixNano(),
+			EnqueueWaitNS: time.Since(enq).Nanoseconds(),
+		}
+		err := g.w.appendCommitBatch([]uint64{tx}, &ph, traceID)
+		if err == nil {
+			obs := g.w.Metrics()
+			obs.ObserveHistTrace(metrics.HistPhaseEnqueueWait, ph.EnqueueWaitNS, traceID)
+			obs.ObserveHistTrace(metrics.HistPhaseLinger, 0, traceID)
+		}
+		g.beat.Store(time.Now().UnixNano())
+		g.busySince.Store(0)
 		g.inline.Store(false)
 		g.entrants.Add(-1)
 		g.senders.Done()
-		return true, err
+		return true, ph, err
 	}
-	req := commitReq{tx: tx, done: make(chan error, 1)}
+	req := commitReq{tx: tx, traceID: traceID, enq: enq, done: make(chan commitResult, 1)}
 	select {
 	case g.reqs <- req:
 	case <-g.stop:
 		g.entrants.Add(-1)
 		g.senders.Done()
-		return false, nil
+		return false, ph, nil
 	}
 	g.pending.Add(1)
 	g.senders.Done()
-	err = <-req.done
+	res := <-req.done
 	g.pending.Add(-1)
 	g.entrants.Add(-1)
-	return true, err
+	return true, res.phases, res.err
 }
 
 // tryInline decides whether a committer may flush on its own stack
@@ -208,16 +259,22 @@ func (g *groupCommitter) run() {
 			case first = <-g.reqs:
 			case <-g.quit:
 				if batch := g.drainQueued(nil); len(batch) > 0 {
-					g.flush(batch)
+					g.flush(batch, 0)
 				}
 				return
 			}
 		}
 		// A stall here models a slow or descheduled log writer: commits
 		// keep arriving and pile into one large batch (arm a Delay at
-		// faultpoint.WALWriterStall).
+		// faultpoint.WALWriterStall). busySince is already set, so the
+		// health watchdog sees the stall as an overlong busy cycle.
+		g.busySince.Store(time.Now().UnixNano())
 		_ = faultpoint.Check(faultpoint.WALWriterStall)
-		g.flush(g.gather([]commitReq{first}, busy))
+		lingerStart := time.Now()
+		batch := g.gather([]commitReq{first}, busy)
+		g.flush(batch, time.Since(lingerStart))
+		g.beat.Store(time.Now().UnixNano())
+		g.busySince.Store(0)
 	}
 }
 
@@ -347,20 +404,39 @@ func (g *groupCommitter) drainQueued(batch []commitReq) []commitReq {
 }
 
 // flush writes the batch as one append+fsync and wakes every waiter with
-// the shared result.
-func (g *groupCommitter) flush(batch []commitReq) {
+// the shared result plus its flight record. linger is how long gather
+// held the batch open (observed once per batch; a member's enqueue wait
+// is its own queued time, measured here against the flush start).
+func (g *groupCommitter) flush(batch []commitReq, linger time.Duration) {
 	txs := make([]uint64, len(batch))
+	exemplar := uint64(0)
 	for i, r := range batch {
 		txs[i] = r.tx
+		if exemplar == 0 {
+			exemplar = r.traceID
+		}
 	}
 	start := time.Now()
-	err := g.w.appendCommitBatch(txs)
+	ph := CommitPhases{LingerNS: linger.Nanoseconds()}
+	err := g.w.appendCommitBatch(txs, &ph, exemplar)
 	dur := time.Since(start).Nanoseconds()
 	// EWMA with alpha 1/4 feeds the adaptive linger.
 	g.avgFlushNS += (dur - g.avgFlushNS) / 4
 	g.lastBatch = len(batch)
+	obs := g.w.Metrics()
+	if err == nil {
+		obs.ObserveHistTrace(metrics.HistPhaseLinger, ph.LingerNS, exemplar)
+	}
 	for _, r := range batch {
-		r.done <- err
+		res := commitResult{phases: ph, err: err}
+		res.phases.EnqueuedAt = r.enq.UnixNano()
+		if wait := start.Sub(r.enq).Nanoseconds(); wait > 0 {
+			res.phases.EnqueueWaitNS = wait
+		}
+		if err == nil {
+			obs.ObserveHistTrace(metrics.HistPhaseEnqueueWait, res.phases.EnqueueWaitNS, r.traceID)
+		}
+		r.done <- res
 	}
 }
 
@@ -383,6 +459,7 @@ func (w *WAL) EnableGroupCommit(opts GroupCommitOptions) {
 		stop: make(chan struct{}),
 		quit: make(chan struct{}),
 	}
+	g.beat.Store(time.Now().UnixNano())
 	g.wg.Add(1)
 	go g.run()
 
@@ -417,25 +494,67 @@ func (w *WAL) DisableGroupCommit() {
 // requests arriving while a flush is in progress coalesce into the next
 // batch and share its fsync.
 func (w *WAL) CommitDurable(tx uint64) error {
+	_, err := w.CommitDurablePhases(tx, 0)
+	return err
+}
+
+// CommitDurablePhases is CommitDurable with the flight record: it
+// returns where the commit's time went, stage by stage, and stamps the
+// phase histograms' exemplars with traceID when nonzero. The serial
+// (group-commit-disabled) path reports no stage decomposition beyond its
+// batch of one.
+func (w *WAL) CommitDurablePhases(tx uint64, traceID uint64) (CommitPhases, error) {
 	for {
 		w.gcMu.RLock()
 		g, configured := w.gc, w.gcConfigured
 		w.gcMu.RUnlock()
 		if g == nil {
 			if configured {
-				return w.AppendCommit(tx)
+				return CommitPhases{BatchSize: 1}, w.AppendCommit(tx)
 			}
 			w.EnableGroupCommit(GroupCommitOptions{})
 			continue
 		}
-		ok, err := g.commit(tx)
+		ok, ph, err := g.commit(tx, traceID)
 		if !ok {
 			// The committer shut down while we enqueued; retry against
 			// the WAL's current configuration.
 			continue
 		}
-		return err
+		return ph, err
 	}
+}
+
+// GroupCommitStatus is a point-in-time view of the group-commit writer,
+// consumed by the health watchdog: a writer that has been busy on one
+// flush for much longer than a flush should take, or that has commits
+// pending but has not completed a cycle recently, is stalled.
+type GroupCommitStatus struct {
+	Running   bool      // a group-commit writer is installed
+	Pending   int       // commits enqueued or being flushed
+	QueueCap  int       // capacity of the request queue
+	LastBeat  time.Time // last completed writer cycle (zero: never)
+	BusySince time.Time // start of the in-progress flush (zero: idle)
+}
+
+// GroupCommitStatus reports the writer's heartbeat state.
+func (w *WAL) GroupCommitStatus() GroupCommitStatus {
+	w.gcMu.RLock()
+	g := w.gc
+	w.gcMu.RUnlock()
+	st := GroupCommitStatus{QueueCap: groupQueueDepth}
+	if g == nil {
+		return st
+	}
+	st.Running = true
+	st.Pending = int(g.pending.Load())
+	if b := g.beat.Load(); b != 0 {
+		st.LastBeat = time.Unix(0, b)
+	}
+	if b := g.busySince.Load(); b != 0 {
+		st.BusySince = time.Unix(0, b)
+	}
+	return st
 }
 
 // HoldGroupCommit pauses the writer's flushing (test hook): commit

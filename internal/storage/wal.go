@@ -374,7 +374,11 @@ func (w *WAL) syncSiteLocked(site string) error {
 // serialize the whole pipeline and batches would never form. This is
 // safe because the batch's bytes sit below the captured end offset and
 // fsync covers the whole file regardless of later appends.
-func (w *WAL) appendCommitBatch(txs []uint64) error {
+//
+// On success the append/fsync/publish stage timings are observed into
+// the wal_phase_* histograms (exemplar-stamped with the batch's trace
+// ID) and, when ph is non-nil, written into the caller's flight record.
+func (w *WAL) appendCommitBatch(txs []uint64, ph *CommitPhases, exemplar uint64) error {
 	start := time.Now()
 	w.mu.Lock()
 	if w.f == nil {
@@ -410,11 +414,13 @@ func (w *WAL) appendCommitBatch(txs []uint64) error {
 	w.obs.AddN(metrics.CtrWALAppendBytes, int64(len(buf)))
 	end, f, nosync := w.off, w.f, w.nosync
 	w.mu.Unlock()
+	appendDone := time.Now()
 
 	skip, serr := faultpoint.CheckSync(faultpoint.WALBatchSync)
 	if serr == nil && !skip && !nosync {
 		serr = f.Sync()
 	}
+	fsyncDone := time.Now()
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -437,11 +443,7 @@ func (w *WAL) appendCommitBatch(txs []uint64) error {
 			// reverse (transactions reported failed yet replayed as
 			// committed after a crash). The WAL stays usable: the durable
 			// prefix already covers everything this batch wrote.
-			w.obs.AddN(metrics.CtrWALCommit, int64(len(txs)))
-			w.obs.Inc(metrics.CtrWALGroupBatch)
-			w.obs.ObserveHist(metrics.HistWALBatchSize, int64(len(txs)))
-			w.obs.ObserveHist(metrics.HistWALFlushLatency, int64(time.Since(start)))
-			w.fireCommitHook(txs)
+			w.finishCommitBatch(txs, ph, exemplar, start, appendDone, fsyncDone)
 			return nil
 		}
 		// First to observe the failure: poison and truncate the unsynced
@@ -457,15 +459,38 @@ func (w *WAL) appendCommitBatch(txs []uint64) error {
 		}
 		w.obs.Inc(metrics.CtrWALFsync)
 	}
+	w.finishCommitBatch(txs, ph, exemplar, start, appendDone, fsyncDone)
+	return nil
+}
+
+// finishCommitBatch is the success tail of appendCommitBatch, run with
+// w.mu held: it counts the durable batch, publishes MVCC versions before
+// any committer in it wakes and releases page locks (one hook call for
+// the whole batch is what makes the batch a single visibility unit for
+// snapshots), observes the per-stage phase histograms, and fills the
+// caller's flight record.
+func (w *WAL) finishCommitBatch(txs []uint64, ph *CommitPhases, exemplar uint64, start, appendDone, fsyncDone time.Time) {
 	w.obs.AddN(metrics.CtrWALCommit, int64(len(txs)))
 	w.obs.Inc(metrics.CtrWALGroupBatch)
 	w.obs.ObserveHist(metrics.HistWALBatchSize, int64(len(txs)))
 	w.obs.ObserveHist(metrics.HistWALFlushLatency, int64(time.Since(start)))
-	// The batch is durable: publish MVCC versions before any committer in
-	// it wakes and releases page locks. One hook call for the whole batch
-	// is what makes the batch a single visibility unit for snapshots.
+	publishStart := time.Now()
 	w.fireCommitHook(txs)
-	return nil
+	appendNS := appendDone.Sub(start).Nanoseconds()
+	fsyncNS := fsyncDone.Sub(appendDone).Nanoseconds()
+	publishNS := time.Since(publishStart).Nanoseconds()
+	w.obs.ObserveHistTrace(metrics.HistPhaseAppend, appendNS, exemplar)
+	w.obs.ObserveHistTrace(metrics.HistPhaseFsync, fsyncNS, exemplar)
+	w.obs.ObserveHistTrace(metrics.HistPhasePublish, publishNS, exemplar)
+	if ph != nil {
+		ph.BatchSize = len(txs)
+		ph.AppendAt = start.UnixNano()
+		ph.AppendNS = appendNS
+		ph.FsyncAt = appendDone.UnixNano()
+		ph.FsyncNS = fsyncNS
+		ph.PublishAt = publishStart.UnixNano()
+		ph.PublishNS = publishNS
+	}
 }
 
 // The typed appends. System records pass tx 0.

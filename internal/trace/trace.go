@@ -167,6 +167,30 @@ func (t *Tracer) StartChild(name string, parent Context) Span {
 	return t.Start(name, parent)
 }
 
+// RecordSpan records an already-finished interval as a child span of
+// parent — for retroactive phase spans whose timing was measured
+// elsewhere (the commit pipeline stamps phase boundaries on the request
+// and the server emits them as spans after the fact). Like StartChild it
+// records only under a traced parent. It returns the new span's ID
+// (0 when nothing was recorded) so callers can nest further spans.
+func (t *Tracer) RecordSpan(name string, parent Context, start time.Time, d time.Duration, a, b uint64) uint64 {
+	if t == nil || !parent.Traced() || start.IsZero() {
+		return 0
+	}
+	id := t.ids.Add(1)
+	t.record(Record{
+		TraceID: parent.TraceID,
+		SpanID:  id,
+		Parent:  parent.SpanID,
+		Name:    name,
+		Start:   start.UnixNano(),
+		Dur:     int64(d),
+		A:       a,
+		B:       b,
+	})
+	return id
+}
+
 func (t *Tracer) record(r Record) {
 	s := &t.sh[r.SpanID%shards]
 	s.mu.Lock()
