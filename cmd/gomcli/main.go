@@ -230,6 +230,9 @@ func cmdServe(args []string) error {
 	commitBatch := fs.Int("commit-batch", 0, "cap on commit records per group-commit fsync (0 = default 256; requires -wal)")
 	serialCommit := fs.Bool("serial-commit", false, "disable group commit: every transaction appends and fsyncs its own commit record (requires -wal)")
 	snapshotCap := fs.Int64("snapshot-cap", 0, "retained version-store bytes cap: new snapshot transactions are refused while more history is pinned (0 = unbounded; requires -tx)")
+	coherent := fs.Bool("coherence", false, "enable callback/lease cache coherence: reads register per-page interest and commits push invalidation callbacks to the other interested clients")
+	coherenceCap := fs.Int("coherence-cap", 0, "interest-table bound in (page, client) registrations; oldest registrations past it are revoked (0 = default 64Ki; requires -coherence)")
+	ackTimeout := fs.Duration("ack-timeout", 0, "how long a commit waits for invalidation acknowledgements — also the lease horizon clients must stay under (0 = default 2s; requires -coherence)")
 	debug := fs.String("debug", "", "also serve /debug/metrics, /healthz, /debug/slow, /debug/vars and /debug/pprof on this address")
 	slowMS := fs.Float64("slow-ms", 0, "slow-op threshold in milliseconds: commits and reads at or over it are logged to stderr and retained at /debug/slow (0 = off; requires -debug)")
 	fs.Parse(args)
@@ -250,6 +253,9 @@ func cmdServe(args []string) error {
 	}
 	if *slowMS != 0 && *debug == "" {
 		return fmt.Errorf("serve: -slow-ms requires -debug (the slow-op log is served at /debug/slow)")
+	}
+	if !*coherent && (*coherenceCap != 0 || *ackTimeout != 0) {
+		return fmt.Errorf("serve: -coherence-cap and -ack-timeout tune the coherence protocol and require -coherence")
 	}
 	if *slowMS < 0 {
 		return fmt.Errorf("serve: -slow-ms must be >= 0")
@@ -302,6 +308,13 @@ func cmdServe(args []string) error {
 	} else {
 		srv = server.Serve(ln, mgr)
 		fmt.Printf("serving %v on %v (ctrl-c to stop)\n", db.Cfg, srv.Addr())
+	}
+	if *coherent {
+		srv.EnableCoherence(server.CoherenceOptions{
+			MaxEntries: *coherenceCap,
+			AckTimeout: *ackTimeout,
+		})
+		fmt.Printf("cache coherence enabled (interest cap %d, ack timeout %v)\n", *coherenceCap, *ackTimeout)
 	}
 	if *debug != "" {
 		reg := metrics.New()

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gom/internal/metrics"
+	"gom/internal/oid"
+	"gom/internal/page"
+	"gom/internal/server"
+	"gom/internal/storage"
+)
+
+func init() {
+	register("coherence", "Invalidation traffic and commit cost vs subscribed reader count", runCoherence)
+}
+
+// runCoherence measures what the callback/lease coherence protocol costs
+// the writer as the subscriber population grows: N reader clients keep
+// interest registered on the whole (small) object base over real TCP
+// while one writer commits single-object update transactions. Every
+// commit triggers one invalidation round — one push per interested
+// reader, and the commit response is held until the acks return. The
+// table reports commits/s (the ack-wait is on the writer's critical
+// path), invalidations and acks per commit (≈ the reader count when every
+// reader stays subscribed to every page), and ack-timeout rounds (must be
+// 0 on a healthy loopback).
+func runCoherence(o Opts) (*Result, error) {
+	dur := 600 * time.Millisecond
+	if o.Quick {
+		dur = 150 * time.Millisecond
+	}
+	counts := []int{0, 1, 2, 4, 8}
+	if o.Quick {
+		counts = []int{0, 4}
+	}
+	if o.Workers > 0 {
+		counts = []int{o.Workers}
+	}
+
+	res := &Result{
+		ID:     "coherence",
+		Title:  "Invalidation traffic per commit vs subscribed readers",
+		Header: []string{"readers", "commits/s", "inval/commit", "acked/commit", "ack timeouts"},
+		Notes: []string{
+			fmt.Sprintf("1 writer runs one-update transactions over TCP for %v per cell; readers re-scan every page, keeping interest registered", dur),
+			"inval/commit = invalidation frames pushed per committed write; tracks the subscribed reader count",
+			"commits/s falls as readers grow: each commit synchronously waits for every subscriber's ack",
+		},
+	}
+
+	for _, readers := range counts {
+		cell, err := runCoherenceCell(readers, dur, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", readers),
+			fmt.Sprintf("%.0f", cell.commitsPerSec),
+			fmt.Sprintf("%.2f", cell.invalPerCommit),
+			fmt.Sprintf("%.2f", cell.ackedPerCommit),
+			fmt.Sprintf("%d", cell.ackTimeouts),
+		})
+	}
+	return res, nil
+}
+
+type coherenceCell struct {
+	commitsPerSec  float64
+	invalPerCommit float64
+	ackedPerCommit float64
+	ackTimeouts    int64
+}
+
+// coherenceCell runs one reader-count cell: a coherence-enabled
+// transactional TCP server, `readers` subscribed scan loops, one
+// committing writer.
+func runCoherenceCell(readers int, dur time.Duration, seed int64) (coherenceCell, error) {
+	mgr := storage.NewManager(1)
+	if err := mgr.CreateSegment(1); err != nil {
+		return coherenceCell{}, err
+	}
+	ts := server.NewTxServer(mgr, 250*time.Millisecond)
+
+	// A compact base — a handful of pages — so every reader's scan covers
+	// all of it and stays registered on every page the writer can hit.
+	const nObjects = 64
+	rec := make([]byte, 128)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	setup := ts.Begin()
+	sess := ts.Session(setup)
+	ids := make([]oid.OID, nObjects)
+	pageSet := map[page.PageID]struct{}{}
+	for i := range ids {
+		id, addr, err := sess.Allocate(1, rec)
+		if err != nil {
+			return coherenceCell{}, err
+		}
+		ids[i] = id
+		pageSet[addr.Page] = struct{}{}
+	}
+	if err := ts.Commit(setup); err != nil {
+		return coherenceCell{}, err
+	}
+	pages := make([]page.PageID, 0, len(pageSet))
+	for pid := range pageSet {
+		pages = append(pages, pid)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return coherenceCell{}, err
+	}
+	srv := server.ServeTx(ln, ts)
+	srv.EnableCoherence(server.CoherenceOptions{AckTimeout: 500 * time.Millisecond})
+	reg := metrics.New()
+	srv.SetMetrics(reg)
+	defer srv.Close()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		commits  atomic.Int64
+		stop     = make(chan struct{})
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	for i := 0; i < readers; i++ {
+		cl, err := server.Dial(srv.Addr().String())
+		if err != nil {
+			return coherenceCell{}, err
+		}
+		defer cl.Close()
+		cl.OnInvalidate(func(uint64, []page.PageID) {})
+		wg.Add(1)
+		go func(cl *server.Client) {
+			defer wg.Done()
+			for !stopped() {
+				for _, pid := range pages {
+					if _, err := cl.ReadPage(pid); err != nil {
+						if !stopped() {
+							fail(err)
+						}
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+
+	writer, err := server.Dial(srv.Addr().String())
+	if err != nil {
+		return coherenceCell{}, err
+	}
+	defer writer.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed + 31337))
+		buf := make([]byte, len(rec))
+		copy(buf, rec)
+		for !stopped() {
+			buf[0] = byte(rng.Int())
+			if _, err := writer.BeginTx(); err != nil {
+				fail(err)
+				return
+			}
+			_, err := writer.UpdateObject(ids[rng.Intn(nObjects)], buf)
+			if err == nil {
+				err = writer.CommitTx()
+			} else {
+				writer.AbortTx()
+			}
+			if err == nil {
+				commits.Add(1)
+			} else if !errors.Is(err, server.ErrLockTimeout) && !errors.Is(err, server.ErrTransient) {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return coherenceCell{}, firstErr
+	}
+	n := commits.Load()
+	if n == 0 {
+		return coherenceCell{}, fmt.Errorf("coherence: no commits completed")
+	}
+	snap := reg.Snapshot()
+	return coherenceCell{
+		commitsPerSec:  float64(n) / elapsed.Seconds(),
+		invalPerCommit: float64(snap.Count(metrics.CtrCoherenceInvalSent)) / float64(n),
+		ackedPerCommit: float64(snap.Count(metrics.CtrCoherenceAcked)) / float64(n),
+		ackTimeouts:    snap.Count(metrics.CtrCoherenceAckTimeout),
+	}, nil
+}

@@ -549,6 +549,51 @@ func (p *Pool) Evict(pid page.PageID) error {
 	return p.evictFrame(f)
 }
 
+// Invalidate drops every client-side copy of a remotely rewritten page: a
+// staged (or in-flight) readahead image is discarded/barred, and a resident
+// clean frame is evicted through the eviction hook so the object manager
+// displaces the objects swizzled out of the stale image. It reports whether
+// the page is fully invalidated:
+//
+//   - A locally dirty frame is left alone (done=true): the client's own
+//     writes take precedence locally, exactly as the stale-refresh path
+//     treats dirty frames.
+//   - A pinned frame cannot be dropped under the Pin contract
+//     (done=false): the caller must retry once the pins drain — the
+//     coherence machinery keeps such pages queued and re-applies at its
+//     next opportunity.
+func (p *Pool) Invalidate(pid page.PageID) (done bool, err error) {
+	if p.ra != nil {
+		// Fixes the prefetch-staleness hole: a page that was prefetched
+		// but never demanded lives in the readahead staging area, outside
+		// the frame table — it must not survive its invalidation.
+		p.ra.invalidate(pid, p.obs)
+	}
+	f := p.Peek(pid)
+	if f == nil {
+		return true, nil
+	}
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	if f.dirty.Load() {
+		return true, nil
+	}
+	err = p.evictFrame(f)
+	if errors.Is(err, errEvictPinned) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// InvalidateAllPrefetch empties the readahead staging area and bars every
+// in-flight prefetch (lease expiry: nothing fetched before now can be
+// trusted). No-op without readahead.
+func (p *Pool) InvalidateAllPrefetch() {
+	if p.ra != nil {
+		p.ra.discardAll(p.obs)
+	}
+}
+
 // evictFrame evicts one frame: hook, write-back if dirty, removal. Caller
 // holds evictMu. A frame that is pinned (or already gone) when we get the
 // shard lock is reported via errEvictPinned / nil so callers can retry or

@@ -160,6 +160,75 @@ func TestReadaheadWriteBackInvalidation(t *testing.T) {
 	}
 }
 
+// TestReadaheadCoherenceInvalidation closes the latent staleness hole: a
+// page the readahead staged but the application never dereferenced must
+// still honor a coherence invalidation — Pool.Invalidate purges the
+// staged image (and bars in-flight fetches), so the next access fetches
+// the rewritten page instead of promoting the stale prefetch.
+func TestReadaheadCoherenceInvalidation(t *testing.T) {
+	pool, gs, reg, pids := raSetup(t, 12, 16, 4)
+
+	// Sequential warm-up; staging of pids[2..5] lands and then sits there,
+	// never dereferenced.
+	if _, err := pool.Get(pids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(pids[1]); err != nil {
+		t.Fatal(err)
+	}
+	pool.WaitReadahead()
+
+	// Another client rewrites two of the staged pages server-side.
+	rewrite := func(pid page.PageID) {
+		t.Helper()
+		img, err := gs.runs.ReadPage(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := page.FromImage(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pg.Insert([]byte("remote")); err != nil {
+			t.Fatal(err)
+		}
+		if err := gs.runs.WritePage(pid, pg.Image()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rewrite(pids[3])
+	rewrite(pids[4])
+
+	// The counterfactual first: with no invalidation the staged image is
+	// served as a readahead hit — one record, predating the rewrite. That
+	// is ordinary caching; it is what makes the purge below mandatory.
+	f4, err := pool.Get(pids[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f4.Page.SlotCount(); n != 1 {
+		t.Fatalf("un-invalidated staged page has %d records, want the stale 1", n)
+	}
+
+	// The coherence callback arrives for the still-staged pids[3]: the
+	// page was never resident, so Invalidate has no frame to evict — the
+	// fix is that it must reach into the staging anyway.
+	done, err := pool.Invalidate(pids[3])
+	if err != nil || !done {
+		t.Fatalf("Invalidate(staged) = %v, %v; want done", done, err)
+	}
+	f3, err := pool.Get(pids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f3.Page.SlotCount(); n != 2 {
+		t.Errorf("invalidated staged page has %d records, want 2 (stale prefetched image served)", n)
+	}
+	if wasted := reg.Snapshot().Count(metrics.CtrReadaheadWasted); wasted == 0 {
+		t.Error("purged staging not counted as wasted readahead")
+	}
+}
+
 // TestReadaheadOverTCPFewerRoundTrips is the ISSUE acceptance check: a
 // sequential pagewise scan over TCP with readahead must reach the server
 // with measurably fewer round-trips than pages scanned, proven by the

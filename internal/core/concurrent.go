@@ -172,7 +172,7 @@ func (om *OM) fastDeref(v *Var) (error, bool) {
 	h := int(v.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return nil, false
 	}
 	if err := v.valid(om); err != nil {
@@ -197,7 +197,7 @@ func (om *OM) fastReadInt(v *Var, field string) (int64, error, bool) {
 	h := int(v.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return 0, nil, false
 	}
 	if err := v.valid(om); err != nil {
@@ -231,7 +231,7 @@ func (om *OM) fastReadStr(v *Var, field string) (string, error, bool) {
 	h := int(v.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return "", nil, false
 	}
 	if err := v.valid(om); err != nil {
@@ -265,7 +265,7 @@ func (om *OM) fastCard(v *Var, field string) (int, error, bool) {
 	h := int(v.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return 0, nil, false
 	}
 	if err := v.valid(om); err != nil {
@@ -299,7 +299,7 @@ func (om *OM) fastTypeOf(v *Var) (*object.Type, error, bool) {
 	h := int(v.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return nil, nil, false
 	}
 	if err := v.valid(om); err != nil {
@@ -325,7 +325,7 @@ func (om *OM) fastWriteInt(v *Var, field string, val int64) (error, bool) {
 	h := int(v.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return nil, false
 	}
 	if err := v.valid(om); err != nil {
@@ -518,7 +518,7 @@ func (om *OM) fastReadRef(v *Var, field string, dst *Var) (error, bool) {
 	h := int(v.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return nil, false
 	}
 	if err := v.valid(om); err != nil {
@@ -566,7 +566,7 @@ func (om *OM) fastReadElem(v *Var, field string, i int, dst *Var) (error, bool) 
 	h := int(v.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return nil, false
 	}
 	if err := v.valid(om); err != nil {
@@ -630,7 +630,7 @@ func (om *OM) fastAssign(dst, src *Var) (error, bool) {
 	h := int(dst.slot)
 	rs := om.mu.RLock(h)
 	defer om.mu.RUnlock(rs)
-	if !om.fastViable() || om.hasDeferred.Load() {
+	if !om.fastViable() || om.fastBlocked() {
 		return nil, false
 	}
 	if err := dst.valid(om); err != nil {

@@ -56,6 +56,14 @@ func (om *OM) onCacheEvict(obj *object.MemObject) {
 // this runs at the top of every sequential operation, and an unconditional
 // atomic store would tax the hot path for nothing.
 func (om *OM) takeDeferredErr() error {
+	if om.cohFlag.Load() {
+		// Apply queued coherence invalidations before the operation reads
+		// any object state: pages rewritten by other clients are dropped
+		// and their resident objects displaced, so this operation (which
+		// started after the invalidation was acknowledged) cannot serve
+		// the old images.
+		om.applyInvalidations()
+	}
 	err := om.deferredErr
 	if err != nil {
 		om.deferredErr = nil

@@ -193,6 +193,15 @@ type OM struct {
 	descMu      sync.Mutex
 	hasDeferred atomic.Bool
 	slotCtr     latch.Counter
+
+	// Coherence state (coherence.go): pages queued by invalidation
+	// callbacks for application at the next operation boundary. cohFlag
+	// mirrors "queue non-empty" so idle hot paths pay one atomic load;
+	// cohAll marks a lease expiry (drop everything cached).
+	cohMu      sync.Mutex
+	cohPending []page.PageID
+	cohAll     bool
+	cohFlag    atomic.Bool
 }
 
 // New constructs an object manager.
@@ -232,6 +241,13 @@ func New(opt Options) (*OM, error) {
 	}
 	om.pool.OnEvict(om.onPageEvict)
 	om.pool.OnRefresh(om.onPageRefresh)
+	if coh, ok := opt.Server.(coherenceWirer); ok && coh.HasCoherence() {
+		// The server pushes invalidation callbacks on this connection:
+		// queue them for application at operation boundaries, and treat
+		// lease expiry as losing the whole cache.
+		coh.OnInvalidate(om.NoteInvalidated)
+		coh.OnLeaseExpired(om.NoteLeaseExpired)
+	}
 	om.SetMetrics(opt.Metrics)
 	om.SetTrace(opt.Trace)
 	if opt.ObjectCache {
@@ -458,6 +474,13 @@ func (om *OM) Discard() {
 	}
 	om.deferredErr = nil
 	om.hasDeferred.Store(false)
+	om.cohMu.Lock()
+	// Everything cached is being thrown away; pending invalidations have
+	// nothing left to apply against.
+	om.cohPending = nil
+	om.cohAll = false
+	om.cohFlag.Store(false)
+	om.cohMu.Unlock()
 	om.pool.Discard()
 	if om.cache != nil {
 		om.cache.Discard()

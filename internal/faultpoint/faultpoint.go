@@ -67,6 +67,15 @@ const (
 	ServerReadPages    = "server.readpages"
 	// ServerAll is the prefix pattern matching every server operation.
 	ServerAll = "server.*"
+	// CoherencePush guards the server's delivery of one coherence
+	// invalidation frame to one interested client: an armed error drops
+	// the callback (the client never learns its cached page changed and
+	// must be saved by its lease), a Delay stalls delivery.
+	CoherencePush = "coherence.push"
+	// CoherenceAck guards the client just before it acknowledges an
+	// applied invalidation: a drop leaves the server's commit waiting on
+	// the ack until its timeout.
+	CoherenceAck = "coherence.ack"
 )
 
 // ErrInjected is the default error injected by a triggering fault; armed

@@ -86,6 +86,20 @@ const (
 	CtrDiskReadBytes
 	CtrPageZeroCopyHit
 	CtrVersionCapRefusal
+	// Coherence counters (callback/lease cache coherence, DESIGN.md
+	// "Cache coherence"). Registered / revoked / invalidated count
+	// server-side interest-table traffic; sent / received / applied /
+	// acked follow one invalidation callback end to end; timeouts and
+	// lease expiries count the protocol's degraded paths.
+	CtrCoherenceRegister
+	CtrCoherenceRevoked
+	CtrCoherenceInvalSent
+	CtrCoherenceInvalRecv
+	CtrCoherenceInvalApplied
+	CtrCoherenceAcked
+	CtrCoherenceAckTimeout
+	CtrCoherencePushDropped
+	CtrCoherenceLeaseExpired
 	NumCounters
 )
 
@@ -136,6 +150,15 @@ var counterNames = [NumCounters]string{
 	"disk_read_bytes",
 	"page_zero_copy_hits",
 	"version_store_cap_refusals",
+	"coherence_interest_register",
+	"coherence_interest_revoked",
+	"coherence_invalidations_sent",
+	"coherence_invalidations_received",
+	"coherence_invalidations_applied",
+	"coherence_invalidations_acked",
+	"coherence_ack_timeouts",
+	"coherence_push_dropped",
+	"coherence_lease_expired",
 }
 
 // String returns the counter's snake_case event name.
@@ -167,6 +190,10 @@ const (
 	RPCLookupBatch
 	RPCReadPages
 	RPCTxBeginSnapshot
+	// RPCInvalidate is the server->client coherence push; RPCCoherenceAck
+	// is the client's fire-and-forget acknowledgement.
+	RPCInvalidate
+	RPCCoherenceAck
 	NumRPCOps
 )
 
@@ -185,6 +212,8 @@ var rpcNames = [NumRPCOps]string{
 	"lookup_batch",
 	"read_pages",
 	"tx_begin_snapshot",
+	"invalidate",
+	"coherence_ack",
 }
 
 // String returns the op's snake_case name.
@@ -221,6 +250,9 @@ const (
 	// behind the slowest snapshot reader is dragging the retirement
 	// watermark.
 	GaugeSnapshotLag
+	// GaugeCoherenceInterest is the number of (page, client) interest
+	// registrations the server's coherence table currently retains.
+	GaugeCoherenceInterest
 	NumGauges
 )
 
@@ -230,6 +262,7 @@ var gaugeNames = [NumGauges]string{
 	"version_store_pages",
 	"version_store_bytes",
 	"snapshot_lag",
+	"coherence_interest_entries",
 }
 
 // String returns the gauge's snake_case name.

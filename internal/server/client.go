@@ -46,6 +46,15 @@ type DialOptions struct {
 	// RetryBackoff is the delay before the first retry; it doubles per
 	// attempt. Zero means 1ms.
 	RetryBackoff time.Duration
+	// LeaseTimeout arms the client-side cache lease on a
+	// coherence-negotiated connection: when no frame of any kind has
+	// arrived for this long — invalidation delivery can no longer be
+	// relied on — the OnLeaseExpired handler fires so the cache above
+	// stops serving possibly-stale pages. Must be at least the server's
+	// ack timeout (the server waits that long for invalidation acks
+	// before giving a commit up on a client). Zero disables the
+	// watchdog; connection failure still fires the handler.
+	LeaseTimeout time.Duration
 }
 
 // rpcResult carries a matched response to its waiting caller.
@@ -99,6 +108,16 @@ type Client struct {
 	failErr  atomic.Pointer[error]
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+
+	// Coherence state (client_coherence.go): the invalidation and
+	// lease-expiry handlers installed by the cache above, the last time
+	// any frame arrived (the lease clock), and whether the current
+	// silence episode already fired the lease.
+	onInval      atomic.Pointer[func(epoch uint64, pids []page.PageID)]
+	onLease      atomic.Pointer[func()]
+	lastRecv     atomic.Int64
+	leaseTimeout time.Duration
+	leaseFired   atomic.Bool
 }
 
 // Dial connects to a page server with default options: pipelined when the
@@ -154,6 +173,14 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 		c.wg.Add(2)
 		go c.writeLoop()
 		go c.readLoop()
+		if c.HasCoherence() {
+			c.leaseTimeout = opts.LeaseTimeout
+			c.lastRecv.Store(time.Now().UnixNano())
+			if c.leaseTimeout > 0 {
+				c.wg.Add(1)
+				go c.leaseLoop()
+			}
+		}
 	}
 	return c, nil
 }
@@ -176,7 +203,7 @@ func (c *Client) HasSnapshot() bool { return c.pipelined && c.features&featureSn
 func (c *Client) hello() error {
 	req := make([]byte, 8)
 	binary.LittleEndian.PutUint32(req, protocolV2)
-	binary.LittleEndian.PutUint32(req[4:], featureBatch|featureTrace|featureSnapshot)
+	binary.LittleEndian.PutUint32(req[4:], featureBatch|featureTrace|featureSnapshot|featureCoherence)
 	status, resp, err := c.callLockstepRaw(opHello, req)
 	if err != nil {
 		return err
@@ -188,7 +215,7 @@ func (c *Client) hello() error {
 		return nil
 	}
 	c.pipelined = true
-	c.features = binary.LittleEndian.Uint32(resp[4:]) & (featureBatch | featureTrace | featureSnapshot)
+	c.features = binary.LittleEndian.Uint32(resp[4:]) & (featureBatch | featureTrace | featureSnapshot | featureCoherence)
 	return nil
 }
 
@@ -296,15 +323,28 @@ func (c *Client) writeBatch(frame *[]byte) error {
 // fails everything still pending.
 func (c *Client) readLoop() {
 	defer c.wg.Done()
+	coherent := c.HasCoherence()
 	for {
 		status, payload, err := readMsg(c.r)
 		if err != nil {
 			c.fail(err)
 			break
 		}
+		if coherent {
+			// Any frame proves the server can still reach us: feed the
+			// lease clock and re-arm the watchdog.
+			c.lastRecv.Store(time.Now().UnixNano())
+			c.leaseFired.Store(false)
+		}
 		if len(payload) < 8 {
 			c.fail(errProtocol)
 			break
+		}
+		if status == opInvalidate {
+			// Server push, not a response: apply and acknowledge without
+			// consulting the pending map (pushes carry request ID 0).
+			c.handleInvalidate(payload[8:])
+			continue
 		}
 		id := binary.LittleEndian.Uint64(payload)
 		c.pendMu.Lock()
@@ -325,6 +365,11 @@ func (c *Client) readLoop() {
 		ch <- rpcResult{err: err}
 	}
 	c.pendMu.Unlock()
+	if coherent {
+		// A dead connection delivers no more invalidations; the cache
+		// above must stop trusting what it holds.
+		c.fireLease()
+	}
 }
 
 // call issues one RPC, retrying transient failures (a statusTransient

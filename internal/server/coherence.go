@@ -1,0 +1,487 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gom/internal/coherence"
+	"gom/internal/faultpoint"
+	"gom/internal/metrics"
+	"gom/internal/page"
+	"gom/internal/trace"
+)
+
+// Callback/lease cache coherence (DESIGN.md "Cache coherence").
+//
+// A server started with EnableCoherence advertises featureCoherence in its
+// hello response. On a connection that negotiated it, every ReadPage /
+// ReadPages (demand or readahead) registers the connection's interest in
+// the pages served; a committed write — a transaction commit's X-locked
+// page set, or a direct non-transactional write — pushes an opInvalidate
+// frame to every other interested connection and waits (bounded by the
+// ack timeout) until each has acknowledged with opCoherenceAck. The
+// synchronous ack-wait is what makes the protocol strong enough for the
+// linearizability checker: by the time a writer's commit returns, every
+// subscribed cache has promised to re-fault the changed pages.
+//
+// The lease is the degraded path: a client that cannot be reached within
+// the ack timeout has, by construction, received no frame for at least
+// that long — its client-side lease (clients must configure a lease no
+// longer than the server's ack timeout) has expired and it must stop
+// serving cached pages until traffic resumes. Leases, not the callbacks,
+// bound staleness under dropped frames, dead clients, and server crashes.
+
+// featureCoherence advertises the callback/lease coherence extension:
+// opInvalidate pushes and opCoherenceAck acknowledgements. Only offered
+// when the server was started with EnableCoherence.
+const featureCoherence = 1 << 3
+
+// DefaultAckTimeout bounds how long an invalidation round waits for
+// client acknowledgements; it is also the server-side lease horizon (a
+// client silent for this long is presumed lease-expired).
+const DefaultAckTimeout = 2 * time.Second
+
+// CoherenceOptions configures EnableCoherence.
+type CoherenceOptions struct {
+	// MaxEntries bounds the interest table's (page, client)
+	// registrations; 0 selects coherence.DefaultCap. Registrations past
+	// the bound are revoked with an immediate revocation push.
+	MaxEntries int
+	// AckTimeout bounds the synchronous wait for invalidation
+	// acknowledgements per commit; 0 selects DefaultAckTimeout. Clients
+	// must configure their lease at or below this value.
+	AckTimeout time.Duration
+}
+
+// coherenceState is the per-server coherence machinery.
+type coherenceState struct {
+	table      *coherence.Table
+	ackTimeout time.Duration
+	nextID     atomic.Uint64
+
+	mu    sync.Mutex
+	conns map[coherence.ClientID]*cohConn
+}
+
+// cohConn is the push endpoint of one coherence-negotiated connection.
+// Pushes ride the connection's response channel, so they serialize with
+// ordinary responses into the writer goroutine's vectored writes (one
+// FIFO per connection — a response enqueued after an invalidation cannot
+// arrive before it).
+type cohConn struct {
+	id   coherence.ClientID
+	conn interface{ Close() error }
+
+	mu      sync.Mutex
+	closed  bool
+	respCh  chan<- *respFrame
+	acked   uint64 // highest acknowledged epoch
+	waiters []*ackWaiter
+}
+
+// ackWaiter tracks one invalidation round's outstanding acknowledgements.
+type ackWaiter struct {
+	epoch     uint64
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+func (w *ackWaiter) dec() {
+	if w.remaining.Add(-1) == 0 {
+		close(w.done)
+	}
+}
+
+// EnableCoherence switches the callback/lease coherence protocol on. Call
+// before clients connect; connections negotiated earlier stay
+// non-coherent. Enabling is one-way.
+func (s *TCPServer) EnableCoherence(opt CoherenceOptions) {
+	to := opt.AckTimeout
+	if to <= 0 {
+		to = DefaultAckTimeout
+	}
+	st := &coherenceState{
+		table:      coherence.NewTable(opt.MaxEntries),
+		ackTimeout: to,
+		conns:      make(map[coherence.ClientID]*cohConn),
+	}
+	s.coh.Store(st)
+}
+
+// CoherenceEnabled reports whether the server offers featureCoherence.
+func (s *TCPServer) CoherenceEnabled() bool { return s.coh.Load() != nil }
+
+// CoherenceInterest returns the live (page, client) registration count, 0
+// when coherence is off. Exposed for tests and the debug endpoint.
+func (s *TCPServer) CoherenceInterest() int {
+	if st := s.coh.Load(); st != nil {
+		return st.table.Len()
+	}
+	return 0
+}
+
+// attach registers a freshly negotiated connection and returns its push
+// endpoint.
+func (st *coherenceState) attach(conn interface{ Close() error }, respCh chan<- *respFrame) *cohConn {
+	cc := &cohConn{
+		id:     coherence.ClientID(st.nextID.Add(1)),
+		conn:   conn,
+		respCh: respCh,
+	}
+	st.mu.Lock()
+	st.conns[cc.id] = cc
+	st.mu.Unlock()
+	return cc
+}
+
+// detach tears a connection's coherence state down: its registrations are
+// dropped and every invalidation round still waiting on it is released
+// (a vanished subscriber owes no ack; its lease handles staleness).
+func (st *coherenceState) detach(cc *cohConn, obs *metrics.Registry) {
+	st.mu.Lock()
+	delete(st.conns, cc.id)
+	st.mu.Unlock()
+	st.table.Disconnect(cc.id)
+	syncInterestGauge(st, obs)
+	cc.mu.Lock()
+	cc.closed = true
+	waiters := cc.waiters
+	cc.waiters = nil
+	cc.mu.Unlock()
+	for _, w := range waiters {
+		w.dec()
+	}
+}
+
+// lookupConn resolves a client ID to its live push endpoint.
+func (st *coherenceState) lookupConn(cid coherence.ClientID) *cohConn {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.conns[cid]
+}
+
+// ack records an acknowledged epoch and releases every waiter it
+// satisfies (acks are cumulative: acking epoch e acknowledges every
+// round up to e).
+func (cc *cohConn) ack(epoch uint64) {
+	cc.mu.Lock()
+	if epoch > cc.acked {
+		cc.acked = epoch
+	}
+	var freed []*ackWaiter
+	live := cc.waiters[:0]
+	for _, w := range cc.waiters {
+		if w.epoch <= cc.acked {
+			freed = append(freed, w)
+		} else {
+			live = append(live, w)
+		}
+	}
+	cc.waiters = live
+	cc.mu.Unlock()
+	for _, w := range freed {
+		w.dec()
+	}
+}
+
+// push enqueues one invalidation frame for this connection, registering
+// the round's waiter first so the ack cannot race past it. Returns false
+// when the connection is already closed (the waiter was not registered).
+// A full response channel means the peer has stopped draining while an
+// invalidation is owed; the connection is closed rather than allowing a
+// silently stale cache to live on.
+func (cc *cohConn) push(epoch uint64, pids []page.PageID, w *ackWaiter) bool {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return false
+	}
+	if w != nil {
+		cc.waiters = append(cc.waiters, w)
+	}
+	f := getFrame()
+	f.inline = encodeInvalidation(f.scratch[:0], epoch, pids)
+	f.encode(opInvalidate, 0)
+	select {
+	case cc.respCh <- f:
+		cc.mu.Unlock()
+		return true
+	default:
+		// Slow consumer with a pending invalidation: drop the frame and
+		// the connection. The client's lease (no frames received) takes
+		// over; its conn-failure path drops the whole cache.
+		if w != nil {
+			cc.waiters = cc.waiters[:len(cc.waiters)-1]
+		}
+		cc.mu.Unlock()
+		putFrame(f)
+		cc.conn.Close()
+		return false
+	}
+}
+
+// encodeInvalidation appends the opInvalidate payload — epoch, count,
+// page IDs — to dst (which may be a stack scratch buffer).
+func encodeInvalidation(dst []byte, epoch uint64, pids []page.PageID) []byte {
+	var tmp [12]byte
+	binary.LittleEndian.PutUint64(tmp[:8], epoch)
+	binary.LittleEndian.PutUint32(tmp[8:], uint32(len(pids)))
+	dst = append(dst, tmp[:]...)
+	for _, pid := range pids {
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(pid))
+		dst = append(dst, tmp[:8]...)
+	}
+	return dst
+}
+
+// decodeInvalidation parses an opInvalidate payload (after the request
+// ID). It rejects truncated, oversized, and length-inconsistent payloads.
+func decodeInvalidation(b []byte) (epoch uint64, pids []page.PageID, err error) {
+	if len(b) < 12 {
+		return 0, nil, fmt.Errorf("%w: invalidation payload %d bytes", errProtocol, len(b))
+	}
+	epoch = binary.LittleEndian.Uint64(b)
+	n := binary.LittleEndian.Uint32(b[8:])
+	if n > maxInvalidationPages || len(b) != 12+int(n)*8 {
+		return 0, nil, fmt.Errorf("%w: invalidation count %d for %d bytes", errProtocol, n, len(b))
+	}
+	pids = make([]page.PageID, n)
+	for i := range pids {
+		pids[i] = page.PageID(binary.LittleEndian.Uint64(b[12+i*8:]))
+	}
+	return epoch, pids, nil
+}
+
+// maxInvalidationPages bounds one invalidation frame. Larger page sets
+// are split across frames (same epoch) by the push path.
+const maxInvalidationPages = 4096
+
+// clientID returns the endpoint's coherence ID; 0 for a nil endpoint (a
+// non-coherent connection).
+func (cc *cohConn) clientID() coherence.ClientID {
+	if cc == nil {
+		return 0
+	}
+	return cc.id
+}
+
+// cohClientID is clientID over the connection state (the lock-step and
+// boundary-op paths carry cs, not the endpoint).
+func cohClientID(cs *connState) coherence.ClientID { return cs.coh.clientID() }
+
+// syncInterestGauge settles the interest gauge onto the table's live
+// registration count. Concurrent syncs can transiently disagree; each
+// corrects the last.
+func syncInterestGauge(st *coherenceState, obs *metrics.Registry) {
+	obs.GaugeAdd(metrics.GaugeCoherenceInterest,
+		int64(st.table.Len())-obs.GaugeValue(metrics.GaugeCoherenceInterest))
+}
+
+// register records cc's interest in pid, pushing revocations for any
+// registrations the capacity bound displaced.
+func (s *TCPServer) register(st *coherenceState, cc *cohConn, pid page.PageID) {
+	evicted := st.table.Register(pid, cc.id)
+	s.obs.Load().Inc(metrics.CtrCoherenceRegister)
+	s.revoke(st, evicted)
+}
+
+// readPageCoherent serves one page read with interest registration,
+// closing the register/read/push race: interest is registered before the
+// image is read, and if an invalidation round consumed the registration
+// while the read was in flight, the image may predate a committed write
+// whose callback this client already missed — re-register and re-read.
+// Bounded retries keep a pathological commit storm from starving the
+// read; exhaustion surfaces as a transient error the client may retry.
+func (s *TCPServer) readPageCoherent(backend Server, cc *cohConn, pid page.PageID) ([]byte, error) {
+	st := s.coh.Load()
+	if st == nil || cc == nil {
+		return backend.ReadPage(pid)
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		s.register(st, cc, pid)
+		img, err := backend.ReadPage(pid)
+		if err != nil {
+			return nil, err
+		}
+		if st.table.StillRegistered(pid, cc.id) {
+			syncInterestGauge(st, s.obs.Load())
+			return img, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: coherence registration churned during read", ErrTransient)
+}
+
+// readPagesCoherent is readPageCoherent over a page run (the readahead
+// path): every page of the run — including prefetched pages the client
+// may never deref — is registered before the run is read and validated
+// after, so prefetched frames honor invalidation like demand-read ones.
+func (s *TCPServer) readPagesCoherent(pr PageRunReader, cc *cohConn, pid page.PageID, n int) ([][]byte, error) {
+	st := s.coh.Load()
+	if st == nil || cc == nil {
+		return pr.ReadPages(pid, n)
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		for i := 0; i < n; i++ {
+			s.register(st, cc, pid+page.PageID(i))
+		}
+		imgs, err := pr.ReadPages(pid, n)
+		if err != nil {
+			return nil, err
+		}
+		// Only the pages actually served need to remain registered; the
+		// surplus registrations (a run truncated at end-of-segment) age
+		// out through the capacity FIFO.
+		ok := true
+		for i := range imgs {
+			if !st.table.StillRegistered(pid+page.PageID(i), cc.id) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			syncInterestGauge(st, s.obs.Load())
+			return imgs, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: coherence registration churned during read", ErrTransient)
+}
+
+// revoke pushes revocation invalidations for capacity-evicted
+// registrations. Revocations are asynchronous (no ack-wait): the evicted
+// client is logically uncached for those pages from here on, and the push
+// tells it to drop any copy it still holds.
+func (s *TCPServer) revoke(st *coherenceState, evicted []coherence.Eviction) {
+	if len(evicted) == 0 {
+		return
+	}
+	obs := s.obs.Load()
+	epoch := st.table.Epoch()
+	for _, ev := range evicted {
+		obs.Inc(metrics.CtrCoherenceRevoked)
+		if cc := st.lookupConn(ev.Client); cc != nil {
+			cc.push(epoch, []page.PageID{ev.Page}, nil)
+		}
+	}
+}
+
+// coherencePush runs one invalidation round: consume the interest
+// registrations for the written pages, push an opInvalidate frame to each
+// other subscribed connection, and wait — bounded by the ack timeout —
+// until every reachable one acknowledged. writer is the writing
+// connection's coherence ID (0 for a non-coherent writer: v1 peers,
+// v2-without-coherence peers, lock-step connections).
+func (s *TCPServer) coherencePush(pages []page.PageID, writer coherence.ClientID, tctx trace.Context) {
+	st := s.coh.Load()
+	if st == nil || len(pages) == 0 {
+		return
+	}
+	obs := s.obs.Load()
+	epoch, targets := st.table.Invalidate(pages, writer)
+	syncInterestGauge(st, obs)
+	if len(targets) == 0 {
+		return
+	}
+	sp := s.tracer.Load().StartChild(spanName(&serverSpanNames, opInvalidate), tctx)
+	start := obs.Now()
+
+	w := &ackWaiter{epoch: epoch, done: make(chan struct{})}
+	// Pre-count with one slot held so a fast ack cannot close done while
+	// pushes are still being enqueued.
+	w.remaining.Store(1)
+	delivered := 0
+	for cid, pids := range targets {
+		cc := st.lookupConn(cid)
+		if cc == nil {
+			continue
+		}
+		if err := faultpoint.Check(faultpoint.CoherencePush); err != nil {
+			// Injected callback loss: the client is never told. Its lease
+			// must save it; the linearizability checker convicts if not.
+			obs.Inc(metrics.CtrCoherencePushDropped)
+			continue
+		}
+		sent := true
+		for off := 0; off < len(pids) && sent; off += maxInvalidationPages {
+			end := off + maxInvalidationPages
+			if end > len(pids) {
+				end = len(pids)
+			}
+			var roundWaiter *ackWaiter
+			if end == len(pids) {
+				roundWaiter = w // only the last chunk carries the waiter
+			}
+			if roundWaiter != nil {
+				w.remaining.Add(1)
+			}
+			if !cc.push(epoch, pids[off:end], roundWaiter) {
+				if roundWaiter != nil {
+					w.remaining.Add(-1)
+				}
+				sent = false
+			}
+		}
+		if sent {
+			delivered++
+			obs.Inc(metrics.CtrCoherenceInvalSent)
+		}
+	}
+	if delivered > 0 {
+		w.dec() // release the pre-count slot
+		select {
+		case <-w.done:
+		case <-time.After(st.ackTimeout):
+			// One or more subscribers missed the round within the lease
+			// horizon: they have received nothing for ackTimeout, so
+			// their client-side lease has expired and they must stop
+			// serving cached pages. Proceed.
+			obs.Inc(metrics.CtrCoherenceAckTimeout)
+		}
+	}
+	if sp.Sampled() {
+		sp.SetArgs(uint64(len(pages)), uint64(delivered))
+		sp.Finish()
+	}
+	obs.RPCSinceTrace(metrics.RPCInvalidate, start, tctx.TraceID)
+}
+
+// writeSetOf derives the pages invalidated by a successful
+// non-transactional write operation from its request and response bytes.
+// Transactional writes are covered at commit time by the transaction's
+// X-locked page set instead.
+func writeSetOf(op byte, req, resp []byte) []page.PageID {
+	switch op {
+	case opWritePage:
+		if len(req) >= 8 {
+			return []page.PageID{page.PageID(binary.LittleEndian.Uint64(req))}
+		}
+	case opUpdateObject:
+		// The response carries the object's (possibly new) physical
+		// address; its page is the one whose image changed. An update
+		// that relocated the object also freed a slot on the old page —
+		// covered for transactional writers by the commit's X-lock set;
+		// accepted imprecision for raw non-transactional updates.
+		if len(resp) >= 10 {
+			return []page.PageID{getPAddr(resp).Page}
+		}
+	case opAllocate, opAllocateNear:
+		if len(resp) >= 18 {
+			return []page.PageID{getPAddr(resp[8:]).Page}
+		}
+	}
+	return nil
+}
+
+// pushForWrite runs an invalidation round for one successful
+// non-transactional write operation. No-op for non-write opcodes and
+// when coherence is off.
+func (s *TCPServer) pushForWrite(op byte, req, resp []byte, writer coherence.ClientID) {
+	if s.coh.Load() == nil {
+		return
+	}
+	if pids := writeSetOf(op, req, resp); len(pids) > 0 {
+		s.coherencePush(pids, writer, trace.Context{})
+	}
+}

@@ -30,6 +30,13 @@ func FuzzTCPFrame(f *testing.F) {
 	f.Add(frame(f, opTxBegin, nil))
 	f.Add(frame(f, statusOK, []byte("hello")))
 	f.Add(frame(f, opWritePage, make([]byte, page.Size)))
+	// Coherence frames: a push with one page, an ack, and the hello
+	// capability negotiation carrying featureCoherence.
+	f.Add(frame(f, opInvalidate, append(make([]byte, 8),
+		encodeInvalidation(nil, 3, []page.PageID{7})...)))
+	f.Add(frame(f, opCoherenceAck, append(make([]byte, 8), 3, 0, 0, 0, 0, 0, 0, 0)))
+	f.Add(frame(f, opHello, []byte{protocolV2, 0, 0, 0,
+		featureBatch | featureTrace | featureSnapshot | featureCoherence, 0, 0, 0}))
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})                // zero length
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1}) // absurd length
@@ -54,6 +61,40 @@ func FuzzTCPFrame(f *testing.F) {
 		if code2 != code || !bytes.Equal(payload2, payload) {
 			t.Fatalf("round trip mismatch: code %d->%d, payload %d->%d bytes",
 				code, code2, len(payload), len(payload2))
+		}
+	})
+}
+
+// FuzzInvalidationFrame throws arbitrary bytes at the opInvalidate
+// payload decoder. Invariants: decodeInvalidation never panics, rejects
+// truncated, oversized, and length-inconsistent payloads with errProtocol,
+// never admits more than maxInvalidationPages, and everything it accepts
+// round-trips byte-identically through encodeInvalidation.
+func FuzzInvalidationFrame(f *testing.F) {
+	f.Add(encodeInvalidation(nil, 1, nil))
+	f.Add(encodeInvalidation(nil, 7, []page.PageID{1, 2, 3}))
+	f.Add(encodeInvalidation(nil, ^uint64(0), []page.PageID{page.PageID(^uint64(0))}))
+	f.Add([]byte{})
+	f.Add(make([]byte, 11))                                   // one byte short of a header
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0, 0})  // count 65535, no pages
+	f.Add(append(encodeInvalidation(nil, 3, []page.PageID{9}), 0)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, pids, err := decodeInvalidation(data)
+		if err != nil {
+			if !errors.Is(err, errProtocol) {
+				t.Fatalf("rejection is not errProtocol: %v", err)
+			}
+			return
+		}
+		if len(pids) > maxInvalidationPages {
+			t.Fatalf("decoded %d pages, above maxInvalidationPages %d", len(pids), maxInvalidationPages)
+		}
+		if len(data) != 12+8*len(pids) {
+			t.Fatalf("accepted %d bytes for %d pages", len(data), len(pids))
+		}
+		if !bytes.Equal(encodeInvalidation(nil, epoch, pids), data) {
+			t.Fatal("encode/decode round trip not byte-identical")
 		}
 	})
 }

@@ -65,6 +65,14 @@ const (
 	// Snapshot extension (featureSnapshot): begins a read-only snapshot
 	// transaction whose reads are lock-free at a frozen read-LSN.
 	opTxBeginSnapshot
+	// Coherence extension (featureCoherence). opInvalidate is a
+	// server→client push (request ID 0, which ordinary request/response
+	// traffic never uses) telling the client to drop its cached copies of
+	// the listed pages; opCoherenceAck is the client's fire-and-forget
+	// acknowledgement (no response frame) carrying the highest applied
+	// invalidation epoch.
+	opInvalidate
+	opCoherenceAck
 	// numOpcodes is one past the highest opcode. Every opcode below it
 	// must have a latency histogram (rpcOpOf), a name in both span
 	// tables, and per-opcode frame/byte counters; the completeness test
@@ -402,6 +410,9 @@ type TCPServer struct {
 	// featureOverride, when its valid bit is set, replaces the advertised
 	// feature mask (SetFeatures test hook).
 	featureOverride atomic.Uint32
+	// coh is the callback/lease coherence machinery; nil until
+	// EnableCoherence (featureCoherence is only advertised once set).
+	coh atomic.Pointer[coherenceState]
 
 	mu     sync.Mutex
 	closed bool
@@ -481,6 +492,10 @@ func rpcOpOf(op byte) metrics.RPCOp {
 		return metrics.RPCReadPages
 	case opTxBeginSnapshot:
 		return metrics.RPCTxBeginSnapshot
+	case opInvalidate:
+		return metrics.RPCInvalidate
+	case opCoherenceAck:
+		return metrics.RPCCoherenceAck
 	}
 	return -1
 }
@@ -530,6 +545,10 @@ func (s *TCPServer) acceptLoop() {
 type connState struct {
 	tx   TxID
 	sess Server // the transaction session, or nil outside a transaction
+	// coh is the connection's coherence endpoint: non-nil only on a
+	// pipelined connection that negotiated featureCoherence. Set once
+	// before dispatch goroutines start, read-only afterwards.
+	coh *cohConn
 }
 
 // helloResponse validates a client hello payload and returns the server's
@@ -592,7 +611,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			// The connection switches to pipelined framing from here on.
 			// writeMsg flushed the bufio writer, so the pipelined writer
 			// can take over the raw connection for vectored writes.
-			s.servePipelined(conn, r, cs, negotiated&featureTrace != 0)
+			s.servePipelined(conn, r, cs, negotiated)
 			return
 		}
 		obs := s.obs.Load()
@@ -640,8 +659,14 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 // frame already queued into one net.Buffers vectored write (writev), so a
 // burst of pipelined responses reaches the socket in a single syscall
 // without ever being re-buffered into a contiguous stream.
-func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, cs *connState, traceOn bool) {
+func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, cs *connState, negotiated uint32) {
+	traceOn := negotiated&featureTrace != 0
 	respCh := make(chan *respFrame, pipelineWorkers*2)
+	if negotiated&featureCoherence != 0 {
+		if st := s.coh.Load(); st != nil {
+			cs.coh = st.attach(conn, respCh)
+		}
+	}
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
@@ -749,6 +774,15 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, cs *connState
 			f := getFrame()
 			f.inline = resp
 			respond(op, id, f, herr)
+		case opCoherenceAck:
+			// Fire-and-forget acknowledgement of an applied invalidation
+			// round: record the epoch and release any commit waiting on
+			// it. No response frame — the ack is the response.
+			if cs.coh != nil && len(req) >= 8 {
+				s.obs.Load().Inc(metrics.CtrCoherenceAcked)
+				cs.coh.ack(binary.LittleEndian.Uint64(req))
+			}
+			putBuf(body)
 		case opTxBegin, opTxBeginSnapshot, opTxCommit, opTxAbort:
 			// Transaction boundaries order after the connection's
 			// outstanding data operations: a pipelined commit must not
@@ -787,7 +821,7 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, cs *connState
 				start := obs.Now()
 				sp := s.tracer.Load().StartChild(spanName(&serverSpanNames, op), tctx)
 				f := getFrame()
-				herr := s.handleDataFrame(backend, op, req, f)
+				herr := s.handleDataFrame(backend, cs.coh, op, req, f)
 				if sp.Sampled() {
 					sp.SetArgs(uint64(len(req)), uint64(f.payloadLen()))
 					sp.Finish()
@@ -802,6 +836,14 @@ func (s *TCPServer) servePipelined(conn net.Conn, r *bufio.Reader, cs *connState
 		}
 	}
 	dataWG.Wait()
+	if cs.coh != nil {
+		// Detach before respCh closes: detach marks the endpoint closed
+		// under its lock, so no invalidation push from another
+		// connection's commit can race onto the closing channel, and
+		// every commit still waiting on this connection's ack is
+		// released.
+		s.coh.Load().detach(cs.coh, s.obs.Load())
+	}
 	close(respCh)
 	writerWG.Wait()
 }
@@ -873,7 +915,18 @@ func (s *TCPServer) handle(cs *connState, op byte, payload []byte, tctx trace.Co
 		}
 		var err error
 		if op == opTxCommit {
+			// Capture the X-locked page set before CommitCtx releases the
+			// locks: these are the pages whose images this commit changed,
+			// and every other interested client is called back for them
+			// once the commit is durable.
+			var writeSet []page.PageID
+			if s.coh.Load() != nil {
+				writeSet = s.tx.WriteSet(cs.tx)
+			}
 			err = s.tx.CommitCtx(cs.tx, s.tracer.Load(), tctx)
+			if err == nil {
+				s.coherencePush(writeSet, cohClientID(cs), tctx)
+			}
 		} else {
 			err = s.tx.Abort(cs.tx)
 		}
@@ -888,7 +941,15 @@ func (s *TCPServer) handle(cs *connState, op byte, payload []byte, tctx trace.Co
 		cs.tx = 0
 		return nil, err
 	}
-	return s.handleData(s.backend(cs), op, payload)
+	backend := s.backend(cs)
+	resp, err := s.handleData(backend, op, payload)
+	if err == nil && backend == Server(s.local) {
+		// A non-transactional write is immediately visible; call
+		// interested clients back right away (transactional writes are
+		// pushed at commit from the X-lock set instead).
+		s.pushForWrite(op, payload, resp, cohClientID(cs))
+	}
+	return resp, err
 }
 
 func (s *TCPServer) handleData(backend Server, op byte, payload []byte) ([]byte, error) {
@@ -1031,14 +1092,19 @@ func (s *TCPServer) handleData(backend Server, op byte, payload []byte) ([]byte,
 // (the wire bytes are identical — the writer scatter-gathers the pieces).
 // Every other opcode falls through to handleData and rides in the frame's
 // inline payload.
-func (s *TCPServer) handleDataFrame(backend Server, op byte, payload []byte, f *respFrame) error {
+func (s *TCPServer) handleDataFrame(backend Server, cc *cohConn, op byte, payload []byte, f *respFrame) error {
+	// Snapshot sessions read at a frozen LSN and are stale by design;
+	// their reads never register coherence interest.
+	if _, snap := backend.(*snapSession); snap {
+		cc = nil
+	}
 	switch op {
 	case opReadPage:
 		if len(payload) != 8 {
 			return errProtocol
 		}
 		pid := page.PageID(binary.LittleEndian.Uint64(payload))
-		img, err := backend.ReadPage(pid)
+		img, err := s.readPageCoherent(backend, cc, pid)
 		if err != nil {
 			return err
 		}
@@ -1057,7 +1123,7 @@ func (s *TCPServer) handleDataFrame(backend Server, op byte, payload []byte, f *
 		if !ok {
 			return fmt.Errorf("%w: page runs unsupported", errProtocol)
 		}
-		imgs, err := pr.ReadPages(pid, int(n))
+		imgs, err := s.readPagesCoherent(pr, cc, pid, int(n))
 		if err != nil {
 			return err
 		}
@@ -1069,6 +1135,9 @@ func (s *TCPServer) handleDataFrame(backend Server, op byte, payload []byte, f *
 		resp, err := s.handleData(backend, op, payload)
 		if err != nil {
 			return err
+		}
+		if backend == Server(s.local) {
+			s.pushForWrite(op, payload, resp, cc.clientID())
 		}
 		f.inline = resp
 		return nil

@@ -35,6 +35,8 @@ var clientSpanNames = [numOpcodes]string{
 	opReadPages:    "rpc:read_pages",
 
 	opTxBeginSnapshot: "rpc:tx_begin_snapshot",
+	opInvalidate:      "rpc:invalidate",
+	opCoherenceAck:    "rpc:coherence_ack",
 }
 
 var serverSpanNames = [numOpcodes]string{
@@ -53,6 +55,8 @@ var serverSpanNames = [numOpcodes]string{
 	opReadPages:    "server:read_pages",
 
 	opTxBeginSnapshot: "server:tx_begin_snapshot",
+	opInvalidate:      "server:invalidate",
+	opCoherenceAck:    "server:coherence_ack",
 }
 
 func spanName(tab *[numOpcodes]string, op byte) string {
@@ -107,9 +111,10 @@ const featureMaskValid = 1 << 31
 // Exported names for the feature bits, for SetFeatures callers (tests
 // emulating down-level peers).
 const (
-	FeatureBatch    = featureBatch
-	FeatureTrace    = featureTrace
-	FeatureSnapshot = featureSnapshot
+	FeatureBatch     = featureBatch
+	FeatureTrace     = featureTrace
+	FeatureSnapshot  = featureSnapshot
+	FeatureCoherence = featureCoherence
 )
 
 // serverFeatures returns the feature bits this server offers.
@@ -117,5 +122,12 @@ func (s *TCPServer) serverFeatures() uint32 {
 	if v := s.featureOverride.Load(); v&featureMaskValid != 0 {
 		return v &^ featureMaskValid
 	}
-	return featureBatch | featureTrace | featureSnapshot
+	f := uint32(featureBatch | featureTrace | featureSnapshot)
+	if s.coh.Load() != nil {
+		// Coherence is only offered once EnableCoherence installed the
+		// interest table; clients that skip the bit (or v1 peers) keep
+		// the plain protocol.
+		f |= featureCoherence
+	}
+	return f
 }

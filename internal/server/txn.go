@@ -412,6 +412,26 @@ func (s *TxServer) Alive(tx TxID) bool {
 	return ok && !st.done
 }
 
+// WriteSet returns the pages the transaction holds exclusive locks on —
+// the set of page images its commit changes. The wire layer captures it
+// just before CommitCtx (which releases the locks) and, once the commit
+// is durable, pushes coherence invalidations for exactly these pages.
+func (s *TxServer) WriteSet(tx TxID) []page.PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.txs[tx]
+	if !ok {
+		return nil
+	}
+	var pids []page.PageID
+	for pid, m := range st.locks {
+		if m == lockX {
+			pids = append(pids, pid)
+		}
+	}
+	return pids
+}
+
 // Abort rolls the transaction back by running its undo actions in reverse
 // order, then releases its locks. The transaction is marked done before
 // the undo phase runs outside the server lock, so a racing session call
